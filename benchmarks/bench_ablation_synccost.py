@@ -1,0 +1,25 @@
+"""A2 ablation: synchronisation cost vs checkpoint-saving cost.
+
+Paper claim: "the overhead of synchronizing the checkpoints is negligible
+and presents a minor contribution to the overall performance cost"; the
+saving of local checkpoints to stable storage dominates.
+"""
+
+from repro.experiments import run_sync_cost, table23_workloads
+
+
+def test_sync_cost(benchmark, bench_scale, bench_seed, save_result):
+    result = benchmark.pedantic(
+        lambda: run_sync_cost(
+            workloads=table23_workloads(bench_scale)[:5], seed=bench_seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = result.render()
+    print("\n" + table)
+    save_result("ablation_synccost", table)
+
+    shapes = result.shape_holds()
+    assert shapes["sync_cost_negligible"]
+    assert shapes["saving_dominates"]

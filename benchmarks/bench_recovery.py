@@ -1,0 +1,42 @@
+"""R1/R2: the recovery-side claims (asserted in prose in the paper).
+
+R1 — rollback behaviour at a crash: coordinated rollback is bounded and
+predictable; independent checkpointing with misaligned timers and no
+logging suffers the domino effect; every recovery reproduces the
+undisturbed result exactly.
+
+R2 — stable-storage overhead: coordinated holds at most two checkpoints
+per process; independent accumulates chains, and garbage collection helps
+but never reaches the coordinated bound.
+"""
+
+from repro.experiments import run_domino, run_storage_overhead
+
+
+def test_domino(benchmark, bench_seed, save_result):
+    result = benchmark.pedantic(
+        lambda: run_domino(seed=bench_seed), rounds=1, iterations=1
+    )
+    table = result.render()
+    print("\n" + table)
+    save_result("recovery_domino", table)
+
+    shapes = result.shape_holds()
+    assert shapes["all_recoveries_exact"]
+    assert shapes["coordinated_bounded_rollback"]
+    assert shapes["independent_domino_occurs"]
+
+
+def test_storage_overhead(benchmark, bench_seed, save_result):
+    result = benchmark.pedantic(
+        lambda: run_storage_overhead(seed=bench_seed), rounds=1, iterations=1
+    )
+    table = result.render()
+    print("\n" + table)
+    save_result("recovery_storage", table)
+
+    shapes = result.shape_holds()
+    assert shapes["coordinated_bounded"]
+    assert shapes["independent_accumulates"]
+    assert shapes["gc_without_logs_ineffective"]
+    assert shapes["logging_gc_collects"]

@@ -1,0 +1,36 @@
+"""Regenerate Table 2: execution times with three checkpoints per run.
+
+Shape: every checkpointed column is slower than NORMAL; both coordinated
+schemes sit at or below their independent counterparts in the overall
+winner count (the paper: "in the overall both coordinated checkpointing
+schemes perform better ... although the difference is not very
+significant").
+"""
+
+from repro.experiments import run_table23, table23_workloads
+
+
+def test_table2(benchmark, bench_scale, bench_seed, save_result):
+    result = benchmark.pedantic(
+        lambda: run_table23(
+            workloads=table23_workloads(bench_scale), seed=bench_seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = result.render_table2()
+    print("\n" + table)
+    save_result("table2", table)
+
+    for res in result.results:
+        for scheme, report in res.reports.items():
+            assert report.sim_time >= res.normal_time, (res.label, scheme)
+            # every run took and committed its three rounds
+            assert report.checkpoints_taken == 3 * report.n_nodes, (
+                res.label,
+                scheme,
+            )
+
+    cmps = result.coordinated_beats_independent()
+    assert cmps["nb_vs_indep"].a_wins >= cmps["nb_vs_indep"].b_wins
+    assert cmps["nbms_vs_indep_m"].a_wins > cmps["nbms_vs_indep_m"].b_wins

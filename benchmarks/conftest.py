@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables (or a supporting
+experiment), asserts the paper's qualitative shape, and writes the rendered
+table to ``results/<name>.txt`` so a benchmark run leaves artefacts behind.
+
+Environment:
+
+* ``REPRO_BENCH_SCALE`` — iteration-count scale for the workloads
+  (default ``1.0``; e.g. ``0.2`` for a quick smoke pass — checkpoint
+  volumes stay full-size, run lengths shrink).
+* ``REPRO_BENCH_SEED`` — master seed (default 0).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_result(results_dir):
+    """Write a rendered experiment artefact to results/<name>.txt."""
+
+    def save(name: str, *chunks: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text("\n\n".join(chunks) + "\n")
+        print(f"\n[saved {path}]")
+
+    return save

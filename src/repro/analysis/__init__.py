@@ -1,0 +1,27 @@
+"""Measurement analysis: overhead metrics and table rendering."""
+
+from .metrics import (
+    SchemeComparison,
+    count_wins,
+    overhead_percent,
+    overhead_seconds,
+    per_checkpoint_overhead,
+    reduction_factor,
+)
+from .report import build_report
+from .tables import fmt_percent, fmt_seconds, render_table
+from .timeline import render_timeline
+
+__all__ = [
+    "overhead_seconds",
+    "overhead_percent",
+    "per_checkpoint_overhead",
+    "count_wins",
+    "reduction_factor",
+    "SchemeComparison",
+    "render_table",
+    "fmt_seconds",
+    "fmt_percent",
+    "render_timeline",
+    "build_report",
+]

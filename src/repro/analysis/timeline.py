@@ -1,0 +1,64 @@
+"""ASCII timelines of checkpoint activity.
+
+Renders the tracer's ``ckpt.cut`` and ``storage.write`` spans as a Gantt
+strip per rank — the quickest way to *see* the difference between
+``Coord_NB`` (one aligned wall of blocked writes), ``Indep`` (a staircase
+of autonomous stalls) and ``Coord_NBMS`` (one tiny blip per rank, writes
+daisy-chained in the background).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.tracing import Span, Tracer
+
+__all__ = ["render_timeline"]
+
+
+def _collect(
+    tracer: Tracer, name: str, rank_key: str
+) -> Dict[int, List[Tuple[float, float]]]:
+    spans: Dict[int, List[Tuple[float, float]]] = {}
+    for span in tracer.spans_named(name):
+        if span.end is None:
+            continue
+        rank = span.attrs.get(rank_key)
+        if rank is None:
+            continue
+        spans.setdefault(int(rank), []).append((span.start, span.end))
+    return spans
+
+
+def render_timeline(
+    tracer: Tracer,
+    t_end: float,
+    width: int = 72,
+    t_start: float = 0.0,
+    n_ranks: Optional[int] = None,
+) -> str:
+    """One strip per rank: ``#`` = app blocked in a cut, ``~`` = its data
+    streaming to stable storage, ``.`` = computing."""
+    if t_end <= t_start:
+        raise ValueError("empty time window")
+    cuts = _collect(tracer, "ckpt.cut", "rank")
+    writes = _collect(tracer, "storage.write", "node")
+    ranks = sorted(set(cuts) | set(writes))
+    if n_ranks is not None:
+        ranks = list(range(n_ranks))
+    scale = width / (t_end - t_start)
+
+    def paint(row: List[str], intervals: List[Tuple[float, float]], ch: str) -> None:
+        for a, b in intervals:
+            lo = max(0, int((a - t_start) * scale))
+            hi = min(width - 1, int((b - t_start) * scale))
+            for i in range(lo, hi + 1):
+                row[i] = ch
+
+    lines = [f"t = {t_start:.1f} .. {t_end:.1f} s   (# blocked, ~ writing)"]
+    for rank in ranks:
+        row = ["."] * width
+        paint(row, writes.get(rank, []), "~")
+        paint(row, cuts.get(rank, []), "#")
+        lines.append(f"r{rank:<2} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""The paper's seven application benchmarks (SPMD over the CHK-LIB API).
+
+Tightly-coupled: SOR, ISING (halo exchange), GAUSS, ASP (pivot broadcast),
+NBODY (ring pipeline). Loosely-coupled: TSP, NQUEENS (static task split,
+end-only reduction).
+"""
+
+from .asp import ASP
+from .base import Application, app_rng
+from .gauss import Gauss
+from .ising import Ising
+from .nbody import NBody
+from .nqueens import NQueens
+from .sor import SOR
+from .tsp import TSP
+
+ALL_APPS = (Ising, SOR, ASP, NBody, Gauss, TSP, NQueens)
+
+__all__ = [
+    "Application",
+    "app_rng",
+    "SOR",
+    "Ising",
+    "ASP",
+    "NBody",
+    "Gauss",
+    "TSP",
+    "NQueens",
+    "ALL_APPS",
+]

@@ -1,0 +1,151 @@
+"""SOR: red-black successive over-relaxation for Laplace's equation.
+
+The classic tightly-coupled stencil benchmark from the paper: the grid is
+row-block partitioned; every iteration does two halo exchanges (one per
+colour) with the up/down neighbours, then relaxes the interior. A blocked
+neighbour stalls the whole chain within one iteration — the communication
+structure that penalises unsynchronised checkpoint blocking.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Dict, Generator, List, Tuple
+
+import numpy as np
+
+from ..net.collectives import reduce
+from .base import Application
+
+__all__ = ["SOR"]
+
+_TAG_UP = 1  #: row sent to the lower-index neighbour
+_TAG_DOWN = 2  #: row sent to the higher-index neighbour
+
+
+def _boundary_value(i: np.ndarray, j: np.ndarray, n: int) -> np.ndarray:
+    """Deterministic Dirichlet boundary (smooth, non-trivial)."""
+    return np.sin(2.0 * np.pi * i / n) + np.cos(2.0 * np.pi * j / n)
+
+
+def _init_block(lo: int, hi: int, n: int) -> np.ndarray:
+    """Rows ``lo-1 .. hi`` of the initial grid (halos included)."""
+    rows = np.arange(lo - 1, hi + 1)
+    block = np.zeros((rows.size, n), dtype=np.float64)
+    cols = np.arange(n)
+    # fixed boundary: global rows 0 and n-1, columns 0 and n-1
+    for k, i in enumerate(rows):
+        if i == 0 or i == n - 1:
+            block[k, :] = _boundary_value(np.full(n, i), cols, n)
+        else:
+            block[k, 0] = _boundary_value(np.array([i]), np.array([0]), n)[0]
+            block[k, -1] = _boundary_value(np.array([i]), np.array([n - 1]), n)[0]
+    return block
+
+
+def _sweep(block: np.ndarray, row_offset: int, omega: float, phase: int) -> None:
+    """Relax one colour of the interior of *block* in place.
+
+    ``block`` has one halo row on each side; its row 1 is global row
+    ``row_offset``. Same-colour cells are independent, so the vectorised
+    simultaneous update is exact red-black Gauss–Seidel.
+    """
+    m, n = block.shape[0] - 2, block.shape[1]
+    if m <= 0:
+        return
+    gi = row_offset + np.arange(m)[:, None]
+    gj = np.arange(1, n - 1)[None, :]
+    mask = (gi + gj) % 2 == phase
+    neighbours = (
+        block[0:-2, 1:-1]
+        + block[2:, 1:-1]
+        + block[1:-1, 0:-2]
+        + block[1:-1, 2:]
+    )
+    updated = (1.0 - omega) * block[1:-1, 1:-1] + omega * 0.25 * neighbours
+    interior = block[1:-1, 1:-1]
+    interior[mask] = updated[mask]
+
+
+def _partition(n: int, size: int) -> List[Tuple[int, int]]:
+    """Split interior rows ``1 .. n-2`` into contiguous per-rank ranges."""
+    interior = n - 2
+    base, extra = divmod(interior, size)
+    ranges = []
+    lo = 1
+    for r in range(size):
+        cnt = base + (1 if r < extra else 0)
+        ranges.append((lo, lo + cnt))
+        lo += cnt
+    return ranges
+
+
+class SOR(Application):
+    """Red-black SOR on an ``n x n`` grid for ``iters`` iterations."""
+
+    name = "sor"
+
+    def __init__(self, n: int = 256, iters: int = 100, omega: float = 1.5,
+                 flops_per_cell: float = 8.0) -> None:
+        if n < 4:
+            raise ValueError(f"grid too small: {n}")
+        self.n = int(n)
+        self.iters = int(iters)
+        self.omega = float(omega)
+        self.flops_per_cell = float(flops_per_cell)
+
+    def describe(self) -> str:
+        return f"sor(n={self.n}, iters={self.iters})"
+
+    # -- SPMD ------------------------------------------------------------------
+
+    def make_state(self, rank: int, size: int, seed: int) -> Dict[str, Any]:
+        if self.n - 2 < size:
+            raise ValueError(
+                f"grid n={self.n} has fewer interior rows than ranks ({size})"
+            )
+        lo, hi = _partition(self.n, size)[rank]
+        return {"iter": 0, "lo": lo, "hi": hi, "grid": _init_block(lo, hi, self.n)}
+
+    def run(self, ctx, state: Dict[str, Any]) -> Generator[Any, Any, Any]:
+        comm = ctx.comm
+        lo, hi = state["lo"], state["hi"]
+        up = ctx.rank - 1 if ctx.rank > 0 else None
+        down = ctx.rank + 1 if ctx.rank < ctx.size - 1 else None
+        my_rows = hi - lo
+        phase_flops = self.flops_per_cell * my_rows * self.n / 2.0
+
+        while state["iter"] < self.iters:
+            grid = state["grid"]
+            for phase in (0, 1):
+                # halo exchange: push our border rows, pull the neighbours'
+                if up is not None:
+                    yield from comm.send(up, grid[1].copy(), tag=_TAG_DOWN)
+                if down is not None:
+                    yield from comm.send(down, grid[-2].copy(), tag=_TAG_UP)
+                if up is not None:
+                    msg = yield from comm.recv(source=up, tag=_TAG_UP)
+                    grid[0, :] = msg.payload
+                if down is not None:
+                    msg = yield from comm.recv(source=down, tag=_TAG_DOWN)
+                    grid[-1, :] = msg.payload
+                if my_rows > 0:
+                    _sweep(grid, lo, self.omega, phase)
+                yield from ctx.compute(phase_flops)
+            state["iter"] += 1
+            yield from ctx.checkpoint_point()
+
+        local_sum = float(state["grid"][1:-1, :].sum()) if my_rows > 0 else 0.0
+        total = yield from reduce(comm, local_sum, operator.add, root=0)
+        if ctx.rank == 0:
+            return {"sum": total, "n": self.n, "iters": self.iters}
+        return None
+
+    # -- reference ----------------------------------------------------------------
+
+    def serial_result(self, size: int, seed: int) -> Any:
+        grid = _init_block(1, self.n - 1, self.n)  # whole interior + halos
+        for _ in range(self.iters):
+            for phase in (0, 1):
+                _sweep(grid, 1, self.omega, phase)
+        return {"sum": float(grid[1:-1, :].sum()), "n": self.n, "iters": self.iters}

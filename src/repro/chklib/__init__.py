@@ -1,0 +1,57 @@
+"""The checkpointing library — the paper's primary contribution.
+
+Snapshots, the stable-storage checkpoint manager, coordinated and
+independent schemes, recovery-line computation, rollback-dependency
+analysis, garbage collection, message logging and the runtime that ties an
+application, a scheme and a machine together.
+"""
+
+from .dependency import line_via_graph, rollback_dependency_graph
+from .garbage import GcStats, collect_garbage
+from .recovery import (
+    CutPoint,
+    build_cuts,
+    consistent_line,
+    domino_extent,
+    in_transit_ranges,
+    is_consistent,
+    rollback_distances,
+)
+from .runtime import CheckpointRuntime, Ctx, FaultPlan, RecoveryEvent, RunReport
+from .schemes import (
+    CoordinatedScheme,
+    IndependentScheme,
+    NoCheckpointing,
+    Scheme,
+    SchemeAgent,
+)
+from .state import Snapshot, state_nbytes
+from .storage_mgr import CheckpointRecord, CheckpointStore
+
+__all__ = [
+    "CheckpointRuntime",
+    "Ctx",
+    "FaultPlan",
+    "RunReport",
+    "RecoveryEvent",
+    "Scheme",
+    "SchemeAgent",
+    "NoCheckpointing",
+    "CoordinatedScheme",
+    "IndependentScheme",
+    "Snapshot",
+    "state_nbytes",
+    "CheckpointRecord",
+    "CheckpointStore",
+    "CutPoint",
+    "build_cuts",
+    "consistent_line",
+    "is_consistent",
+    "in_transit_ranges",
+    "rollback_distances",
+    "domino_extent",
+    "rollback_dependency_graph",
+    "line_via_graph",
+    "collect_garbage",
+    "GcStats",
+]

@@ -1,0 +1,127 @@
+"""Rollback-dependency graphs (Wang-style interval analysis).
+
+The execution of process *p* is split into intervals: interval *i* runs
+from cut *i-1* to cut *i*; the interval after the last checkpoint (the
+*volatile* interval, lost at a crash) is ``last+1``. A message sent by *p*
+in interval *i* and consumed by *q* in interval *j* induces the dependency
+edge ``(p, i) -> (q, j)``: if interval *i* rolls back, the send never
+happened and interval *j* is orphaned, so it must roll back too.
+
+This module rebuilds those edges purely from the per-cut channel counters
+(no message content needed) and re-derives the recovery line by BFS — an
+independent cross-check of :func:`repro.chklib.recovery.consistent_line`,
+used by the property-based tests and the domino-effect experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from .recovery import CutPoint
+
+__all__ = [
+    "interval_send_ranges",
+    "rollback_dependency_graph",
+    "line_via_graph",
+]
+
+Interval = Tuple[int, int]  # (rank, interval index >= 1)
+
+
+def _counts_series(cuts: List[CutPoint], peer: int, kind: str) -> List[int]:
+    """Cumulative count towards/from *peer* at each cut (index-aligned)."""
+    if kind == "sent":
+        return [c.sent_to(peer) for c in cuts]
+    return [c.consumed_from(peer) for c in cuts]
+
+
+def interval_send_ranges(
+    cuts: List[CutPoint], peer: int, final_count: int
+) -> List[Tuple[int, int, int]]:
+    """``(interval, first_seq, last_seq)`` of sends to *peer* per interval.
+
+    *final_count* is the channel's count at the end of execution (the
+    volatile interval's upper bound). Empty intervals are omitted.
+    """
+    series = _counts_series(cuts, peer, "sent") + [final_count]
+    out = []
+    for i in range(1, len(series)):
+        lo, hi = series[i - 1], series[i]
+        if hi > lo:
+            out.append((i, lo + 1, hi))
+    return out
+
+
+def rollback_dependency_graph(
+    cuts: Dict[int, List[CutPoint]],
+    final_sent: Dict[int, Dict[int, int]],
+    final_consumed: Dict[int, Dict[int, int]],
+) -> nx.DiGraph:
+    """Build the interval dependency graph.
+
+    Parameters
+    ----------
+    cuts:
+        per-rank cut lists (as from :func:`repro.chklib.recovery.build_cuts`).
+    final_sent / final_consumed:
+        per-rank channel counters at the moment of analysis (the volatile
+        interval's totals), ``{rank: {peer: count}}``.
+    """
+    g = nx.DiGraph()
+    ranks = sorted(cuts)
+    # nodes: every interval including the volatile one
+    for r in ranks:
+        n_intervals = len(cuts[r])  # cuts 0..k -> intervals 1..k, +1 volatile
+        for i in range(1, n_intervals + 1):
+            g.add_node((r, i), volatile=(i == n_intervals))
+    for p in ranks:
+        for q in ranks:
+            if p == q:
+                continue
+            sent_series = _counts_series(cuts[p], q, "sent") + [
+                final_sent.get(p, {}).get(q, 0)
+            ]
+            cons_series = _counts_series(cuts[q], p, "consumed") + [
+                final_consumed.get(q, {}).get(p, 0)
+            ]
+            # seq k was sent in p's interval i iff sent[i-1] < k <= sent[i];
+            # consumed in q's interval j iff cons[j-1] < k <= cons[j].
+            # Edge (p,i)->(q,j) iff the seq ranges overlap.
+            for i in range(1, len(sent_series)):
+                s_lo, s_hi = sent_series[i - 1], sent_series[i]
+                if s_hi <= s_lo:
+                    continue
+                for j in range(1, len(cons_series)):
+                    c_lo, c_hi = cons_series[j - 1], cons_series[j]
+                    if c_hi <= c_lo:
+                        continue
+                    if s_lo < c_hi and c_lo < s_hi:
+                        g.add_edge((p, i), (q, j))
+    return g
+
+
+def line_via_graph(
+    cuts: Dict[int, List[CutPoint]],
+    final_sent: Dict[int, Dict[int, int]],
+    final_consumed: Dict[int, Dict[int, int]],
+) -> Dict[int, CutPoint]:
+    """Recovery line by rollback propagation on the dependency graph.
+
+    Seed: every volatile interval is rolled back (lost in the crash). Any
+    interval reachable from a rolled-back interval is rolled back too. The
+    line for rank *r* restores the cut just before its earliest rolled-back
+    interval. Must agree with ``consistent_line`` on the same inputs.
+    """
+    g = rollback_dependency_graph(cuts, final_sent, final_consumed)
+    seeds = [node for node, data in g.nodes(data=True) if data["volatile"]]
+    rolled: Set[Interval] = set(seeds)
+    for seed in seeds:
+        rolled.update(nx.descendants(g, seed))
+    line: Dict[int, CutPoint] = {}
+    for r in sorted(cuts):
+        rolled_intervals = [i for (rr, i) in rolled if rr == r]
+        first_bad = min(rolled_intervals) if rolled_intervals else len(cuts[r])
+        line[r] = cuts[r][first_bad - 1]
+    return line

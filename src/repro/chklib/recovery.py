@@ -1,0 +1,175 @@
+"""Recovery lines, rollback propagation and domino-effect analysis.
+
+Model: each process has cut points ``0..k`` (0 = initial state, ``i >= 1``
+its *i*-th checkpoint), each carrying per-channel *send* and *consume*
+counts. A global line ``L = (l_0 … l_{N-1})`` picks one cut per process.
+
+* ``L`` is **consistent** (no orphans) iff for every channel ``p -> q``:
+  ``consumed_q(l_q) <= sent_p(l_p)`` — no process "remembers" receiving a
+  message the rolled-back sender has not yet sent.
+* ``L`` is **transitless** iff additionally ``sent_p(l_p) ==
+  consumed_q(l_q)`` — no message is in flight across the line. Without
+  message logging, independent checkpointing must recover to a transitless
+  line or lose messages; with sender-based logging, any consistent line is
+  recoverable (in-transit messages replay from the logs).
+
+Because counts are monotone in the cut index, the set of consistent lines
+is closed under componentwise max, so a unique maximal consistent line
+exists; :func:`consistent_line` finds it by standard rollback propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .storage_mgr import CheckpointRecord, CheckpointStore
+
+__all__ = [
+    "CutPoint",
+    "build_cuts",
+    "consistent_line",
+    "is_consistent",
+    "in_transit_ranges",
+    "rollback_distances",
+    "domino_extent",
+]
+
+
+@dataclass(frozen=True)
+class CutPoint:
+    """One candidate restore point of one process."""
+
+    rank: int
+    index: int  #: 0 = initial state; >= 1 = checkpoint index
+    sent: Tuple[Tuple[int, int], ...]  #: ((dst, count), ...) at the cut
+    consumed: Tuple[Tuple[int, int], ...]  #: ((src, count), ...) at the cut
+    record: Optional[CheckpointRecord] = None
+
+    def sent_to(self, dst: int) -> int:
+        for d, c in self.sent:
+            if d == dst:
+                return c
+        return 0
+
+    def consumed_from(self, src: int) -> int:
+        for s, c in self.consumed:
+            if s == src:
+                return c
+        return 0
+
+
+def build_cuts(
+    store: CheckpointStore,
+    written_only: bool = True,
+) -> Dict[int, List[CutPoint]]:
+    """Per-rank cut lists (index 0 = initial state) from the store.
+
+    ``written_only`` excludes checkpoints whose write to stable storage has
+    not finished — they do not survive a crash.
+    """
+    cuts: Dict[int, List[CutPoint]] = {}
+    for rank in range(store.n_ranks):
+        points = [CutPoint(rank=rank, index=0, sent=(), consumed=())]
+        for rec in store.chain(rank):
+            if written_only and rec.written_at is None:
+                continue
+            meta = rec.comm_meta
+            points.append(
+                CutPoint(
+                    rank=rank,
+                    index=rec.index,
+                    sent=tuple(sorted(meta["sent"].items())),
+                    consumed=tuple(sorted(meta["consumed"].items())),
+                    record=rec,
+                )
+            )
+        cuts[rank] = points
+    return cuts
+
+
+def is_consistent(
+    line: Dict[int, CutPoint], transitless: bool = False
+) -> bool:
+    """Check the no-orphan (and optionally transitless) conditions."""
+    ranks = sorted(line)
+    for p in ranks:
+        for q in ranks:
+            if p == q:
+                continue
+            sent = line[p].sent_to(q)
+            consumed = line[q].consumed_from(p)
+            if consumed > sent:
+                return False
+            if transitless and sent != consumed:
+                return False
+    return True
+
+
+def consistent_line(
+    cuts: Dict[int, List[CutPoint]],
+    transitless: bool = False,
+) -> Dict[int, CutPoint]:
+    """The maximal consistent line under rollback propagation.
+
+    Starts from everyone's latest cut; while an orphan exists, rolls the
+    *receiver* back one cut; if ``transitless``, an in-transit message rolls
+    the *sender* back. Terminates because indices only decrease and the
+    all-initial line is trivially consistent (and transitless).
+    """
+    ranks = sorted(cuts)
+    pos = {r: len(cuts[r]) - 1 for r in ranks}
+    changed = True
+    while changed:
+        changed = False
+        for p in ranks:
+            for q in ranks:
+                if p == q:
+                    continue
+                sent = cuts[p][pos[p]].sent_to(q)
+                consumed = cuts[q][pos[q]].consumed_from(p)
+                if consumed > sent:
+                    pos[q] -= 1
+                    changed = True
+                elif transitless and sent > consumed:
+                    pos[p] -= 1
+                    changed = True
+    return {r: cuts[r][pos[r]] for r in ranks}
+
+
+def in_transit_ranges(
+    line: Dict[int, CutPoint]
+) -> Dict[Tuple[int, int], Tuple[int, int]]:
+    """Per-channel ``(first_seq, last_seq)`` of messages crossing the line.
+
+    These are the messages that must be replayed from sender logs (or are
+    lost, without logging). Channels with nothing in flight are omitted.
+    """
+    ranges: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    ranks = sorted(line)
+    for p in ranks:
+        for q in ranks:
+            if p == q:
+                continue
+            sent = line[p].sent_to(q)
+            consumed = line[q].consumed_from(p)
+            if sent > consumed:
+                ranges[(p, q)] = (consumed + 1, sent)
+    return ranges
+
+
+def rollback_distances(
+    line: Dict[int, CutPoint], latest: Dict[int, int]
+) -> Dict[int, int]:
+    """Checkpoints lost per rank: latest index minus the line's index."""
+    return {r: latest[r] - line[r].index for r in sorted(line)}
+
+
+def domino_extent(line: Dict[int, CutPoint], latest: Dict[int, int]) -> float:
+    """Fraction of ranks forced all the way back to the initial state
+    (among ranks that had at least one checkpoint). 1.0 = full domino."""
+    eligible = [r for r in line if latest[r] > 0]
+    if not eligible:
+        return 0.0
+    hit = sum(1 for r in eligible if line[r].index == 0)
+    return hit / len(eligible)

@@ -1,0 +1,358 @@
+"""The checkpointing runtime: wires application, scheme, machine and faults.
+
+:class:`CheckpointRuntime` is the reproduction's equivalent of launching a
+CHK-LIB application on the Xplorer: it builds the simulated machine, one
+communicator per rank (with the scheme's agent attached), starts one SPMD
+driver process per rank, runs the checkpoint schedule, optionally injects
+crashes and executes rollback + re-execution, and returns a
+:class:`RunReport` with everything the experiments need.
+
+Recovery semantics (both classes of schemes, as in the paper): a failure
+takes down the whole application; every process rolls back to the scheme's
+recovery line, channel state / logged in-transit messages are re-injected,
+send sequence counters rewind so re-executed sends reuse their original
+sequence numbers, and duplicate deliveries are suppressed — under the
+piecewise-deterministic execution contract the re-run reproduces the
+original results exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+import dataclasses as _dc
+
+from ..core.engine import Engine
+from ..core.errors import Interrupt
+from ..core.events import Event
+from ..core.process import Process
+from ..core.rng import RngStreams
+from ..core.tracing import Tracer
+from ..machine.cluster import Cluster
+from ..machine.params import MachineParams
+from ..net.api import Comm
+from ..net.transport import Transport
+from .schemes.base import NoCheckpointing, Scheme
+from .storage_mgr import CheckpointStore
+
+__all__ = ["CheckpointRuntime", "Ctx", "RunReport", "RecoveryEvent", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """When to crash the machine (whole-application failures)."""
+
+    crash_times: Sequence[float] = ()
+
+    @staticmethod
+    def single(at: float) -> "FaultPlan":
+        return FaultPlan(crash_times=(float(at),))
+
+
+@dataclass
+class RecoveryEvent:
+    """What one crash + rollback cost."""
+
+    crash_time: float
+    line_indices: Dict[int, int]
+    rollback_checkpoints: Dict[int, int]  #: checkpoints lost per rank
+    lost_time: Dict[int, float]  #: sim-seconds of work discarded per rank
+    replayed_messages: int
+    duration: float  #: crash -> all drivers restarted
+    domino_extent: float  #: fraction of ranks pushed to the initial state
+
+
+@dataclass
+class RunReport:
+    """Everything measured in one run."""
+
+    app: str
+    scheme: str
+    n_nodes: int
+    seed: int
+    sim_time: float
+    result: Any
+    checkpoints_taken: int
+    checkpoints_committed: int
+    blocked_time: float  #: total app-blocked time across ranks
+    storage_bytes_written: float
+    storage_peak_bytes: int
+    storage_peak_checkpoints: int
+    storage_final_bytes: int
+    control_messages: int
+    control_bytes: int
+    app_messages: int
+    app_bytes: int
+    counters: Dict[str, float] = field(default_factory=dict)
+    recoveries: List[RecoveryEvent] = field(default_factory=list)
+
+    @property
+    def overhead_vs(self) -> Any:  # pragma: no cover - convenience stub
+        raise AttributeError("use repro.analysis.metrics.overhead()")
+
+
+class Ctx:
+    """Per-rank execution context handed to the application."""
+
+    __slots__ = ("runtime", "rank", "size", "comm", "node", "engine", "_agent")
+
+    def __init__(self, runtime: "CheckpointRuntime", rank: int) -> None:
+        self.runtime = runtime
+        self.rank = rank
+        self.size = runtime.n_ranks
+        self.comm = runtime.comms[rank]
+        self.node = runtime.cluster.node(rank)
+        self.engine = runtime.engine
+        self._agent = runtime.agents[rank]
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def compute(self, flops: float) -> Generator[Event, Any, None]:
+        """Burn CPU time for *flops* of work (``yield from``)."""
+        return self.node.compute(flops)
+
+    def checkpoint_point(self) -> Generator[Event, Any, None]:
+        """Declare a safe point: a pending checkpoint is taken here."""
+        return self._agent.at_point()
+
+
+class CheckpointRuntime:
+    """One application run on one machine under one checkpointing scheme."""
+
+    def __init__(
+        self,
+        app: Any,
+        scheme: Optional[Scheme] = None,
+        machine: Optional[MachineParams] = None,
+        seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+        trace: bool = True,
+    ) -> None:
+        self.app = app
+        self.engine = Engine()
+        self.tracer = Tracer(self.engine, enabled=trace)
+        self.machine_params = machine or MachineParams.xplorer8()
+        self.cluster = Cluster(self.engine, self.machine_params, tracer=self.tracer)
+        self.n_ranks = self.cluster.n_nodes
+        self.transport = Transport(self.cluster, tracer=self.tracer)
+        self.storage = self.cluster.storage
+        self.store = CheckpointStore(self.n_ranks)
+        self.scheme = scheme or NoCheckpointing()
+        self.seed = int(seed)
+        self.rngs = RngStreams(seed)
+        self.fault_plan = fault_plan
+        #: bumped on every recovery; stale wire messages are dropped by it.
+        self.generation = 0
+        self.recoveries: List[RecoveryEvent] = []
+        self.agents = [
+            self.scheme.make_agent(self, r) for r in range(self.n_ranks)
+        ]
+        self.comms = [
+            Comm(self.transport, r, self.n_ranks, agent=self.agents[r])
+            for r in range(self.n_ranks)
+        ]
+        for agent, comm in zip(self.agents, self.comms):
+            agent.bind(comm)
+        self._gen_procs: List[Process] = []
+        self._finished: Dict[int, Any] = {}
+        self._done: Event = self.engine.event()
+        self._result: Any = None
+        self._ran = False
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._done.triggered
+
+    def run(self) -> RunReport:
+        """Execute to completion (including any scheduled crashes)."""
+        if self._ran:
+            raise RuntimeError("a CheckpointRuntime instance runs only once")
+        self._ran = True
+        self.scheme.install(self)
+        if self.fault_plan is not None and self.fault_plan.crash_times:
+            self.engine.process(self._injector(), name="fault-injector")
+        self._start_generation({r: None for r in range(self.n_ranks)})
+        self.engine.run(until=self._done)
+        return self._report()
+
+    def spawn(self, generator, name: str = "") -> Process:
+        """Start a generation-scoped helper process (killed on crash)."""
+        proc = self.engine.process(generator, name=name)
+        self._gen_procs.append(proc)
+        return proc
+
+    # -- drivers ---------------------------------------------------------------
+
+    def _start_generation(self, states: Dict[int, Optional[dict]]) -> None:
+        self._finished = {}
+        for rank in range(self.n_ranks):
+            state = states[rank]
+            if state is None:
+                state = self.app.make_state(rank, self.n_ranks, self.seed)
+            proc = self.engine.process(
+                self._driver(rank, state, self.generation),
+                name=f"app:r{rank}:g{self.generation}",
+            )
+            self._gen_procs.append(proc)
+
+    def _driver(self, rank: int, state: dict, generation: int):
+        agent = self.agents[rank]
+        agent.bind_state(state)
+        ctx = Ctx(self, rank)
+        try:
+            result = yield from self.app.run(ctx, state)
+        except Interrupt:
+            return None  # crashed; a recovery restarts this rank
+        if generation != self.generation:
+            return None  # stale completion racing a recovery
+        # a finished process still checkpoints (immediately) on request
+        agent.mark_finished()
+        self._finished[rank] = result
+        if rank == 0:
+            self._result = result
+        if len(self._finished) == self.n_ranks:
+            self._done.succeed()
+        return result
+
+    # -- failure injection & recovery -----------------------------------------------
+
+    def _injector(self):
+        assert self.fault_plan is not None
+        for t in sorted(self.fault_plan.crash_times):
+            if t > self.engine.now:
+                yield self.engine.timeout(t - self.engine.now)
+            if self.finished:
+                return
+            yield from self._recover()
+
+    def _recover(self):
+        engine = self.engine
+        t_crash = engine.now
+        self.tracer.add("fault.crashes")
+        iters_at_crash = {
+            r: (self.agents[r].state_ref or {}).get("iter", 0)
+            for r in range(self.n_ranks)
+        }
+        cuts_before = {r: self.agents[r].epoch for r in range(self.n_ranks)}
+        # 1. the crash: kill every process of the current generation.
+        self.generation += 1
+        for proc in self._gen_procs:
+            proc.defused = True
+            if proc.is_alive:
+                proc.interrupt("machine failure")
+        self._gen_procs = []
+        for comm in self.comms:
+            comm.reset_mailbox()
+        self.scheme.on_crash(self)
+        # 2. decide the recovery line and drop everything newer.
+        line = self.scheme.recovery_line(self)
+        line_idx = {
+            r: (rec.index if rec is not None else 0) for r, rec in line.items()
+        }
+        for rank, idx in line_idx.items():
+            for stale in [
+                i for i in range(idx + 1, self.store.latest_index(rank) + 1)
+            ]:
+                try:
+                    self.store.discard(rank, stale)
+                except KeyError:
+                    pass
+        replay = self.scheme.replay_messages(self, line)
+        # 3. read the surviving states back from stable storage (concurrent).
+        two_level = getattr(self.scheme, "two_level", False)
+        readers = []
+        for rank, rec in line.items():
+            if rec is not None:
+                # incremental chains are read back whole (base + deltas);
+                # two-level storage restores from the (surviving) local
+                # disks in parallel instead of queueing at the global server
+                nbytes = self.store.restore_read_bytes(rank, rec.index)
+                source = (
+                    self.cluster.local_disk(rank) if two_level else self.storage
+                )
+                readers.append(
+                    engine.process(
+                        source.read(
+                            self.cluster.node(rank),
+                            nbytes,
+                            tag=f"restore:r{rank}",
+                        ),
+                        name=f"restore:r{rank}",
+                    )
+                )
+        if readers:
+            self.cluster.set_all_blocked(True)  # the machine is quiescent
+            try:
+                yield engine.all_of(readers)
+            finally:
+                self.cluster.set_all_blocked(False)
+        # 4. restore per-rank state, counters, epochs.
+        states: Dict[int, Optional[dict]] = {}
+        for rank, rec in line.items():
+            if rec is not None:
+                states[rank] = rec.snapshot.restore()
+                self.comms[rank].restore_meta(rec.comm_meta)
+                self.agents[rank].reset_for_recovery(epoch=rec.index)
+            else:
+                states[rank] = None  # rebuilt from make_state (deterministic)
+                self.comms[rank].restore_meta(
+                    {"sent": {}, "consumed": {}, "coll_counter": 0}
+                )
+                self.agents[rank].reset_for_recovery(epoch=0)
+        # 5. re-inject in-transit channel state, in per-channel seq order.
+        for msg in sorted(replay, key=lambda m: (m.dst, m.src, m.seq)):
+            clone = _dc.replace(msg, meta=dict(msg.meta))
+            clone.meta["gen"] = self.generation
+            self.transport.deliver_local(clone)
+        # 6. restart the application.
+        self._start_generation(states)
+        event = RecoveryEvent(
+            crash_time=t_crash,
+            line_indices=line_idx,
+            # checkpoints discarded per rank: how far the line regressed
+            # below the rank's checkpoint count at crash time
+            rollback_checkpoints={
+                r: max(0, cuts_before[r] - line_idx[r]) for r in line_idx
+            },
+            lost_time={
+                r: (t_crash - line[r].taken_at) if line[r] is not None else t_crash
+                for r in line
+            },
+            replayed_messages=len(replay),
+            duration=engine.now - t_crash,
+            domino_extent=(
+                sum(1 for i in line_idx.values() if i == 0) / self.n_ranks
+            ),
+        )
+        self.recoveries.append(event)
+        self.tracer.add("fault.recovery_time", event.duration)
+
+    # -- reporting -------------------------------------------------------------------
+
+    def _report(self) -> RunReport:
+        return RunReport(
+            app=getattr(self.app, "name", type(self.app).__name__),
+            scheme=self.scheme.name,
+            n_nodes=self.n_ranks,
+            seed=self.seed,
+            sim_time=self.engine.now,
+            result=self._result,
+            checkpoints_taken=sum(a.cuts_taken for a in self.agents),
+            checkpoints_committed=int(self.tracer.get("chk.commits")),
+            blocked_time=sum(a.blocked_time for a in self.agents),
+            storage_bytes_written=self.storage.bytes_written,
+            storage_peak_bytes=self.store.peak_bytes,
+            storage_peak_checkpoints=self.store.peak_checkpoints,
+            storage_final_bytes=self.store.total_bytes(),
+            control_messages=self.transport.control_messages,
+            control_bytes=self.transport.control_bytes,
+            app_messages=self.transport.messages_sent,
+            app_bytes=self.transport.bytes_sent,
+            counters=dict(self.tracer.counters),
+            recoveries=list(self.recoveries),
+        )

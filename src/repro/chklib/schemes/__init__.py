@@ -1,0 +1,16 @@
+"""Checkpointing schemes: the five columns of the paper's tables plus
+ablation variants and the no-checkpoint baseline."""
+
+from .base import NoCheckpointing, Scheme, SchemeAgent
+from .coordinated import CoordinatedAgent, CoordinatedScheme
+from .independent import IndependentAgent, IndependentScheme
+
+__all__ = [
+    "Scheme",
+    "SchemeAgent",
+    "NoCheckpointing",
+    "CoordinatedScheme",
+    "CoordinatedAgent",
+    "IndependentScheme",
+    "IndependentAgent",
+]

@@ -1,0 +1,245 @@
+"""Scheme framework: per-rank agents and the scheme interface.
+
+A :class:`Scheme` object describes one checkpointing policy (one column of
+the paper's tables). It creates one :class:`SchemeAgent` per rank — the
+agent plugs into the rank's :class:`~repro.net.api.Comm` as a
+:class:`~repro.net.api.CommAgent` and implements the mechanics: epoch
+piggybacking, duplicate suppression, channel-state recording, and the
+blocking work performed at application checkpoint points.
+
+The runtime (:mod:`repro.chklib.runtime`) is duck-typed here; the
+attributes a scheme relies on are: ``engine``, ``cluster``, ``transport``,
+``comms``, ``agents``, ``store`` (CheckpointStore), ``storage``
+(StableStorage), ``tracer``, ``generation``, ``rngs``, ``spawn``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
+
+from ...core.errors import SimulationError
+from ...net.api import CommAgent
+from ...net.message import KIND_APP, Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...net.api import Comm
+    from ..runtime import CheckpointRuntime
+
+__all__ = ["SchemeAgent", "Scheme", "NoCheckpointing"]
+
+
+class SchemeAgent(CommAgent):
+    """Per-rank checkpointing agent wired into the communication path."""
+
+    def __init__(
+        self, scheme: "Scheme", runtime: "CheckpointRuntime", rank: int
+    ) -> None:
+        self.scheme = scheme
+        self.runtime = runtime
+        self.rank = rank
+        self.node = runtime.cluster.node(rank)
+        self.comm: Optional["Comm"] = None
+        #: live reference to the application's state dict (set per driver).
+        self.state_ref: Optional[dict] = None
+        #: number of cuts this process has taken (piggybacked on messages).
+        self.epoch = 0
+        #: checkpoint number to take at the next checkpoint point.
+        self.pending_cut: Optional[int] = None
+        #: True once the application driver has completed on this rank; a
+        #: finished process has no future checkpoint points, so pending
+        #: cuts are taken immediately (a system-level checkpointer saves
+        #: idle processes too).
+        self.finished = False
+        # cumulative metrics
+        self.blocked_time = 0.0
+        self.cuts_taken = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind(self, comm: "Comm") -> None:
+        self.comm = comm
+
+    def bind_state(self, state: dict) -> None:
+        self.state_ref = state
+        self.finished = False
+
+    def set_pending(self, n: int) -> None:
+        """Schedule checkpoint *n* for the next checkpoint point — or right
+        now, if this rank's application has already finished."""
+        if n <= self.epoch:
+            return
+        self.pending_cut = max(self.pending_cut or 0, n)
+        if self.finished:
+            self.runtime.spawn(self.at_point(), name=f"late-cut:r{self.rank}")
+
+    def mark_finished(self) -> None:
+        """Called by the runtime when the driver completes normally."""
+        self.finished = True
+        if self.pending_cut is not None and self.pending_cut > self.epoch:
+            self.runtime.spawn(self.at_point(), name=f"late-cut:r{self.rank}")
+
+    # -- CommAgent hooks -----------------------------------------------------
+
+    def on_send(self, msg: Message) -> None:
+        msg.epoch = self.epoch
+        msg.meta["gen"] = self.runtime.generation
+        if msg.kind == KIND_APP:
+            self.scheme.on_app_send(self, msg)
+
+    def on_deliver(self, msg: Message) -> bool:
+        if msg.meta.get("gen", self.runtime.generation) != self.runtime.generation:
+            # straggler from before a crash: the wire outlived the rollback.
+            self.runtime.tracer.add("chk.stale_dropped")
+            return False
+        if msg.kind == KIND_APP:
+            assert self.comm is not None
+            if msg.seq <= self.comm.consumed_counts.get(msg.src, 0):
+                # duplicate of an already-consumed message (orphan replay
+                # after a rollback under piecewise-deterministic re-execution)
+                self.runtime.tracer.add("chk.duplicates_dropped")
+                return False
+            self.scheme.on_app_deliver(self, msg)
+        return True
+
+    def on_control(self, msg: Message) -> None:
+        self.scheme.on_control(self, msg)
+
+    def send_extra(self, msg: Message):
+        return self.scheme.send_extra(self, msg)
+
+    # -- checkpoint points ------------------------------------------------------
+
+    def at_point(self) -> Generator[Any, Any, None]:
+        """Called by the application at every checkpoint point."""
+        yield from self.scheme.at_point(self)
+
+    def charge_blocked(self, started_at: float) -> None:
+        """Account application-blocked time for a completed cut."""
+        dt = self.runtime.engine.now - started_at
+        self.blocked_time += dt
+        self.runtime.tracer.add("chk.blocked_time", dt)
+
+    # -- lifecycle across recoveries ----------------------------------------------
+
+    def reset_for_recovery(self, epoch: int) -> None:
+        """Drop in-flight protocol state after a rollback."""
+        self.epoch = epoch
+        self.pending_cut = None
+        self.scheme.reset_agent(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} r{self.rank} epoch={self.epoch}>"
+
+
+class Scheme:
+    """Base checkpointing scheme (default: no-ops everywhere).
+
+    Concrete schemes override the hooks they need. Flags describe the
+    mechanics so experiments can introspect what they are measuring:
+
+    * ``memory_ckpt`` — the cut blocks only for a main-memory copy and a
+      checkpointer thread streams the buffer to stable storage.
+    * ``staggered`` — background writes are serialised on a token ring.
+    """
+
+    name = "none"
+    klass = "none"  #: "coordinated" | "independent" | "none"
+    memory_ckpt = False
+    staggered = False
+    #: two-level stable storage: capture writes go to the node's private
+    #: local disk (fast, contention-free); a background "trickle" copies
+    #: them to the global server afterwards.
+    two_level = False
+
+    def make_agent(self, runtime: "CheckpointRuntime", rank: int) -> SchemeAgent:
+        return SchemeAgent(self, runtime, rank)
+
+    def install(self, runtime: "CheckpointRuntime") -> None:
+        """Start daemons/timers; called once after comms are built."""
+
+    # -- hook surface (called by agents) ----------------------------------------
+
+    def on_app_send(self, agent: SchemeAgent, msg: Message) -> None:
+        pass
+
+    # -- two-level stable storage helpers ---------------------------------------
+
+    def ckpt_storage(self, agent: SchemeAgent):
+        """Where the capture write goes (local disk under two-level)."""
+        rt = agent.runtime
+        if self.two_level:
+            return rt.cluster.local_disk(agent.rank)
+        return rt.storage
+
+    def after_stable_write(self, agent: SchemeAgent, record, nbytes: float) -> None:
+        """Called when the capture write completed; under two-level this
+        starts the background copy to the global server."""
+        rt = agent.runtime
+        if not self.two_level:
+            record.global_written_at = record.written_at
+            return
+        rt.spawn(
+            self._trickle(agent, record, nbytes),
+            name=f"trickle:{record.index}:r{agent.rank}",
+        )
+
+    def _trickle(self, agent: SchemeAgent, record, nbytes: float):
+        rt = agent.runtime
+        yield from rt.storage.write(
+            agent.node,
+            nbytes,
+            tag=f"trickle{record.index}:r{agent.rank}",
+            background=True,
+        )
+        record.global_written_at = rt.engine.now
+        rt.tracer.add("chk.trickled_bytes", nbytes)
+
+    def on_app_deliver(self, agent: SchemeAgent, msg: Message) -> None:
+        pass
+
+    def on_control(self, agent: SchemeAgent, msg: Message) -> None:
+        raise SimulationError(
+            f"{self.name}: unexpected control message {msg!r}"
+        )
+
+    def at_point(self, agent: SchemeAgent) -> Generator[Any, Any, None]:
+        return
+        yield  # pragma: no cover - generator marker
+
+    def send_extra(self, agent: SchemeAgent, msg: Message):
+        """Extra blocking work charged to the sender (None = nothing)."""
+        return None
+
+    def reset_agent(self, agent: SchemeAgent) -> None:
+        pass
+
+    # -- recovery interface -----------------------------------------------------
+
+    def recovery_line(self, runtime: "CheckpointRuntime") -> Dict[int, Any]:
+        """``{rank: CheckpointRecord | None}`` to restore after a crash
+        (None = initial state)."""
+        raise SimulationError(f"scheme {self.name!r} cannot recover")
+
+    def replay_messages(
+        self, runtime: "CheckpointRuntime", line: Dict[int, Any]
+    ) -> List[Message]:
+        """In-transit messages to re-inject for *line* (default: the
+        channel state recorded inside the restored checkpoints)."""
+        msgs: List[Message] = []
+        for record in line.values():
+            if record is not None:
+                msgs.extend(record.channel_msgs)
+        return msgs
+
+    def on_crash(self, runtime: "CheckpointRuntime") -> None:
+        """Clear global protocol state when a failure is detected."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Scheme {self.name}>"
+
+
+class NoCheckpointing(Scheme):
+    """The NORMAL column: no checkpoints, no protocol, no recovery."""
+
+    name = "normal"
+    klass = "none"

@@ -1,0 +1,499 @@
+"""Coordinated checkpointing (the paper's `_NB`, `_NBM`, `_NBMS`).
+
+Protocol (two-phase, coordinator-driven, non-blocking — the Silva & Silva
+RDS'92 family, realised with epoch piggybacking plus explicit per-channel
+markers, i.e. Chandy–Lamport channel-state recording):
+
+1. the coordinator (rank 0) sends ``REQUEST(n)`` to every rank;
+2. a process *cuts* at its next checkpoint point after learning of
+   checkpoint *n* (via the request or via a piggybacked epoch on any
+   application message): it captures its state, bumps its epoch to *n*,
+   snapshots pre-cut messages still queued in its mailbox into the
+   checkpoint's channel state, and sends ``MARKER(n)`` on every outgoing
+   channel;
+3. after its cut, every *delivered* application message with epoch < *n*
+   is recorded into the checkpoint's channel state, per channel, until that
+   channel's marker arrives (FIFO links make the marker a barrier);
+4. a process acks to the coordinator once its state write has finished
+   *and* all markers are in; the coordinator then broadcasts ``COMMIT(n)``,
+   upon which everyone atomically discards checkpoint *n-1* — coordinated
+   checkpointing never holds more than two checkpoints per process.
+
+Variants (what the application blocks on at the cut):
+
+* ``Coord_NB``   — blocked for the full write to stable storage.
+* ``Coord_NBM``  — blocked for a main-memory copy; a checkpointer thread
+  streams the buffer to storage in the background.
+* ``Coord_NBMS`` — as NBM, plus a token ring staggers the background
+  writes so only one node uses the storage path at a time.
+* ``Coord_NBS``  — ablation: staggering *without* memory checkpointing
+  (the app blocks until the token arrives and the write completes) —
+  demonstrates the paper's finding that staggering only pays together
+  with main-memory checkpointing.
+
+Orphan messages (an application message consumed by a not-yet-cut receiver
+but sent post-cut) are tolerated: recovery relies on piecewise-deterministic
+re-execution, and the re-sent copies are dropped by per-channel sequence
+numbers. See DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Sequence, Set
+
+from ...core.errors import SimulationError
+from ...core.events import Event
+from ...net.message import KIND_CONTROL, KIND_MARKER, Message
+from ..incremental import PAGE_SIZE, IncrementalState
+from ..state import Snapshot
+from ..storage_mgr import CheckpointRecord
+from .base import Scheme, SchemeAgent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime import CheckpointRuntime
+
+__all__ = ["CoordinatedScheme", "CoordinatedAgent"]
+
+CTL_REQUEST = "request"
+CTL_ACK = "ack"
+CTL_COMMIT = "commit"
+CTL_TOKEN = "token"
+
+
+class _Round:
+    """Per-agent state of one in-progress checkpoint."""
+
+    __slots__ = ("n", "record", "markers_pending", "token_event", "write_done", "acked")
+
+    def __init__(self, n: int, record: CheckpointRecord, others: Set[int], engine) -> None:
+        self.n = n
+        self.record = record
+        self.markers_pending = set(others)
+        self.token_event: Event = Event(engine)
+        self.write_done = False
+        self.acked = False
+
+
+class CoordinatedAgent(SchemeAgent):
+    """Rank-local mechanics of the coordinated protocol."""
+
+    def __init__(self, scheme: "CoordinatedScheme", runtime, rank: int) -> None:
+        super().__init__(scheme, runtime, rank)
+        self.round: Optional[_Round] = None
+        #: markers that arrived before this process cut for their round.
+        self.early_markers: Dict[int, Set[int]] = {}
+        #: staggering tokens that arrived before the cut.
+        self.early_tokens: Set[int] = set()
+        #: page-level dirty tracking (incremental checkpointing only).
+        self.inc: Optional[IncrementalState] = (
+            IncrementalState(full_every=scheme.full_every)
+            if scheme.incremental
+            else None
+        )
+
+    def reset_for_recovery(self, epoch: int) -> None:
+        self.round = None
+        self.early_markers.clear()
+        self.early_tokens.clear()
+        super().reset_for_recovery(epoch)
+
+
+class CoordinatedScheme(Scheme):
+    """Coordinator + agents for one coordinated variant."""
+
+    klass = "coordinated"
+
+    def __init__(
+        self,
+        times: Sequence[float],
+        memory_ckpt: bool,
+        staggered: bool,
+        name: str,
+        coordinator_rank: int = 0,
+        capture: Optional[str] = None,
+        incremental: bool = False,
+        full_every: int = 4,
+        two_level: bool = False,
+    ) -> None:
+        self.times = sorted(float(t) for t in times)
+        #: how the cut captures state: "blocking" (write in the app's
+        #: time), "memcopy" (buffer + checkpointer thread) or "cow"
+        #: (write-protect pages, stream in background, faults pay copies).
+        self.capture = capture or ("memcopy" if memory_ckpt else "blocking")
+        if self.capture not in ("blocking", "memcopy", "cow"):
+            raise ValueError(f"unknown capture mode {self.capture!r}")
+        self.memory_ckpt = self.capture != "blocking"
+        self.staggered = bool(staggered)
+        #: incremental checkpointing: write only dirty pages, with a full
+        #: checkpoint every ``full_every`` rounds.
+        self.incremental = bool(incremental)
+        self.full_every = int(full_every)
+        self.two_level = bool(two_level)
+        self.name = name + ("_2l" if two_level else "")
+        self.coordinator_rank = coordinator_rank
+        self._next_n = 1
+        self._acks: Dict[int, Set[int]] = {}
+        #: staggering for the blocking-write variant (NBS): a FIFO write
+        #: slot granted in cut order. A ring token would deadlock here —
+        #: with cuts deferred to iteration boundaries, the token's next hop
+        #: can be a rank stalled at a recv on an already-blocked neighbour.
+        self._write_slot = None
+
+    # -- named variants ------------------------------------------------------
+
+    @classmethod
+    def NB(cls, times: Sequence[float], **kw) -> "CoordinatedScheme":
+        """Non-blocking protocol, blocking storage write."""
+        return cls(times, memory_ckpt=False, staggered=False, name="coord_nb", **kw)
+
+    @classmethod
+    def NBM(cls, times: Sequence[float], **kw) -> "CoordinatedScheme":
+        """+ main-memory checkpointing."""
+        return cls(times, memory_ckpt=True, staggered=False, name="coord_nbm", **kw)
+
+    @classmethod
+    def NBMS(cls, times: Sequence[float], **kw) -> "CoordinatedScheme":
+        """+ main-memory checkpointing + staggered writes."""
+        return cls(times, memory_ckpt=True, staggered=True, name="coord_nbms", **kw)
+
+    @classmethod
+    def NBS(cls, times: Sequence[float], **kw) -> "CoordinatedScheme":
+        """Ablation: staggered writes without memory checkpointing."""
+        return cls(times, memory_ckpt=False, staggered=True, name="coord_nbs", **kw)
+
+    @classmethod
+    def NBC(cls, times: Sequence[float], **kw) -> "CoordinatedScheme":
+        """Extension: copy-on-write capture, concurrent background writes."""
+        return cls(
+            times, memory_ckpt=True, staggered=False, name="coord_nbc",
+            capture="cow", **kw
+        )
+
+    @classmethod
+    def NBCS(cls, times: Sequence[float], **kw) -> "CoordinatedScheme":
+        """Extension: copy-on-write capture + staggered writes."""
+        return cls(
+            times, memory_ckpt=True, staggered=True, name="coord_nbcs",
+            capture="cow", **kw
+        )
+
+    # -- wiring ---------------------------------------------------------------
+
+    def make_agent(self, runtime: "CheckpointRuntime", rank: int) -> CoordinatedAgent:
+        return CoordinatedAgent(self, runtime, rank)
+
+    def install(self, runtime: "CheckpointRuntime") -> None:
+        if self.staggered and not self.memory_ckpt:
+            from ...core.resources import Resource
+
+            self._write_slot = Resource(
+                runtime.engine, capacity=1, name="stagger-slot"
+            )
+        runtime.engine.process(self._initiator(runtime), name="ckpt-initiator")
+
+    def _initiator(self, runtime: "CheckpointRuntime"):
+        """Coordinator-side: kick off a global checkpoint at each scheduled
+        time (skips initiations that a recovery has made stale)."""
+        engine = runtime.engine
+        comm = runtime.comms[self.coordinator_rank]
+        for t in self.times:
+            if t > engine.now:
+                yield engine.timeout(t - engine.now)
+            if runtime.finished:
+                return
+            n = self._next_n
+            self._next_n += 1
+            runtime.tracer.add("chk.initiations")
+            # local "request" to the coordinator's own agent ...
+            runtime.agents[self.coordinator_rank].set_pending(n)
+            # ... and control messages to everyone else (sent in rank order,
+            # claiming the coordinator's link sequentially).
+            for dst in range(runtime.n_ranks):
+                if dst != self.coordinator_rank:
+                    runtime.spawn(
+                        comm.send_control(dst, KIND_CONTROL, type=CTL_REQUEST, n=n),
+                        name=f"request:{n}->{dst}",
+                    )
+
+    # -- agent hooks -----------------------------------------------------------
+
+    def on_app_deliver(self, agent: CoordinatedAgent, msg: Message) -> None:
+        # learn of a newer checkpoint via the piggybacked epoch
+        if msg.epoch > agent.epoch:
+            agent.set_pending(msg.epoch)
+        # channel-state recording: pre-cut message delivered after our cut
+        rnd = agent.round
+        if (
+            rnd is not None
+            and msg.epoch < rnd.n
+            and msg.src in rnd.markers_pending
+        ):
+            rnd.record.channel_msgs.append(_shell_copy(msg))
+            agent.runtime.tracer.add("chk.channel_msgs_recorded")
+
+    def on_control(self, agent: CoordinatedAgent, msg: Message) -> None:
+        if msg.kind == KIND_MARKER:
+            self._on_marker(agent, msg)
+            return
+        ctype = msg.meta.get("type")
+        n = msg.meta.get("n")
+        if ctype == CTL_REQUEST:
+            agent.set_pending(n)
+        elif ctype == CTL_ACK:
+            self._on_ack(agent, msg.src, n)
+        elif ctype == CTL_COMMIT:
+            self._apply_commit(agent, n)
+        elif ctype == CTL_TOKEN:
+            self._on_token(agent, n)
+        else:
+            raise SimulationError(f"{self.name}: bad control message {msg!r}")
+
+    def _on_marker(self, agent: CoordinatedAgent, msg: Message) -> None:
+        n = msg.meta["n"]
+        rnd = agent.round
+        if rnd is not None and rnd.n == n:
+            rnd.markers_pending.discard(msg.src)
+            if not rnd.markers_pending:
+                self._maybe_ack(agent, rnd)
+            return
+        if n > agent.epoch:
+            # marker overtook the request: remember it and schedule the cut
+            agent.early_markers.setdefault(n, set()).add(msg.src)
+            agent.set_pending(n)
+        # markers for already-completed rounds are stale noise; ignore.
+
+    def _on_token(self, agent: CoordinatedAgent, n: int) -> None:
+        rnd = agent.round
+        if rnd is not None and rnd.n == n:
+            if not rnd.token_event.triggered:
+                rnd.token_event.succeed()
+        elif n > agent.epoch or (rnd is None and n == agent.epoch):
+            agent.early_tokens.add(n)
+        # (token returning to the coordinator after its round closed: drop)
+
+    # -- the cut -----------------------------------------------------------------
+
+    def at_point(self, agent: CoordinatedAgent) -> Generator[Any, Any, None]:
+        if agent.pending_cut is None or agent.pending_cut <= agent.epoch:
+            return
+        if agent.round is not None:
+            # previous round still completing in the background; defer to
+            # the next checkpoint point (sane intervals never hit this).
+            return
+        n = agent.pending_cut
+        agent.pending_cut = None
+        yield from self._cut(agent, n)
+
+    def _cut(self, agent: CoordinatedAgent, n: int) -> Generator[Any, Any, None]:
+        rt = agent.runtime
+        engine = rt.engine
+        t0 = engine.now
+        if agent.state_ref is None:
+            raise SimulationError(f"rank {agent.rank}: cut with no bound state")
+        snap = Snapshot.capture(agent.state_ref)
+        record = CheckpointRecord(
+            rank=agent.rank,
+            index=n,
+            snapshot=snap,
+            comm_meta=agent.comm.channel_meta(),
+            taken_at=t0,
+            pad_bytes=getattr(rt.app, "image_bytes", 0),
+        )
+        if agent.inc is not None:
+            # incremental: ship only dirty pages (measured, not modelled)
+            is_full, state_bytes, hashes = agent.inc.plan(snap.blob)
+            agent.inc.advance(is_full, hashes)
+            if is_full:
+                record.stored_state_bytes = record.state_bytes
+                rt.tracer.add("chk.full_ckpts")
+            else:
+                record.stored_state_bytes = state_bytes
+                record.base_index = agent.epoch
+                rt.tracer.add("chk.incremental_ckpts")
+                rt.tracer.add(
+                    "chk.incremental_bytes_saved",
+                    record.state_bytes - state_bytes,
+                )
+        others = [r for r in range(rt.n_ranks) if r != agent.rank]
+        rnd = _Round(n, record, set(others), engine)
+        rnd.markers_pending -= agent.early_markers.pop(n, set())
+        agent.round = rnd
+        agent.epoch = n
+        agent.cuts_taken += 1
+        rt.tracer.add("chk.cuts")
+        # pre-cut messages still queued in the mailbox are in-transit state
+        for m in agent.comm.mailbox.pending:
+            if m.epoch < n:
+                record.channel_msgs.append(_shell_copy(m))
+        # markers claim the outgoing link now (FIFO after pre-cut sends,
+        # before any post-cut application sends) and fly in the background.
+        for dst in others:
+            rt.spawn(
+                agent.comm.send_control(dst, KIND_MARKER, n=n),
+                name=f"marker:{n}:{agent.rank}->{dst}",
+            )
+        if n in agent.early_tokens:
+            agent.early_tokens.discard(n)
+            rnd.token_event.succeed()
+        span = rt.tracer.open_span("ckpt.cut", rank=agent.rank, n=n, scheme=self.name)
+        if agent.finished:
+            # a finished process has nothing to block: capture is already
+            # done, the write streams in the background under any variant.
+            rt.spawn(
+                self._bg_writer(agent, rnd, cow=False),
+                name=f"ckpt-writer:{n}:r{agent.rank}",
+            )
+            rt.tracer.close_span(span)
+            self._maybe_ack(agent, rnd)
+            return
+        if self.capture == "cow":
+            # block only to write-protect the pages; the background writer
+            # streams while application stores fault-and-copy.
+            pages = max(1, record.state_bytes // PAGE_SIZE)
+            yield engine.timeout(pages * agent.node.params.cow_mark_cost)
+            rt.spawn(
+                self._bg_writer(agent, rnd, cow=True),
+                name=f"ckpt-writer:{n}:r{agent.rank}",
+            )
+        elif self.memory_ckpt:
+            # block only for the buffer copy; the checkpointer thread does
+            # the rest concurrently with the application.
+            yield from agent.node.mem_copy(record.write_bytes)
+            rt.spawn(self._bg_writer(agent, rnd), name=f"ckpt-writer:{n}:r{agent.rank}")
+        elif self.staggered:
+            # blocking + staggered (NBS ablation): serialise writes on a
+            # FIFO slot, granted in cut order.
+            assert self._write_slot is not None
+            rt.cluster.set_rank_blocked(agent.rank, True)
+            try:
+                with self._write_slot.request() as slot:
+                    yield slot
+                    yield from self.ckpt_storage(agent).write(
+                        agent.node, record.write_bytes, tag=f"ckpt{n}:r{agent.rank}"
+                    )
+            finally:
+                rt.cluster.set_rank_blocked(agent.rank, False)
+            self._write_finished(agent, rnd)
+        else:
+            rt.cluster.set_rank_blocked(agent.rank, True)
+            try:
+                yield from self.ckpt_storage(agent).write(
+                    agent.node, record.write_bytes, tag=f"ckpt{n}:r{agent.rank}"
+                )
+            finally:
+                rt.cluster.set_rank_blocked(agent.rank, False)
+            self._write_finished(agent, rnd)
+        agent.charge_blocked(t0)
+        rt.tracer.close_span(span)
+        self._maybe_ack(agent, rnd)
+
+    def _bg_writer(self, agent: CoordinatedAgent, rnd: _Round, cow: bool = False):
+        rt = agent.runtime
+        if cow:
+            agent.node.cow_window_opened()
+        try:
+            # the token ring only runs in the memory variants (NBMS/NBCS);
+            # NBS serialises via the write slot in the blocking path.
+            if (
+                self.staggered
+                and self.memory_ckpt
+                and agent.rank != self.coordinator_rank
+            ):
+                yield rnd.token_event
+            yield from self.ckpt_storage(agent).write(
+                agent.node,
+                rnd.record.write_bytes,
+                tag=f"ckpt{rnd.n}:r{agent.rank}",
+                background=True,
+            )
+        finally:
+            if cow:
+                agent.node.cow_window_closed()
+        self._write_finished(agent, rnd)
+        self._maybe_ack(agent, rnd)
+
+    def _write_finished(self, agent: CoordinatedAgent, rnd: _Round) -> None:
+        rt = agent.runtime
+        rnd.record.written_at = rt.engine.now
+        rt.store.add(rnd.record)
+        rnd.write_done = True
+        self.after_stable_write(agent, rnd.record, rnd.record.write_bytes)
+        if self.staggered and self.memory_ckpt:  # NBS uses the FIFO slot
+            nxt = (agent.rank + 1) % rt.n_ranks
+            if nxt != self.coordinator_rank:
+                rt.spawn(
+                    agent.comm.send_control(nxt, KIND_CONTROL, type=CTL_TOKEN, n=rnd.n),
+                    name=f"token:{rnd.n}:{agent.rank}->{nxt}",
+                )
+
+    def _maybe_ack(self, agent: CoordinatedAgent, rnd: _Round) -> None:
+        if rnd.acked or not rnd.write_done or rnd.markers_pending:
+            return
+        rnd.acked = True
+        agent.round = None  # channel recording is complete
+        rt = agent.runtime
+        if agent.rank == self.coordinator_rank:
+            self._on_ack(agent, agent.rank, rnd.n)
+        else:
+            rt.spawn(
+                agent.comm.send_control(
+                    self.coordinator_rank, KIND_CONTROL, type=CTL_ACK, n=rnd.n
+                ),
+                name=f"ack:{rnd.n}:r{agent.rank}",
+            )
+
+    # -- coordinator-side commit --------------------------------------------------
+
+    def _on_ack(self, agent_at_coord: CoordinatedAgent, src: int, n: int) -> None:
+        rt = agent_at_coord.runtime
+        acks = self._acks.setdefault(n, set())
+        acks.add(src)
+        if len(acks) < rt.n_ranks:
+            return
+        del self._acks[n]
+        comm = rt.comms[self.coordinator_rank]
+        for dst in range(rt.n_ranks):
+            if dst != self.coordinator_rank:
+                rt.spawn(
+                    comm.send_control(dst, KIND_CONTROL, type=CTL_COMMIT, n=n),
+                    name=f"commit:{n}->{dst}",
+                )
+        self._apply_commit(rt.agents[self.coordinator_rank], n)
+
+    def _apply_commit(self, agent: CoordinatedAgent, n: int) -> None:
+        rt = agent.runtime
+        rt.store.commit(agent.rank, n)
+        # an incremental checkpoint needs its chain back to the last full
+        # one; only records older than the chain base are disposable.
+        keep_from = rt.store.chain_base(agent.rank, n)
+        rt.store.discard_older_than(agent.rank, keep_from)
+        rt.tracer.add("chk.commits")
+
+    # -- recovery -------------------------------------------------------------------
+
+    def recovery_line(self, runtime: "CheckpointRuntime") -> Dict[int, Any]:
+        n = runtime.store.latest_committed_global()
+        if n == 0:
+            return {r: None for r in range(runtime.n_ranks)}
+        return {r: runtime.store.get(r, n) for r in range(runtime.n_ranks)}
+
+    def on_crash(self, runtime: "CheckpointRuntime") -> None:
+        self._acks.clear()
+
+    def reset_agent(self, agent: SchemeAgent) -> None:
+        assert isinstance(agent, CoordinatedAgent)
+        agent.round = None
+        agent.early_markers.clear()
+        agent.early_tokens.clear()
+        if agent.inc is not None:
+            agent.inc.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CoordinatedScheme {self.name} times={self.times}>"
+
+
+def _shell_copy(msg: Message) -> Message:
+    """Copy the message shell (payload shared; payloads are immutable by
+    the application contract) so later meta mutation cannot alias."""
+    return dataclasses.replace(msg, meta=dict(msg.meta))

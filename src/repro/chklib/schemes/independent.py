@@ -1,0 +1,353 @@
+"""Independent (uncoordinated) checkpointing (the paper's `Indep`, `Indep_M`).
+
+Every process checkpoints on its own local timer — no protocol messages, no
+synchronisation (the approach's advertised advantage). Each checkpoint
+records the per-channel send/consume counters so a consistent recovery line
+can be searched for after a failure; without message logging the line must
+additionally be transitless, which is what exposes the domino effect.
+
+Variants:
+
+* ``Indep``   — the process is blocked for the full write to stable storage.
+* ``Indep_M`` — main-memory checkpointing: blocked only for the buffer
+  copy; a checkpointer thread streams it to storage in the background.
+
+Options:
+
+* ``logging`` — sender-based message logging: every application send is
+  copied into a volatile log, flushed to stable storage together with the
+  next checkpoint. Recovery can then replay in-transit messages across any
+  consistent line (the paper cites this as the fix for lost messages /
+  domino mitigation).
+* ``pessimistic_logging`` — the log write happens synchronously inside the
+  send path (charged to the sender) instead of at checkpoint time — the
+  expensive classic variant, kept for ablations.
+* ``gc`` — run recovery-line garbage collection after each checkpoint
+  (Wang-style space reclamation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Sequence
+
+from ...core.errors import SimulationError
+from ...net.message import Message
+from ..garbage import collect_garbage
+from ..incremental import PAGE_SIZE, IncrementalState
+from ..recovery import build_cuts, consistent_line, in_transit_ranges
+from ..state import Snapshot
+from ..storage_mgr import CheckpointRecord
+from .base import Scheme, SchemeAgent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime import CheckpointRuntime
+
+__all__ = ["IndependentScheme", "IndependentAgent"]
+
+
+class IndependentAgent(SchemeAgent):
+    """Rank-local state: the volatile sender log."""
+
+    def __init__(self, scheme: "IndependentScheme", runtime, rank: int) -> None:
+        super().__init__(scheme, runtime, rank)
+        self.volatile_log: List[Message] = []
+        #: background write in flight (at most one with sane intervals).
+        self.writing = False
+        #: page-level dirty tracking (incremental checkpointing only).
+        self.inc: Optional[IncrementalState] = (
+            IncrementalState(full_every=scheme.full_every)
+            if scheme.incremental
+            else None
+        )
+
+
+class IndependentScheme(Scheme):
+    """Timer-driven uncoordinated checkpointing."""
+
+    klass = "independent"
+
+    def __init__(
+        self,
+        times: Sequence[float],
+        memory_ckpt: bool,
+        name: str,
+        skew: float = 0.0,
+        logging: bool = False,
+        pessimistic_logging: bool = False,
+        gc: bool = False,
+        capture: Optional[str] = None,
+        incremental: bool = False,
+        full_every: int = 4,
+        two_level: bool = False,
+    ) -> None:
+        self.times = sorted(float(t) for t in times)
+        #: capture mode: "blocking" | "memcopy" | "cow" (see coordinated).
+        self.capture = capture or ("memcopy" if memory_ckpt else "blocking")
+        if self.capture not in ("blocking", "memcopy", "cow"):
+            raise ValueError(f"unknown capture mode {self.capture!r}")
+        self.memory_ckpt = self.capture != "blocking"
+        self.incremental = bool(incremental)
+        self.full_every = int(full_every)
+        self.two_level = bool(two_level)
+        self.name = name + ("_2l" if two_level else "")
+        #: amplitude (seconds) of the deterministic per-rank timer skew.
+        #: Real independent timers drift apart but start aligned; partial
+        #: overlap of the background writes is part of the measured effect.
+        self.skew = float(skew)
+        self.logging = bool(logging) or bool(pessimistic_logging)
+        self.pessimistic_logging = bool(pessimistic_logging)
+        self.gc = bool(gc)
+
+    # -- named variants -------------------------------------------------------
+
+    @classmethod
+    def Indep(cls, times: Sequence[float], skew: float = 0.0, **kw) -> "IndependentScheme":
+        return cls(times, memory_ckpt=False, name="indep", skew=skew, **kw)
+
+    @classmethod
+    def IndepM(cls, times: Sequence[float], skew: float = 0.0, **kw) -> "IndependentScheme":
+        return cls(times, memory_ckpt=True, name="indep_m", skew=skew, **kw)
+
+    @classmethod
+    def IndepC(cls, times: Sequence[float], skew: float = 0.0, **kw) -> "IndependentScheme":
+        """Extension: copy-on-write capture."""
+        return cls(
+            times, memory_ckpt=True, name="indep_c", skew=skew,
+            capture="cow", **kw
+        )
+
+    # -- wiring ------------------------------------------------------------------
+
+    def make_agent(self, runtime: "CheckpointRuntime", rank: int) -> IndependentAgent:
+        return IndependentAgent(self, runtime, rank)
+
+    def install(self, runtime: "CheckpointRuntime") -> None:
+        for rank in range(runtime.n_ranks):
+            runtime.engine.process(
+                self._timer(runtime, rank), name=f"indep-timer:r{rank}"
+            )
+
+    def _timer(self, runtime: "CheckpointRuntime", rank: int):
+        """Local checkpoint timer: fires at each scheduled time plus a
+        deterministic per-(rank, shot) skew."""
+        engine = runtime.engine
+        rng = runtime.rngs.get(f"indep.skew.r{rank}")
+        agent = runtime.agents[rank]
+        for t in self.times:
+            fire_at = t + (float(rng.uniform(-1.0, 1.0)) * self.skew)
+            if fire_at > engine.now:
+                yield engine.timeout(fire_at - engine.now)
+            if runtime.finished:
+                return
+            agent.set_pending((agent.pending_cut or agent.epoch) + 1)
+            runtime.tracer.add("chk.initiations")
+
+    # -- hooks ----------------------------------------------------------------------
+
+    def on_app_send(self, agent: SchemeAgent, msg: Message) -> None:
+        if not self.logging:
+            return
+        assert isinstance(agent, IndependentAgent)
+        msg.finalize_size()  # the log must account wire bytes
+        agent.volatile_log.append(
+            dataclasses.replace(msg, meta=dict(msg.meta))
+        )
+        agent.runtime.tracer.add("chk.messages_logged")
+
+    def at_point(self, agent: SchemeAgent) -> Generator[Any, Any, None]:
+        assert isinstance(agent, IndependentAgent)
+        if agent.pending_cut is None or agent.pending_cut <= agent.epoch:
+            return
+        if agent.writing:
+            return  # previous background write still draining; defer
+        n = agent.epoch + 1
+        agent.pending_cut = None
+        yield from self._cut(agent, n)
+
+    def _cut(self, agent: IndependentAgent, n: int) -> Generator[Any, Any, None]:
+        rt = agent.runtime
+        engine = rt.engine
+        t0 = engine.now
+        if agent.state_ref is None:
+            raise SimulationError(f"rank {agent.rank}: cut with no bound state")
+        snap = Snapshot.capture(agent.state_ref)
+        record = CheckpointRecord(
+            rank=agent.rank,
+            index=n,
+            snapshot=snap,
+            comm_meta=agent.comm.channel_meta(),
+            taken_at=t0,
+            pad_bytes=getattr(rt.app, "image_bytes", 0),
+        )
+        if self.logging:
+            record.log_annex = agent.volatile_log
+            agent.volatile_log = []
+        if agent.inc is not None:
+            is_full, state_bytes, hashes = agent.inc.plan(snap.blob)
+            agent.inc.advance(is_full, hashes)
+            if is_full:
+                record.stored_state_bytes = record.state_bytes
+                rt.tracer.add("chk.full_ckpts")
+            else:
+                record.stored_state_bytes = state_bytes
+                record.base_index = agent.epoch
+                rt.tracer.add("chk.incremental_ckpts")
+                rt.tracer.add(
+                    "chk.incremental_bytes_saved",
+                    record.state_bytes - state_bytes,
+                )
+        agent.epoch = n
+        agent.cuts_taken += 1
+        rt.tracer.add("chk.cuts")
+        span = rt.tracer.open_span("ckpt.cut", rank=agent.rank, n=n, scheme=self.name)
+        write_bytes = record.write_bytes + (
+            0 if self.pessimistic_logging else record.log_bytes
+        )
+        if agent.finished:
+            # a finished process has nothing to block: stream in background.
+            agent.writing = True
+            rt.spawn(
+                self._bg_writer(agent, record, write_bytes),
+                name=f"indep-writer:{n}:r{agent.rank}",
+            )
+            rt.tracer.close_span(span)
+            return
+        if self.capture == "cow":
+            pages = max(1, record.state_bytes // PAGE_SIZE)
+            yield engine.timeout(pages * agent.node.params.cow_mark_cost)
+            agent.writing = True
+            rt.spawn(
+                self._bg_writer(agent, record, write_bytes, cow=True),
+                name=f"indep-writer:{n}:r{agent.rank}",
+            )
+        elif self.memory_ckpt:
+            yield from agent.node.mem_copy(write_bytes)
+            agent.writing = True
+            rt.spawn(
+                self._bg_writer(agent, record, write_bytes),
+                name=f"indep-writer:{n}:r{agent.rank}",
+            )
+        else:
+            rt.cluster.set_rank_blocked(agent.rank, True)
+            try:
+                yield from self.ckpt_storage(agent).write(
+                    agent.node, write_bytes, tag=f"ickpt{n}:r{agent.rank}"
+                )
+            finally:
+                rt.cluster.set_rank_blocked(agent.rank, False)
+            self._write_finished(agent, record, write_bytes)
+        agent.charge_blocked(t0)
+        rt.tracer.close_span(span)
+
+    def _bg_writer(
+        self,
+        agent: IndependentAgent,
+        record: CheckpointRecord,
+        nbytes: int,
+        cow: bool = False,
+    ):
+        rt = agent.runtime
+        if cow:
+            agent.node.cow_window_opened()
+        try:
+            yield from self.ckpt_storage(agent).write(
+                agent.node,
+                nbytes,
+                tag=f"ickpt{record.index}:r{agent.rank}",
+                background=True,
+            )
+        finally:
+            agent.writing = False
+            if cow:
+                agent.node.cow_window_closed()
+        self._write_finished(agent, record, nbytes)
+
+    def _write_finished(
+        self, agent: IndependentAgent, record: CheckpointRecord, nbytes: float
+    ) -> None:
+        rt = agent.runtime
+        record.written_at = rt.engine.now
+        record.committed = True  # a written independent checkpoint is stable
+        rt.store.add(record)
+        self.after_stable_write(agent, record, nbytes)
+        rt.tracer.add("chk.commits")
+        if self.gc:
+            stats = collect_garbage(
+                rt.store,
+                transitless=not self.logging,
+                logging_recovery=self.logging,
+            )
+            rt.tracer.add("chk.gc_freed_bytes", stats.freed_bytes)
+            rt.tracer.add("chk.gc_freed_ckpts", stats.freed_checkpoints)
+
+    # -- pessimistic logging (send path pays the log write) ------------------------
+
+    def send_extra(self, agent: SchemeAgent, msg: Message):
+        if not self.pessimistic_logging or msg.kind != "app":
+            return None
+        assert isinstance(agent, IndependentAgent)
+        return self._logged_send_cost(agent, msg)
+
+    def _logged_send_cost(self, agent: IndependentAgent, msg: Message):
+        """Synchronous log flush inside the send path (pessimistic mode)."""
+        yield from agent.runtime.storage.write(
+            agent.node, msg.size, tag=f"msglog:r{agent.rank}"
+        )
+
+    # -- recovery ---------------------------------------------------------------------
+
+    def recovery_line(self, runtime: "CheckpointRuntime") -> Dict[int, Any]:
+        cuts = build_cuts(runtime.store, written_only=True)
+        if self.logging:
+            # Sender-based logging makes recovery *orphan-tolerant* under
+            # piecewise determinism: every rank restores its own latest
+            # checkpoint. In-transit messages replay from the stable logs;
+            # orphaned receives are regenerated by the senders' replay and
+            # dropped as duplicates by the per-channel sequence numbers.
+            # No rollback propagation, hence no domino effect — the fix the
+            # paper attributes to message logging.
+            line = {r: cuts[r][-1] for r in cuts}
+        else:
+            # Without logs nothing in flight survives, so the line must be
+            # both consistent and transitless — the domino-prone case.
+            line = consistent_line(cuts, transitless=True)
+        return {
+            r: (cut.record if cut.index > 0 else None) for r, cut in line.items()
+        }
+
+    def replay_messages(
+        self, runtime: "CheckpointRuntime", line: Dict[int, Any]
+    ) -> List[Message]:
+        if not self.logging:
+            return []  # the line is transitless: nothing in flight
+        cuts = build_cuts(runtime.store, written_only=True)
+        cut_line = {
+            r: next(
+                c
+                for c in cuts[r]
+                if c.index == (line[r].index if line[r] is not None else 0)
+            )
+            for r in cuts
+        }
+        msgs: List[Message] = []
+        for (src, dst), (lo, hi) in in_transit_ranges(cut_line).items():
+            for seq in range(lo, hi + 1):
+                logged = runtime.store.find_logged(src, dst, seq)
+                if logged is None:
+                    raise SimulationError(
+                        f"in-transit message {src}->{dst} seq={seq} not found "
+                        f"in the stable message logs"
+                    )
+                msgs.append(logged)
+        return msgs
+
+    def reset_agent(self, agent: SchemeAgent) -> None:
+        assert isinstance(agent, IndependentAgent)
+        agent.volatile_log.clear()
+        agent.writing = False
+        if agent.inc is not None:
+            agent.inc.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<IndependentScheme {self.name} times={self.times} skew={self.skew}>"

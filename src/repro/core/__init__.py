@@ -1,0 +1,45 @@
+"""Discrete-event simulation kernel (events, processes, resources, tracing).
+
+This is a self-contained mini event-driven simulator in the style of SimPy,
+specialised for deterministic reproduction runs: strict ``(time, priority,
+sequence)`` ordering, FIFO resources and named random substreams.
+"""
+
+from .engine import LOW, NORMAL, URGENT, Engine
+from .errors import (
+    Deadlock,
+    EventAlreadyTriggered,
+    Interrupt,
+    SimulationError,
+    StopProcess,
+)
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+from .resources import Request, Resource, Store, StoreGet
+from .rng import RngStreams, derive_seed
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Engine",
+    "URGENT",
+    "NORMAL",
+    "LOW",
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Process",
+    "Resource",
+    "Request",
+    "Store",
+    "StoreGet",
+    "RngStreams",
+    "derive_seed",
+    "Tracer",
+    "Span",
+    "SimulationError",
+    "Deadlock",
+    "Interrupt",
+    "StopProcess",
+    "EventAlreadyTriggered",
+]

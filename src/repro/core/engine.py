@@ -1,0 +1,146 @@
+"""The discrete-event simulation engine.
+
+:class:`Engine` owns the event heap and the simulation clock. It is the only
+mutable global of a simulation run; machines, networks and checkpointing
+schemes all hang off one engine instance, which makes runs fully
+deterministic and lets tests construct tiny worlds cheaply.
+
+Scheduling order: events fire in ``(time, priority, seq)`` order. ``seq`` is
+a monotone counter, so same-time same-priority events fire in scheduling
+order — this is what makes the whole simulation reproducible without any
+real-time dependence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import Deadlock, SimulationError
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+__all__ = ["Engine", "URGENT", "NORMAL", "LOW"]
+
+#: Scheduling priorities (lower fires first at equal times).
+URGENT = 0
+NORMAL = 1
+LOW = 2
+
+
+class Engine:
+    """Discrete-event simulation engine with a deterministic event heap."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_processes = 0
+        #: optional hook called as ``hook(time, event)`` before callbacks run.
+        self.step_hook: Optional[Callable[[float, Event], None]] = None
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Put a triggered event on the heap ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh pending event to be triggered manually."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> Process:
+        """Start a new simulation process driving *generator*."""
+        return Process(self, generator, name=name)
+
+    # -- run loop -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one event (advance the clock to it)."""
+        time, _prio, _seq, event = heapq.heappop(self._heap)
+        if time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event heap yielded a past event")
+        self._now = time
+        if self.step_hook is not None:
+            self.step_hook(time, event)
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not event.defused:
+            # An un-awaited event failed: surface the error instead of
+            # silently swallowing it (a common source of "why did my
+            # simulation hang" bugs).
+            raise event.value
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        * ``until=None``  — run until no events remain; raises
+          :class:`Deadlock` if live processes are still blocked.
+        * ``until=<float>`` — run until the clock reaches that time.
+        * ``until=<Event>`` — run until that event has been processed and
+          return its value (raising if it failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            if self._active_processes > 0:
+                raise Deadlock(self._active_processes, self._now)
+            return None
+
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._heap:
+                    raise Deadlock(self._active_processes, self._now)
+                self.step()
+            if not target.ok:
+                target.defused = True
+                raise target.value
+            return target.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Engine t={self._now:.6f} queued={len(self._heap)} "
+            f"active={self._active_processes}>"
+        )

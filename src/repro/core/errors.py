@@ -1,0 +1,62 @@
+"""Exception hierarchy for the simulation kernel.
+
+Every error raised by :mod:`repro.core` derives from :class:`SimulationError`
+so callers can catch kernel problems without masking application bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "SimulationError",
+    "Deadlock",
+    "Interrupt",
+    "StopProcess",
+    "EventAlreadyTriggered",
+]
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class Deadlock(SimulationError):
+    """Raised by :meth:`repro.core.engine.Engine.run` when processes remain
+    but no future event exists (every live process waits forever)."""
+
+    def __init__(self, waiting: int, now: float) -> None:
+        super().__init__(
+            f"deadlock at t={now:.6f}: {waiting} process(es) blocked with an "
+            f"empty event queue"
+        )
+        self.waiting = waiting
+        self.now = now
+
+
+class Interrupt(SimulationError):
+    """Thrown *into* a process by :meth:`Process.interrupt`.
+
+    The interrupted process receives this exception at its current ``yield``
+    and may handle it (e.g. a checkpointer thread told to abort a write).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause
+
+
+class StopProcess(SimulationError):
+    """Raised inside a process generator to terminate it early with a value.
+
+    Equivalent to ``return value`` but usable from helper sub-generators
+    without threading the return through every level.
+    """
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__("process stopped")
+        self.value = value
+
+
+class EventAlreadyTriggered(SimulationError):
+    """An event was succeeded or failed twice."""

@@ -1,0 +1,165 @@
+"""Generator-driven simulation processes.
+
+A :class:`Process` wraps a Python generator. The generator yields
+:class:`~repro.core.events.Event` objects; when a yielded event fires the
+engine resumes the generator with the event's value (or throws the event's
+exception into it). The process itself *is* an event that triggers when the
+generator returns, so processes can wait on each other (``yield other``)
+and be composed with ``AnyOf``/``AllOf``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .errors import Interrupt, SimulationError, StopProcess
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Engine
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running co-routine inside the simulation.
+
+    Attributes
+    ----------
+    name:
+        Diagnostic label (shows up in deadlock and crash reports).
+    target:
+        The event the process is currently waiting on (``None`` if it is
+        being resumed right now or has finished).
+    """
+
+    __slots__ = ("name", "_generator", "target", "_alive", "_pending_interrupt")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process needs a generator, got {generator!r}")
+        super().__init__(engine)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self.target: Optional[Event] = None
+        self._alive = True
+        self._pending_interrupt: Optional[Interrupt] = None
+        engine._active_processes += 1
+        # Bootstrap: resume once at the current time.
+        boot = Event(engine)
+        boot.callbacks.append(self._resume)  # type: ignore[union-attr]
+        boot.succeed(None)
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not returned or raised."""
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a finished process is a silent no-op (the usual race:
+        a canceller fires in the same timestep the victim finishes).
+        """
+        if not self._alive:
+            return
+        if self.target is None:
+            # Not parked on an event: either the bootstrap resume has not
+            # run yet (process created this very timestep) or we are being
+            # interrupted from within a callback while mid-resume. Defer:
+            # the interrupt is delivered at the next resume.
+            self._pending_interrupt = Interrupt(cause)
+            return
+        # Detach from the current target; it may still fire but must not
+        # resume us (we are resumed by the interrupt instead).
+        interrupt_event = Event(self.engine)
+        interrupt_event.callbacks.append(self._resume)  # type: ignore[union-attr]
+        interrupt_event.fail(Interrupt(cause), priority=0)
+        interrupt_event.defused = True
+        target = self.target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self.target = None
+
+    # -- engine plumbing ------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with *event*'s outcome."""
+        self.target = None
+        if self._pending_interrupt is not None:
+            event = _InterruptSurrogate(self._pending_interrupt)
+            self._pending_interrupt = None
+        gen = self._generator
+        while True:
+            try:
+                if event._ok:
+                    next_event = gen.send(event._value)
+                else:
+                    event.defused = True
+                    next_event = gen.throw(event._value)
+            except StopIteration as exc:
+                self._finish(True, exc.value)
+                return
+            except StopProcess as exc:
+                self._finish(True, exc.value)
+                return
+            except BaseException as exc:
+                self._finish(False, exc)
+                return
+
+            if not isinstance(next_event, Event):
+                exc2 = SimulationError(
+                    f"process {self.name!r} yielded {next_event!r}; processes "
+                    f"must yield Event instances"
+                )
+                try:
+                    gen.throw(exc2)
+                except BaseException as raised:
+                    self._finish(False, raised)
+                    return
+                continue
+
+            if next_event.callbacks is not None:
+                # Pending or triggered-but-unprocessed: subscribe and stop.
+                next_event.callbacks.append(self._resume)
+                self.target = next_event
+                return
+            # Already processed: loop and feed its value straight back in.
+            event = next_event
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        self._alive = False
+        self._generator = None  # type: ignore[assignment] # break ref cycle
+        self.engine._active_processes -= 1
+        if ok:
+            self.succeed(value)
+        else:
+            if isinstance(value, BaseException):
+                self.fail(value)
+            else:  # pragma: no cover - defensive
+                self.fail(SimulationError(repr(value)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name!r} {state}>"
+
+
+class _InterruptSurrogate:
+    """Minimal failed-event stand-in used to deliver deferred interrupts."""
+
+    __slots__ = ("_ok", "_value", "defused")
+
+    def __init__(self, exc: Interrupt) -> None:
+        self._ok = False
+        self._value = exc
+        self.defused = False

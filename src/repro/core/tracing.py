@@ -1,0 +1,94 @@
+"""Lightweight metric and trace collection.
+
+A :class:`Tracer` is attached to a run and accumulates:
+
+* **counters** — monotone named totals (bytes written, protocol messages…);
+* **timelines** — (time, value) samples for plotting/sweeps;
+* **spans** — named intervals (checkpoint N on node R took [t0, t1]).
+
+Recording is cheap (dict/list appends) and can be disabled wholesale, so the
+hot path of big sweeps pays almost nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Engine
+
+__all__ = ["Tracer", "Span"]
+
+
+@dataclass
+class Span:
+    """A named interval of simulated time with free-form attributes."""
+
+    name: str
+    start: float
+    end: Optional[float] = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+
+class Tracer:
+    """Accumulates counters, timelines and spans for one simulation run."""
+
+    def __init__(self, engine: "Engine", enabled: bool = True) -> None:
+        self.engine = engine
+        self.enabled = enabled
+        self.counters: Dict[str, float] = {}
+        self.timelines: Dict[str, List[Tuple[float, float]]] = {}
+        self.spans: List[Span] = []
+
+    # -- counters ------------------------------------------------------------
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        """Increment a named counter."""
+        if not self.enabled:
+            return
+        self.counters[counter] = self.counters.get(counter, 0.0) + amount
+
+    def get(self, counter: str, default: float = 0.0) -> float:
+        return self.counters.get(counter, default)
+
+    # -- timelines -------------------------------------------------------------
+
+    def sample(self, timeline: str, value: float) -> None:
+        """Record ``(now, value)`` on a named timeline."""
+        if not self.enabled:
+            return
+        self.timelines.setdefault(timeline, []).append((self.engine.now, value))
+
+    # -- spans -----------------------------------------------------------------
+
+    def open_span(self, name: str, **attrs: object) -> Span:
+        """Open an interval starting now; close with :meth:`close_span`."""
+        span = Span(name=name, start=self.engine.now, attrs=dict(attrs))
+        if self.enabled:
+            self.spans.append(span)
+        return span
+
+    def close_span(self, span: Span, **attrs: object) -> Span:
+        span.end = self.engine.now
+        span.attrs.update(attrs)
+        return span
+
+    def spans_named(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def total_span_time(self, name: str) -> float:
+        """Sum of closed-span durations for *name*."""
+        return sum(s.duration for s in self.spans_named(name) if s.end is not None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Tracer counters={len(self.counters)} "
+            f"timelines={len(self.timelines)} spans={len(self.spans)}>"
+        )

@@ -1,0 +1,55 @@
+"""Experiment harness: one module per table/figure plus ablations & sweeps.
+
+See DESIGN.md §4 for the per-experiment index. Each ``run_*`` function
+returns a result object with ``render()`` (the table as text) and
+``shape_holds()`` (the paper's qualitative claims as booleans).
+"""
+
+from .ablations import run_staggering_ablation, run_sync_cost
+from .capture import run_capture_ablation
+from .domino import run_domino, run_storage_overhead
+from .faults import run_failure_rates, run_interval_sweep, young_interval
+from .harness import (
+    SCHEMES_TABLE1,
+    SCHEMES_TABLE23,
+    WorkloadResult,
+    make_scheme,
+    run_workload,
+)
+from .sweeps import run_bandwidth_sweep, run_writer_sweep
+from .table1 import Table1Result, run_table1
+from .twolevel import run_two_level
+from .table23 import Table23Result, run_table23
+from .workloads import (
+    Workload,
+    quick_workloads,
+    table1_workloads,
+    table23_workloads,
+)
+
+__all__ = [
+    "Workload",
+    "table1_workloads",
+    "table23_workloads",
+    "quick_workloads",
+    "make_scheme",
+    "run_workload",
+    "WorkloadResult",
+    "SCHEMES_TABLE1",
+    "SCHEMES_TABLE23",
+    "run_table1",
+    "Table1Result",
+    "run_table23",
+    "Table23Result",
+    "run_staggering_ablation",
+    "run_sync_cost",
+    "run_writer_sweep",
+    "run_bandwidth_sweep",
+    "run_domino",
+    "run_storage_overhead",
+    "run_capture_ablation",
+    "run_failure_rates",
+    "run_interval_sweep",
+    "young_interval",
+    "run_two_level",
+]

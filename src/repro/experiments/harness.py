@@ -1,0 +1,117 @@
+"""Shared experiment machinery: scheme factories and workload execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..chklib import CheckpointRuntime, CoordinatedScheme, IndependentScheme
+from ..chklib.runtime import RunReport
+from ..chklib.schemes.base import Scheme
+from ..machine import MachineParams
+
+__all__ = [
+    "SCHEMES_TABLE1",
+    "SCHEMES_TABLE23",
+    "make_scheme",
+    "run_workload",
+    "WorkloadResult",
+]
+
+#: column order of the paper's Table 1.
+SCHEMES_TABLE1 = ("coord_nb", "indep", "coord_nbm", "indep_m", "coord_nbms")
+#: column order of the paper's Tables 2 and 3.
+SCHEMES_TABLE23 = ("coord_nb", "indep", "coord_nbms", "indep_m")
+
+#: independent timers start aligned and drift; the skew amplitude as a
+#: fraction of the checkpoint interval.
+INDEP_SKEW_FRACTION = 0.25
+
+
+def make_scheme(name: str, times: Sequence[float], interval: float) -> Scheme:
+    """Instantiate one of the five measured schemes (plus ablations)."""
+    skew = INDEP_SKEW_FRACTION * interval
+    if name == "coord_nb":
+        return CoordinatedScheme.NB(times)
+    if name == "coord_nbm":
+        return CoordinatedScheme.NBM(times)
+    if name == "coord_nbms":
+        return CoordinatedScheme.NBMS(times)
+    if name == "coord_nbs":
+        return CoordinatedScheme.NBS(times)
+    if name == "indep":
+        return IndependentScheme.Indep(times, skew=skew)
+    if name == "indep_m":
+        return IndependentScheme.IndepM(times, skew=skew)
+    if name == "indep_log":
+        return IndependentScheme.Indep(times, skew=skew, logging=True)
+    if name == "indep_m_log":
+        return IndependentScheme.IndepM(times, skew=skew, logging=True)
+    # extension variants (copy-on-write capture, incremental writes)
+    if name == "coord_nbc":
+        return CoordinatedScheme.NBC(times)
+    if name == "coord_nbcs":
+        return CoordinatedScheme.NBCS(times)
+    if name == "indep_c":
+        return IndependentScheme.IndepC(times, skew=skew)
+    if name == "coord_nb_inc":
+        return CoordinatedScheme.NB(times, incremental=True)
+    if name == "coord_nbms_inc":
+        return CoordinatedScheme.NBMS(times, incremental=True)
+    if name == "coord_nbcs_inc":
+        return CoordinatedScheme.NBCS(times, incremental=True)
+    raise ValueError(f"unknown scheme {name!r}")
+
+
+@dataclass
+class WorkloadResult:
+    """One table row's measurements: the normal run plus each scheme's."""
+
+    label: str
+    normal: RunReport
+    interval: float
+    rounds: int
+    reports: Dict[str, RunReport] = field(default_factory=dict)
+
+    @property
+    def normal_time(self) -> float:
+        return self.normal.sim_time
+
+    def overhead_seconds(self, scheme: str) -> float:
+        return self.reports[scheme].sim_time - self.normal.sim_time
+
+    def overhead_percent(self, scheme: str) -> float:
+        return 100.0 * self.overhead_seconds(scheme) / self.normal.sim_time
+
+    def per_checkpoint(self, scheme: str) -> float:
+        return self.overhead_seconds(scheme) / self.rounds
+
+
+def run_workload(
+    workload,
+    schemes: Iterable[str],
+    rounds: int = 3,
+    seed: int = 0,
+    machine: Optional[MachineParams] = None,
+    interval_divisor: float = 1.5,
+) -> WorkloadResult:
+    """Run a workload uncheckpointed, then once per scheme.
+
+    The checkpoint interval is ``T_normal / (rounds + interval_divisor)``:
+    `rounds` checkpoints fire inside the run with enough tail left for the
+    last round's background writes and commit to finish.
+    """
+    machine = machine or MachineParams.xplorer8()
+    normal = CheckpointRuntime(workload.make(), machine=machine, seed=seed).run()
+    interval = normal.sim_time / (rounds + interval_divisor)
+    times = [interval * (i + 1) for i in range(rounds)]
+    result = WorkloadResult(
+        label=workload.label, normal=normal, interval=interval, rounds=rounds
+    )
+    for name in schemes:
+        scheme = make_scheme(name, times, interval)
+        report = CheckpointRuntime(
+            workload.make(), scheme=scheme, machine=machine, seed=seed
+        ).run()
+        result.reports[name] = report
+    return result

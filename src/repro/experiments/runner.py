@@ -1,0 +1,220 @@
+"""Command-line entry point: regenerate any table or supporting experiment.
+
+Usage::
+
+    python -m repro.experiments.runner table1 [--quick] [--seed N]
+    python -m repro.experiments.runner table2
+    python -m repro.experiments.runner table3
+    python -m repro.experiments.runner ablation-staggering
+    python -m repro.experiments.runner ablation-sync
+    python -m repro.experiments.runner sweep-writers
+    python -m repro.experiments.runner sweep-storage
+    python -m repro.experiments.runner domino
+    python -m repro.experiments.runner storage-overhead
+    python -m repro.experiments.runner all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .ablations import run_staggering_ablation, run_sync_cost
+from .capture import run_capture_ablation
+from .domino import run_domino, run_storage_overhead
+from .faults import run_failure_rates, run_interval_sweep
+from .sweeps import run_bandwidth_sweep, run_writer_sweep
+from .table1 import run_table1
+from .table23 import run_table23
+from .twolevel import run_two_level
+from .workloads import table1_workloads, table23_workloads
+
+__all__ = ["main"]
+
+
+def _emit(title: str, body: str, summary: str = "") -> None:
+    print()
+    print(body)
+    if summary:
+        print()
+        print(summary)
+    print()
+
+
+def _shape_report(shapes: dict) -> str:
+    lines = ["shape checks (paper's qualitative claims):"]
+    for key, ok in shapes.items():
+        lines.append(f"  [{'ok' if ok else 'MISS'}] {key}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner", description=__doc__
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table1",
+            "table2",
+            "table3",
+            "ablation-staggering",
+            "ablation-sync",
+            "sweep-writers",
+            "sweep-storage",
+            "domino",
+            "storage-overhead",
+            "capture",
+            "failure-rates",
+            "interval-sweep",
+            "two-level",
+            "all",
+        ],
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink iteration counts ~5x (faster, same checkpoint volumes)",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="also write a consolidated markdown report of everything run",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.2 if args.quick else 1.0
+    t0 = time.time()
+    todo = (
+        [args.experiment]
+        if args.experiment != "all"
+        else [
+            "table1",
+            "table2",
+            "table3",
+            "ablation-staggering",
+            "ablation-sync",
+            "sweep-writers",
+            "sweep-storage",
+            "domino",
+            "storage-overhead",
+            "capture",
+            "failure-rates",
+            "interval-sweep",
+            "two-level",
+        ]
+    )
+
+    table23_result = None
+    report_sections = []
+
+    def _record(title, result):
+        report_sections.append((title, result))
+
+    for exp in todo:
+        if exp == "table1":
+            res = run_table1(
+                workloads=table1_workloads(scale),
+                seed=args.seed,
+                verbose=args.verbose,
+            )
+            _record("Table 1 — overhead per checkpoint", res)
+            _emit(
+                "table1",
+                res.render(),
+                res.summary() + "\n" + _shape_report(res.shape_holds()),
+            )
+        elif exp in ("table2", "table3"):
+            if table23_result is None:
+                table23_result = run_table23(
+                    workloads=table23_workloads(scale),
+                    seed=args.seed,
+                    verbose=args.verbose,
+                )
+            if exp == "table2":
+                class _T2View:
+                    def __init__(self, inner):
+                        self._inner = inner
+                    def render(self):
+                        return self._inner.render_table2()
+                _record("Table 2 — execution times", _T2View(table23_result))
+                _emit("table2", table23_result.render_table2())
+            else:
+                class _T3View:
+                    def __init__(self, inner):
+                        self._inner = inner
+                    def render(self):
+                        return self._inner.render_table3()
+                    def shape_holds(self):
+                        return self._inner.shape_holds()
+                _record("Table 3 — overhead percentages", _T3View(table23_result))
+                _emit(
+                    "table3",
+                    table23_result.render_table3(),
+                    table23_result.summary()
+                    + "\n"
+                    + _shape_report(table23_result.shape_holds()),
+                )
+        elif exp == "ablation-staggering":
+            res = run_staggering_ablation(
+                workloads=table23_workloads(scale)[:4], seed=args.seed
+            )
+            _record("A1 — staggering ablation", res)
+            _emit(exp, res.render(), _shape_report(res.shape_holds()))
+        elif exp == "ablation-sync":
+            res = run_sync_cost(
+                workloads=table23_workloads(scale)[:4], seed=args.seed
+            )
+            _record("A2 — synchronisation vs saving cost", res)
+            _emit(exp, res.render(), _shape_report(res.shape_holds()))
+        elif exp == "sweep-writers":
+            res = run_writer_sweep(seed=args.seed)
+            _record("S1 — writer sweep", res)
+            _emit(exp, res.render(), _shape_report(res.shape_holds()))
+        elif exp == "sweep-storage":
+            res = run_bandwidth_sweep(seed=args.seed)
+            _record("S2 — storage-bandwidth sweep", res)
+            _emit(exp, res.render(), _shape_report(res.shape_holds()))
+        elif exp == "domino":
+            res = run_domino(seed=args.seed)
+            _record("R1 — rollback behaviour", res)
+            _emit(exp, res.render(), _shape_report(res.shape_holds()))
+        elif exp == "storage-overhead":
+            res = run_storage_overhead(seed=args.seed)
+            _record("R2 — stable-storage overhead", res)
+            _emit(exp, res.render(), _shape_report(res.shape_holds()))
+        elif exp == "capture":
+            res = run_capture_ablation(seed=args.seed)
+            _record("E1 — capture modes and incremental", res)
+            _emit(exp, res.render(), _shape_report(res.shape_holds()))
+        elif exp == "failure-rates":
+            res = run_failure_rates(seed=args.seed)
+            _record("E2/F1 — completion vs failure rate", res)
+            _emit(exp, res.render(), _shape_report(res.shape_holds()))
+        elif exp == "interval-sweep":
+            res = run_interval_sweep(seed=args.seed)
+            _record("E2/F2 — interval sweep vs Young", res)
+            _emit(exp, res.render(), _shape_report(res.shape_holds()))
+        elif exp == "two-level":
+            res = run_two_level(seed=args.seed)
+            _record("E3 — two-level stable storage", res)
+            _emit(exp, res.render(), _shape_report(res.shape_holds()))
+
+    if args.report and report_sections:
+        from ..analysis import build_report
+
+        text = build_report(report_sections, seed=args.seed)
+        with open(args.report, "w") as fh:
+            fh.write(text)
+        print(f"[runner] report written to {args.report}")
+    print(f"[runner] done in {time.time() - t0:.1f}s wall")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Table 1: overhead per checkpoint, 21 configurations x 5 schemes.
+
+Regenerates the paper's central comparison. The quantities are per-
+checkpoint overheads in (simulated) seconds:
+
+    overhead_per_ckpt = (T_scheme - T_normal) / checkpoint_rounds
+
+Headline shapes asserted by the benchmark:
+  * ``Indep`` does *not* beat ``Coord_NB`` overall (paper: 15 of 21 worse);
+  * ``Indep_M`` beats ``Coord_NBM`` in a clear majority (paper: 12 of 15);
+  * ``Coord_NBMS`` is the best column nearly everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis import SchemeComparison, fmt_seconds, render_table
+from ..machine import MachineParams
+from .harness import SCHEMES_TABLE1, WorkloadResult, run_workload
+from .workloads import Workload, table1_workloads
+
+__all__ = ["Table1Result", "run_table1"]
+
+
+@dataclass
+class Table1Result:
+    """All measurements behind Table 1, plus the paper's summary stats."""
+
+    results: List[WorkloadResult]
+    schemes: tuple = SCHEMES_TABLE1
+
+    # -- table ------------------------------------------------------------
+
+    def rows(self) -> List[Dict[str, float]]:
+        return [
+            {s: res.per_checkpoint(s) for s in self.schemes}
+            for res in self.results
+        ]
+
+    def render(self) -> str:
+        headers = ["application"] + [s.upper() for s in self.schemes]
+        body = [
+            [res.label] + [res.per_checkpoint(s) for s in self.schemes]
+            for res in self.results
+        ]
+        return render_table(
+            headers,
+            body,
+            title="Table 1: overhead per checkpoint (seconds)",
+            fmt=fmt_seconds,
+        )
+
+    # -- headline comparisons ----------------------------------------------
+
+    def indep_vs_nb(self) -> SchemeComparison:
+        """Paper: Indep worse than Coord_NB in 15 of 21 cases."""
+        return SchemeComparison.over(self.rows(), "coord_nb", "indep")
+
+    def indep_m_vs_nbm(self) -> SchemeComparison:
+        """Paper: Indep_M better than Coord_NBM in 12 of 15 cases."""
+        return SchemeComparison.over(self.rows(), "indep_m", "coord_nbm")
+
+    def nbms_vs_indep_m(self) -> SchemeComparison:
+        """Paper: Coord_NBMS performs much better than Indep_M."""
+        return SchemeComparison.over(self.rows(), "coord_nbms", "indep_m")
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"Coord_NB vs Indep       : {self.indep_vs_nb()}",
+                f"Indep_M  vs Coord_NBM   : {self.indep_m_vs_nbm()}",
+                f"Coord_NBMS vs Indep_M   : {self.nbms_vs_indep_m()}",
+            ]
+        )
+
+    def shape_holds(self) -> Dict[str, bool]:
+        """The three boolean claims this table supports in the paper."""
+        c1 = self.indep_vs_nb()
+        c2 = self.indep_m_vs_nbm()
+        c3 = self.nbms_vs_indep_m()
+        return {
+            "nb_beats_indep_majority": c1.a_wins > c1.b_wins,
+            "indep_m_beats_nbm_majority": c2.a_wins > c2.b_wins,
+            "nbms_beats_indep_m_majority": c3.a_wins > c3.b_wins,
+        }
+
+
+def run_table1(
+    workloads: Optional[List[Workload]] = None,
+    seed: int = 0,
+    machine: Optional[MachineParams] = None,
+    rounds: int = 2,
+    verbose: bool = False,
+) -> Table1Result:
+    """Execute every Table 1 cell (126 runs at full scale)."""
+    workloads = workloads if workloads is not None else table1_workloads()
+    results = []
+    for workload in workloads:
+        res = run_workload(
+            workload, SCHEMES_TABLE1, rounds=rounds, seed=seed, machine=machine
+        )
+        if verbose:  # pragma: no cover - console progress
+            cells = ", ".join(
+                f"{s}={res.per_checkpoint(s):.2f}s" for s in SCHEMES_TABLE1
+            )
+            print(f"{res.label:>12}  T={res.normal_time:7.1f}s  {cells}")
+        results.append(res)
+    return Table1Result(results=results)

@@ -1,0 +1,10 @@
+"""Failure injection: plan builders for crash schedules.
+
+The runtime consumes a :class:`~repro.chklib.runtime.FaultPlan` (a list of
+crash times); this package builds them: single crashes, periodic schedules
+and deterministic exponential (Poisson) sequences for MTBF studies.
+"""
+
+from .plans import exponential_plan, periodic_plan, single_crash
+
+__all__ = ["single_crash", "periodic_plan", "exponential_plan"]

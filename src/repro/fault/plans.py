@@ -1,0 +1,52 @@
+"""Builders for crash schedules."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..chklib.runtime import FaultPlan
+from ..core.rng import derive_seed
+
+__all__ = ["single_crash", "periodic_plan", "exponential_plan", "crash_times"]
+
+
+def single_crash(at: float) -> FaultPlan:
+    """One whole-machine failure at time *at*."""
+    return FaultPlan.single(at)
+
+
+def periodic_plan(period: float, horizon: float, offset: float = 0.0) -> FaultPlan:
+    """A crash every *period* seconds from *offset* up to *horizon*."""
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    times = []
+    t = offset + period
+    while t <= horizon:
+        times.append(t)
+        t += period
+    return FaultPlan(crash_times=tuple(times))
+
+
+def crash_times(
+    mtbf: float, horizon: float, seed: int = 0, stream: str = "faults"
+) -> List[float]:
+    """Deterministic exponential (Poisson-process) crash arrivals covering
+    ``[0, horizon]`` (the last arrival lands beyond the horizon)."""
+    if mtbf <= 0:
+        raise ValueError(f"MTBF must be positive, got {mtbf}")
+    rng = np.random.default_rng(derive_seed(seed, f"faults.{stream}"))
+    times: List[float] = []
+    t = 0.0
+    while t < horizon:
+        t += float(rng.exponential(mtbf))
+        times.append(t)
+    return times
+
+
+def exponential_plan(
+    mtbf: float, horizon: float, seed: int = 0, stream: str = "faults"
+) -> FaultPlan:
+    """A :class:`FaultPlan` with exponential inter-arrival times."""
+    return FaultPlan(crash_times=tuple(crash_times(mtbf, horizon, seed, stream)))

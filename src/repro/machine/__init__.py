@@ -1,0 +1,25 @@
+"""Hardware model: nodes, shared stable storage, cluster presets.
+
+Approximates the paper's Parsytec Xplorer (8 × T805, host file system as
+stable storage) as a deterministic discrete-event model. See ``DESIGN.md``
+§2 for the substitution rationale.
+"""
+
+from .cluster import Cluster
+from .node import Node
+from .params import LinkParams, LocalDiskParams, MachineParams, NodeParams, StorageParams
+from .shared_server import SharedServer, TransferJob
+from .storage import StableStorage
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "MachineParams",
+    "NodeParams",
+    "LinkParams",
+    "LocalDiskParams",
+    "StorageParams",
+    "SharedServer",
+    "TransferJob",
+    "StableStorage",
+]

@@ -1,0 +1,203 @@
+"""A processor-sharing transfer server with a thrash penalty.
+
+This models the stable-storage path (host link + file server + disk) the way
+it behaves on real hardware: *k* concurrent transfers each progress at
+
+    rate(k) = bandwidth / (k * (1 + thrash * (k - 1)))
+
+i.e. the server is shared fairly, and interleaving transfers additionally
+costs aggregate throughput (``thrash`` per extra stream — seeks, packet
+interleaving, file-server context switches). ``thrash=0`` is ideal fair
+sharing; a FIFO disk is approximated by ``thrash`` large.
+
+The implementation is an exact fluid simulation: whenever the job set
+changes, every job's remaining volume is advanced at the old rate and the
+next completion is re-scheduled. Completion times are therefore exact for
+piecewise-constant rates, with no per-byte event cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from ..core.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+
+__all__ = ["SharedServer", "TransferJob"]
+
+
+class TransferJob:
+    """One in-flight transfer; ``done`` fires when the last byte moves."""
+
+    __slots__ = ("server", "nbytes", "remaining", "done", "tag")
+
+    def __init__(self, server: "SharedServer", nbytes: float, tag: str) -> None:
+        self.server = server
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.done = Event(server.engine)
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TransferJob {self.tag!r} {self.remaining:.0f}/{self.nbytes:.0f}B>"
+
+
+class SharedServer:
+    """Fair-shared transfer server with optional thrash penalty."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        bandwidth: float,
+        thrash: float = 0.0,
+        name: str = "",
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if thrash < 0:
+            raise ValueError(f"thrash must be >= 0, got {thrash}")
+        self.engine = engine
+        self.bandwidth = float(bandwidth)
+        self.thrash = float(thrash)
+        self.name = name
+        #: external slowdown (<= 1.0): competing application traffic on the
+        #: path to the server (set via :meth:`set_rate_factor`).
+        self._rate_factor = 1.0
+        self._jobs: List[TransferJob] = []
+        self._last_update = engine.now
+        self._timer_version = 0
+        #: observers called with the new job count on every change
+        #: (nodes use this to react to congestion).
+        self.on_change: List[Callable[[int], None]] = []
+        # metrics
+        self.bytes_completed = 0.0
+        self.jobs_completed = 0
+        self.peak_concurrency = 0
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def active_jobs(self) -> int:
+        """Number of transfers currently in progress."""
+        return len(self._jobs)
+
+    def per_job_rate(self, k: Optional[int] = None) -> float:
+        """Bytes/s each of *k* concurrent jobs receives."""
+        if k is None:
+            k = len(self._jobs)
+        if k <= 0:
+            return self.bandwidth * self._rate_factor
+        return (
+            self.bandwidth
+            * self._rate_factor
+            / (k * (1.0 + self.thrash * (k - 1)))
+        )
+
+    def set_rate_factor(self, factor: float) -> None:
+        """Change the external slowdown; in-flight jobs re-pace exactly."""
+        if factor <= 0:
+            raise ValueError(f"rate factor must be positive, got {factor}")
+        if factor == self._rate_factor:
+            return
+        self._advance()
+        self._rate_factor = float(factor)
+        self._reschedule()
+
+    def transfer(self, nbytes: float, tag: str = "") -> TransferJob:
+        """Start a transfer of *nbytes*; returns the job (yield ``job.done``)."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        job = TransferJob(self, nbytes, tag)
+        self._advance()
+        if job.remaining <= 0.0:
+            # Zero-byte transfer: complete instantly, never enters service.
+            self._complete(job)
+            return job
+        self._jobs.append(job)
+        self.peak_concurrency = max(self.peak_concurrency, len(self._jobs))
+        self._reschedule()
+        self._notify()
+        return job
+
+    def cancel(self, job: TransferJob) -> None:
+        """Abort an in-flight transfer (its ``done`` event never fires)."""
+        if job in self._jobs:
+            self._advance()
+            self._jobs.remove(job)
+            self._reschedule()
+            self._notify()
+
+    # -- fluid machinery ----------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Drain remaining volume at the current rate up to ``now``."""
+        now = self.engine.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0.0 or not self._jobs:
+            return
+        rate = self.per_job_rate()
+        drained = rate * dt
+        finished = []
+        for job in self._jobs:
+            job.remaining -= drained
+            # Tolerance note: a residual below a millibyte is "done". The
+            # tolerance must be coarse enough that the implied wake-up delay
+            # (remaining / rate) stays above the float ULP of the simulation
+            # clock, or the completion timer would re-fire at the *same*
+            # timestamp with dt == 0 and spin forever.
+            if job.remaining <= 1e-3:
+                job.remaining = 0.0
+                finished.append(job)
+        for job in finished:
+            self._jobs.remove(job)
+            self._complete(job)
+
+    def _complete(self, job: TransferJob) -> None:
+        self.bytes_completed += job.nbytes
+        self.jobs_completed += 1
+        job.done.succeed(job)
+
+    def _reschedule(self) -> None:
+        """Arm a wake-up at the next completion under the new rate."""
+        self._timer_version += 1
+        # clock-resolution guard: if the next completion is closer than the
+        # float ULP of `now`, the timeout could not advance the clock —
+        # complete those jobs immediately instead of spinning.
+        while self._jobs:
+            rate = self.per_job_rate()
+            next_remaining = min(job.remaining for job in self._jobs)
+            delay = next_remaining / rate
+            if self.engine.now + delay > self.engine.now:
+                break
+            for job in [
+                j for j in self._jobs if j.remaining <= next_remaining + 1e-12
+            ]:
+                self._jobs.remove(job)
+                job.remaining = 0.0
+                self._complete(job)
+        if not self._jobs:
+            return
+        version = self._timer_version
+        wake = self.engine.timeout(delay)
+        wake.callbacks.append(lambda _ev, v=version: self._on_timer(v))
+
+    def _on_timer(self, version: int) -> None:
+        if version != self._timer_version:
+            return  # stale timer from before a job-set change
+        self._advance()
+        self._reschedule()
+        self._notify()
+
+    def _notify(self) -> None:
+        k = len(self._jobs)
+        for observer in self.on_change:
+            observer(k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SharedServer {self.name!r} jobs={len(self._jobs)} "
+            f"bw={self.bandwidth:.0f}B/s thrash={self.thrash}>"
+        )

@@ -1,0 +1,127 @@
+"""The stable-storage server.
+
+All checkpoint data of all nodes funnels into one storage path (host link +
+host file system in the paper's testbed). Concurrent writes share the path
+(processor sharing) and pay a thrash penalty — this contention is the single
+most important mechanism behind the paper's results.
+
+Writes and reads are generator helpers meant for ``yield from`` inside
+simulation processes; they mark the owning node as "streaming" for the
+duration so the node's compute interference model can react.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..core.events import Event
+from .params import StorageParams
+from .shared_server import SharedServer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+    from ..core.tracing import Tracer
+    from .node import Node
+
+__all__ = ["StableStorage"]
+
+
+class StableStorage:
+    """Shared stable-storage server with per-request latency and PS service."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        params: StorageParams,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
+        self.engine = engine
+        self.params = params
+        self.tracer = tracer
+        self.server = SharedServer(
+            engine,
+            bandwidth=params.bandwidth,
+            thrash=params.thrash,
+            name="stable-storage",
+        )
+        self.bytes_written = 0.0
+        self.bytes_read = 0.0
+        self.write_ops = 0
+        self.read_ops = 0
+
+    # -- service ------------------------------------------------------------
+
+    @property
+    def active_streams(self) -> int:
+        """Concurrent transfers in flight (network-pressure input)."""
+        return self.server.active_jobs
+
+    def write(
+        self,
+        node: "Node",
+        nbytes: float,
+        tag: str = "",
+        background: bool = False,
+    ) -> Generator[Event, Any, None]:
+        """Stream *nbytes* from *node* to stable storage.
+
+        ``background=True`` marks the node as interference-generating for the
+        duration (checkpointer-thread writes); foreground writes block the
+        caller anyway, so they do not additionally slow the (idle) CPU.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative write size: {nbytes}")
+        span = (
+            self.tracer.open_span("storage.write", node=node.id, bytes=nbytes, tag=tag)
+            if self.tracer
+            else None
+        )
+        if background:
+            node.bg_stream_started()
+        job = None
+        try:
+            yield self.engine.timeout(self.params.op_latency)
+            job = self.server.transfer(nbytes, tag=tag or f"write:n{node.id}")
+            yield job.done
+        finally:
+            if background:
+                node.bg_stream_stopped()
+            if job is not None and not job.done.triggered:
+                # interrupted mid-transfer (crash): free the server
+                self.server.cancel(job)
+        self.bytes_written += nbytes
+        self.write_ops += 1
+        if self.tracer and span is not None:
+            self.tracer.close_span(span)
+            self.tracer.add("storage.bytes_written", nbytes)
+            self.tracer.add("storage.write_ops")
+
+    def read(
+        self, node: "Node", nbytes: float, tag: str = ""
+    ) -> Generator[Event, Any, None]:
+        """Stream *nbytes* from stable storage to *node* (recovery path)."""
+        if nbytes < 0:
+            raise ValueError(f"negative read size: {nbytes}")
+        job = None
+        try:
+            yield self.engine.timeout(self.params.op_latency)
+            job = self.server.transfer(nbytes, tag=tag or f"read:n{node.id}")
+            yield job.done
+        finally:
+            if job is not None and not job.done.triggered:
+                self.server.cancel(job)
+        self.bytes_read += nbytes
+        self.read_ops += 1
+        if self.tracer:
+            self.tracer.add("storage.bytes_read", nbytes)
+            self.tracer.add("storage.read_ops")
+
+    def single_stream_time(self, nbytes: float) -> float:
+        """Uncontended service time for one write (planning helper)."""
+        return self.params.op_latency + nbytes / self.params.bandwidth
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<StableStorage streams={self.active_streams} "
+            f"written={self.bytes_written:.0f}B>"
+        )

@@ -1,0 +1,55 @@
+"""Reliable FIFO message passing with an MPI-like interface (CHK-LIB layer).
+
+Point-to-point sends occupy the sender's link engine; deliveries land in
+per-rank mailboxes with MPI-style ``(source, tag)`` matching; collectives
+use binomial-tree / dissemination algorithms. Checkpointing schemes attach
+a :class:`CommAgent` to intercept sends, deliveries and consumptions.
+"""
+
+from .api import Comm, CommAgent
+from .collectives import (
+    COLL_TAG_BASE,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    gather,
+    reduce,
+    scatter,
+)
+from .mailbox import Mailbox, RecvRequest
+from .message import (
+    ANY_SOURCE,
+    ANY_TAG,
+    HEADER_BYTES,
+    KIND_APP,
+    KIND_CONTROL,
+    KIND_MARKER,
+    Message,
+    payload_nbytes,
+)
+from .transport import Transport
+
+__all__ = [
+    "Comm",
+    "CommAgent",
+    "Transport",
+    "Mailbox",
+    "RecvRequest",
+    "Message",
+    "payload_nbytes",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "KIND_APP",
+    "KIND_MARKER",
+    "KIND_CONTROL",
+    "HEADER_BYTES",
+    "COLL_TAG_BASE",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "alltoall",
+]

@@ -1,0 +1,238 @@
+"""The MPI-like communication API of the reproduced CHK-LIB.
+
+One :class:`Comm` per rank. Point-to-point semantics:
+
+* ``send`` is *eager*: it occupies the sender for the wire time and never
+  waits for the receiver (messages buffer at the destination mailbox). This
+  matters for the paper's results — a process blocked inside a checkpoint
+  stalls only the processes that *receive from* it, which is exactly the
+  stall-propagation mechanism that penalises independent checkpointing in
+  tightly-coupled applications.
+* ``recv`` blocks until a matching message was consumed.
+* per-``(src, dst)`` channels are reliable and FIFO; consumption within a
+  channel is enforced to be in sequence order (the checkpoint layer's
+  dependency accounting is prefix-based).
+
+A checkpointing scheme attaches a :class:`CommAgent` to intercept sends
+(epoch piggybacking), deliveries (channel-state recording, duplicate
+suppression, control routing) and consumptions (dependency counting).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
+
+from ..core.errors import SimulationError
+from ..core.events import Event
+from ..core.process import Process
+from .mailbox import Mailbox
+from .message import ANY_SOURCE, ANY_TAG, KIND_APP, Message
+from .transport import Transport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+__all__ = ["Comm", "CommAgent"]
+
+
+class CommAgent:
+    """Interception points for a checkpointing scheme (default: no-ops).
+
+    Subclassed by :mod:`repro.chklib.schemes`; kept here so the network
+    layer has no dependency on the checkpointing layer.
+    """
+
+    def on_send(self, msg: Message) -> None:
+        """Called just before *msg* enters the wire (stamp epoch, log it)."""
+
+    def on_deliver(self, msg: Message) -> bool:
+        """Called when *msg* arrives at the destination endpoint.
+
+        Return ``False`` to drop it (duplicate suppression after rollback);
+        ``True`` to proceed. Channel-state recording happens here.
+        """
+        return True
+
+    def on_control(self, msg: Message) -> None:
+        """Called for non-app messages (markers, protocol control)."""
+
+    def on_consume(self, msg: Message) -> None:
+        """Called when the application consumes *msg* from the mailbox."""
+
+    def send_extra(self, msg: Message):
+        """Optional generator of extra blocking work charged to the sender
+        before the wire transfer (e.g. a pessimistic message-log flush).
+        Return ``None`` for no extra work."""
+        return None
+
+
+class Comm:
+    """Rank-local communicator with MPI-like point-to-point operations."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        rank: int,
+        size: int,
+        agent: Optional[CommAgent] = None,
+    ) -> None:
+        if not (0 <= rank < size):
+            raise ValueError(f"rank {rank} out of range for size {size}")
+        self.transport = transport
+        self.engine = transport.engine
+        self.rank = rank
+        self.size = size
+        self.agent = agent
+        self.mailbox = Mailbox(self.engine, rank)
+        self.mailbox.on_consume = self._on_consume
+        #: app messages sent per destination rank (channel send counts).
+        self.sent_counts: Dict[int, int] = {}
+        #: app messages consumed per source rank (channel receive counts).
+        self.consumed_counts: Dict[int, int] = {}
+        #: collective-operation counter (must advance identically on every
+        #: rank; checkpointed and restored with the process state).
+        self.coll_counter = 0
+        transport.register(rank, self._deliver)
+
+    # -- delivery path -----------------------------------------------------
+
+    def _deliver(self, msg: Message) -> None:
+        if self.agent is not None:
+            if not self.agent.on_deliver(msg):
+                return  # suppressed duplicate
+            if msg.kind != KIND_APP:
+                self.agent.on_control(msg)
+                return
+        elif msg.kind != KIND_APP:
+            raise SimulationError(
+                f"rank {self.rank} got control message {msg!r} without an agent"
+            )
+        self.mailbox.deliver(msg)
+
+    def _on_consume(self, msg: Message) -> None:
+        expected = self.consumed_counts.get(msg.src, 0) + 1
+        if msg.seq != expected:
+            raise SimulationError(
+                f"rank {self.rank} consumed message {msg!r} out of order "
+                f"(expected seq {expected}); per-channel consumption must be "
+                f"FIFO for checkpoint dependency accounting"
+            )
+        self.consumed_counts[msg.src] = msg.seq
+        if self.agent is not None:
+            self.agent.on_consume(msg)
+
+    # -- point-to-point -----------------------------------------------------------
+
+    def send(
+        self, dst: int, payload: Any, tag: int = 0
+    ) -> Generator[Event, Any, None]:
+        """Eager send; returns after the wire time."""
+        msg = self._make_app_message(dst, payload, tag)
+        extra = self.agent.send_extra(msg) if self.agent is not None else None
+        if extra is not None:
+            msg.finalize_size()
+            yield from extra
+        yield from self.transport.send(msg)
+
+    def isend(self, dst: int, payload: Any, tag: int = 0) -> Process:
+        """Non-blocking send; returns a process event to optionally wait on.
+
+        The message (and its sequence number) is created *now*, so the send
+        order is fixed at call time even though the wire transfer proceeds
+        in the background.
+        """
+        msg = self._make_app_message(dst, payload, tag)
+        extra = self.agent.send_extra(msg) if self.agent is not None else None
+        if extra is None:
+            body = self.transport.send(msg)
+        else:
+            msg.finalize_size()
+            body = self._isend_with_extra(extra, msg)
+        proc = self.engine.process(body, name=f"isend:{self.rank}->{dst}")
+        proc.defused = True  # failure surfaces via transport invariants
+        return proc
+
+    def _isend_with_extra(self, extra, msg: Message):
+        yield from extra
+        yield from self.transport.send(msg)
+
+    def _make_app_message(self, dst: int, payload: Any, tag: int) -> Message:
+        if dst == self.rank:
+            raise ValueError(f"rank {self.rank}: self-send not supported")
+        if not (0 <= dst < self.size):
+            raise ValueError(f"destination {dst} out of range")
+        if tag < 0:
+            raise ValueError(f"negative tags are reserved, got {tag}")
+        msg = Message(
+            src=self.rank,
+            dst=dst,
+            tag=tag,
+            payload=payload,
+            seq=self.transport.next_seq(self.rank, dst),
+            kind=KIND_APP,
+        )
+        self.sent_counts[dst] = self.sent_counts.get(dst, 0) + 1
+        if self.agent is not None:
+            self.agent.on_send(msg)
+        return msg
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Generator[Event, Any, Message]:
+        """Blocking receive; returns the matched :class:`Message`."""
+        msg = yield self.mailbox.recv(source, tag)
+        return msg
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Message]:
+        """Oldest matching buffered message without consuming it, else None."""
+        return self.mailbox.probe(source, tag)
+
+    # -- control-plane sends (used by checkpointing schemes) ------------------
+
+    def send_control(
+        self, dst: int, kind: str, payload: Any = None, tag: int = 0, **meta: Any
+    ) -> Generator[Event, Any, None]:
+        """Send a protocol message (no channel sequence number, bypasses the
+        application mailbox at the destination)."""
+        msg = Message(
+            src=self.rank,
+            dst=dst,
+            tag=tag,
+            payload=payload,
+            seq=0,
+            kind=kind,
+            meta=dict(meta),
+        )
+        if self.agent is not None:
+            self.agent.on_send(msg)
+        yield from self.transport.send(msg)
+
+    # -- checkpoint/rollback support -----------------------------------------
+
+    def channel_meta(self) -> dict:
+        """Snapshot of the communication counters (goes into checkpoints)."""
+        return {
+            "sent": dict(self.sent_counts),
+            "consumed": dict(self.consumed_counts),
+            "coll_counter": self.coll_counter,
+        }
+
+    def restore_meta(self, meta: dict) -> None:
+        """Restore counters from a checkpoint and rewind send sequences so
+        re-executed sends reuse their original sequence numbers."""
+        self.sent_counts = dict(meta["sent"])
+        self.consumed_counts = dict(meta["consumed"])
+        self.coll_counter = int(meta["coll_counter"])
+        for dst in range(self.size):
+            if dst != self.rank:
+                self.transport.rewind_seq(
+                    self.rank, dst, self.sent_counts.get(dst, 0)
+                )
+
+    def reset_mailbox(self) -> None:
+        """Drop all buffered messages and pending receives (rollback)."""
+        self.mailbox.drain()
+        self.mailbox.cancel_waiters()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Comm rank={self.rank}/{self.size}>"

@@ -1,0 +1,162 @@
+"""Every application: parallel == serial reference, on several rank counts."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ASP, SOR, Gauss, Ising, NBody, NQueens, TSP
+from repro.chklib import CheckpointRuntime
+from repro.machine import MachineParams
+
+SEED = 11
+
+
+def run_app(app, n_ranks, seed=SEED):
+    rt = CheckpointRuntime(
+        app, machine=MachineParams(n_nodes=n_ranks), seed=seed
+    )
+    return rt.run()
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 4, 8])
+def test_sor_matches_serial(n_ranks):
+    app = SOR(n=26, iters=8)
+    report = run_app(app, n_ranks)
+    serial = app.serial_result(n_ranks, SEED)
+    assert report.result["sum"] == pytest.approx(serial["sum"], rel=1e-12)
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 4, 8])
+def test_ising_matches_serial_exactly(n_ranks):
+    app = Ising(n=24, iters=6)
+    report = run_app(app, n_ranks)
+    serial = app.serial_result(n_ranks, SEED)
+    assert report.result["magnetisation"] == serial["magnetisation"]
+
+
+def test_ising_different_seeds_differ():
+    app = Ising(n=24, iters=6)
+    r1 = run_app(app, 4, seed=1).result["magnetisation"]
+    r2 = run_app(Ising(n=24, iters=6), 4, seed=2).result["magnetisation"]
+    assert r1 != r2  # astronomically unlikely to collide
+
+
+@pytest.mark.parametrize("n_ranks", [1, 3, 8])
+def test_asp_matches_serial_exactly(n_ranks):
+    app = ASP(n=40)
+    report = run_app(app, n_ranks)
+    serial = app.serial_result(n_ranks, SEED)
+    assert report.result["distsum"] == serial["distsum"]
+
+
+def test_asp_distances_no_overflow():
+    app = ASP(n=30, density=0.05)  # sparse: many unreachable pairs
+    report = run_app(app, 4)
+    assert report.result["distsum"] > 0
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 8])
+def test_nbody_matches_serial_exactly(n_ranks):
+    app = NBody(n=48, iters=4)
+    report = run_app(app, n_ranks)
+    serial = app.serial_result(n_ranks, SEED)
+    # same block accumulation order -> bit-identical floats
+    assert report.result["pos_sum"] == serial["pos_sum"]
+    assert report.result["vel_sum"] == serial["vel_sum"]
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 8])
+def test_gauss_matches_serial(n_ranks):
+    app = Gauss(n=48)
+    report = run_app(app, n_ranks)
+    serial = app.serial_result(n_ranks, SEED)
+    np.testing.assert_allclose(report.result["x"], serial["x"], rtol=1e-12)
+
+
+def test_gauss_solves_the_system():
+    app = Gauss(n=48)
+    report = run_app(app, 8)
+    np.testing.assert_allclose(
+        report.result["x"], app.reference_solution(SEED), rtol=1e-8
+    )
+
+
+@pytest.mark.parametrize("n_ranks", [1, 3, 8])
+def test_tsp_matches_serial_exactly(n_ranks):
+    app = TSP(n_cities=9)
+    report = run_app(app, n_ranks)
+    serial = app.serial_result(n_ranks, SEED)
+    assert report.result["optimum"] == serial["optimum"]
+
+
+def test_tsp_optimum_matches_brute_force():
+    from itertools import permutations
+
+    from repro.apps.tsp import _make_map
+
+    app = TSP(n_cities=7)
+    report = run_app(app, 4)
+    dist = _make_map(7, SEED)
+    best = min(
+        sum(dist[a, b] for a, b in zip((0,) + p, p + (0,)))
+        for p in permutations(range(1, 7))
+    )
+    assert report.result["optimum"] == best
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 8])
+def test_nqueens_matches_serial(n_ranks):
+    app = NQueens(n=8)
+    report = run_app(app, n_ranks)
+    assert report.result["solutions"] == app.serial_result(n_ranks, SEED)["solutions"]
+
+
+@pytest.mark.parametrize("n,expected", [(6, 4), (7, 40), (8, 92), (9, 352)])
+def test_nqueens_known_counts(n, expected):
+    app = NQueens(n=n)
+    report = run_app(app, 4)
+    assert report.result["solutions"] == expected
+
+
+@pytest.mark.parametrize(
+    "app_factory",
+    [
+        lambda: SOR(n=26, iters=8),
+        lambda: Ising(n=24, iters=6),
+        lambda: ASP(n=40),
+        lambda: NBody(n=48, iters=4),
+        lambda: Gauss(n=48),
+        lambda: TSP(n_cities=9),
+        lambda: NQueens(n=8),
+    ],
+    ids=["sor", "ising", "asp", "nbody", "gauss", "tsp", "nqueens"],
+)
+def test_runs_are_reproducible(app_factory):
+    r1 = run_app(app_factory(), 4)
+    r2 = run_app(app_factory(), 4)
+    assert r1.sim_time == r2.sim_time
+    assert str(r1.result) == str(r2.result)
+
+
+@pytest.mark.parametrize(
+    "app_factory",
+    [
+        lambda: SOR(n=26, iters=8),
+        lambda: Ising(n=24, iters=6),
+        lambda: ASP(n=40),
+    ],
+    ids=["sor", "ising", "asp"],
+)
+def test_apps_validate_too_many_ranks(app_factory):
+    app = app_factory()
+    with pytest.raises(ValueError):
+        app.make_state(0, 1000, SEED)
+
+
+def test_app_describe_strings():
+    assert "sor" in SOR(n=26, iters=1).describe()
+    assert "ising" in Ising(n=24, iters=1).describe()
+    assert "asp" in ASP(n=40).describe()
+    assert "nbody" in NBody(n=48, iters=1).describe()
+    assert "gauss" in Gauss(n=48).describe()
+    assert "tsp" in TSP(n_cities=8).describe()
+    assert "nqueens" in NQueens(n=8).describe()

@@ -1,0 +1,91 @@
+"""Unit tests for logging-aware (orphan-tolerant) garbage collection."""
+
+import numpy as np
+
+from repro.chklib import CheckpointRecord, CheckpointStore, Snapshot, collect_garbage
+from repro.net import Message
+
+
+def rec(rank, index, sent=None, consumed=None, annex=None):
+    record = CheckpointRecord(
+        rank=rank,
+        index=index,
+        snapshot=Snapshot.capture({"x": np.zeros(16)}),
+        comm_meta={
+            "sent": dict(sent or {}),
+            "consumed": dict(consumed or {}),
+            "coll_counter": 0,
+        },
+        taken_at=float(index),
+    )
+    record.written_at = float(index)
+    record.committed = True
+    for dst, seq in annex or []:
+        m = Message(src=rank, dst=dst, tag=0, payload=b"x", seq=seq)
+        m.finalize_size()
+        record.log_annex.append(m)
+    return record
+
+
+def test_logging_gc_keeps_only_latest_when_all_consumed():
+    store = CheckpointStore(2)
+    # rank 0 logged sends 1..2 with ckpt1, 3..4 with ckpt2
+    store.add(rec(0, 1, sent={1: 2}, annex=[(1, 1), (1, 2)]))
+    store.add(rec(0, 2, sent={1: 4}, annex=[(1, 3), (1, 4)]))
+    # rank 1's latest checkpoint has consumed everything rank 0 sent
+    store.add(rec(1, 1, consumed={0: 2}))
+    store.add(rec(1, 2, consumed={0: 4}))
+    stats = collect_garbage(store, logging_recovery=True)
+    assert stats.line_indices == {0: 2, 1: 2}
+    assert [r.index for r in store.chain(0)] == [2]
+    assert [r.index for r in store.chain(1)] == [2]
+    assert stats.freed_checkpoints == 2
+
+
+def test_logging_gc_keeps_old_checkpoint_with_live_intransit_logs():
+    store = CheckpointStore(2)
+    # ckpt1's annex holds seq 2, which rank 1's latest cut has NOT consumed
+    store.add(rec(0, 1, sent={1: 2}, annex=[(1, 1), (1, 2)]))
+    store.add(rec(0, 2, sent={1: 2}))
+    store.add(rec(1, 1, consumed={0: 1}))
+    stats = collect_garbage(store, logging_recovery=True)
+    # rank 0's ckpt1 must survive: seq 2 is in transit across the line
+    assert [r.index for r in store.chain(0)] == [1, 2]
+    assert stats.freed_checkpoints == 0
+
+
+def test_logging_gc_old_checkpoint_without_annex_is_garbage():
+    store = CheckpointStore(1)
+    store.add(rec(0, 1))
+    store.add(rec(0, 2))
+    store.add(rec(0, 3))
+    stats = collect_garbage(store, logging_recovery=True)
+    assert [r.index for r in store.chain(0)] == [3]
+    assert stats.freed_checkpoints == 2
+
+
+def test_logging_gc_vs_transitless_gc_difference():
+    """The same store: transitless GC collects nothing (misaligned counts),
+    logging GC reduces to the latest line."""
+
+    def build():
+        store = CheckpointStore(2)
+        store.add(rec(0, 1, sent={1: 3}, annex=[(1, 1), (1, 2), (1, 3)]))
+        store.add(rec(0, 2, sent={1: 6}, annex=[(1, 4), (1, 5), (1, 6)]))
+        store.add(rec(1, 1, consumed={0: 2}))
+        # seq 6 still in transit at rank 1's newest cut
+        store.add(rec(1, 2, consumed={0: 5}))
+        return store
+
+    strict = build()
+    stats_strict = collect_garbage(strict, transitless=True)
+    # transitless rollback cascades to the initial states: nothing to free
+    assert stats_strict.freed_checkpoints == 0
+    assert stats_strict.line_indices == {0: 0, 1: 0}
+
+    logged = build()
+    stats_logged = collect_garbage(logged, logging_recovery=True)
+    # ckpt1's annex (seqs 1-3) is fully consumed by rank 1's latest cut:
+    # the old checkpoints die; seq 6 lives in the latest annex, which stays
+    assert stats_logged.freed_checkpoints == 2
+    assert logged.count() == 2

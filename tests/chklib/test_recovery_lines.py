@@ -1,0 +1,175 @@
+"""Unit tests for recovery-line computation and dependency graphs."""
+
+import pytest
+
+from repro.chklib.dependency import (
+    interval_send_ranges,
+    line_via_graph,
+    rollback_dependency_graph,
+)
+from repro.chklib.recovery import (
+    CutPoint,
+    consistent_line,
+    domino_extent,
+    in_transit_ranges,
+    is_consistent,
+    rollback_distances,
+)
+
+
+def cut(rank, index, sent=None, consumed=None):
+    return CutPoint(
+        rank=rank,
+        index=index,
+        sent=tuple(sorted((sent or {}).items())),
+        consumed=tuple(sorted((consumed or {}).items())),
+    )
+
+
+def chain(rank, *points):
+    """Build a cut list [initial, ...points] for `rank`."""
+    return [cut(rank, 0)] + list(points)
+
+
+class TestConsistency:
+    def test_empty_line_is_consistent(self):
+        line = {0: cut(0, 0), 1: cut(1, 0)}
+        assert is_consistent(line)
+        assert is_consistent(line, transitless=True)
+
+    def test_orphan_detected(self):
+        # rank 1 consumed 3 messages from rank 0 which only sent 2
+        line = {0: cut(0, 1, sent={1: 2}), 1: cut(1, 1, consumed={0: 3})}
+        assert not is_consistent(line)
+
+    def test_in_transit_ok_unless_transitless(self):
+        line = {0: cut(0, 1, sent={1: 5}), 1: cut(1, 1, consumed={0: 3})}
+        assert is_consistent(line)
+        assert not is_consistent(line, transitless=True)
+
+
+class TestConsistentLine:
+    def test_latest_kept_when_consistent(self):
+        cuts = {
+            0: chain(0, cut(0, 1, sent={1: 2})),
+            1: chain(1, cut(1, 1, consumed={0: 2})),
+        }
+        line = consistent_line(cuts)
+        assert line[0].index == 1 and line[1].index == 1
+
+    def test_receiver_rolls_back_on_orphan(self):
+        cuts = {
+            0: chain(0, cut(0, 1, sent={1: 1})),
+            1: chain(
+                1,
+                cut(1, 1, consumed={0: 1}),
+                cut(1, 2, consumed={0: 5}),  # orphan vs rank 0's cut 1
+            ),
+        }
+        line = consistent_line(cuts)
+        assert line[0].index == 1
+        assert line[1].index == 1
+
+    def test_cascade_staircase_domino(self):
+        # canonical misalignment: rank 0 always checkpoints *before* its
+        # send, rank 1 always *after* the matching receive. Any pairing
+        # (i, j) needs both j <= i-1 and i <= j: impossible above the start.
+        cuts = {
+            0: chain(
+                0,
+                cut(0, 1, sent={1: 0}, consumed={1: 0}),
+                cut(0, 2, sent={1: 1}, consumed={1: 1}),
+            ),
+            1: chain(
+                1,
+                cut(1, 1, sent={0: 0}, consumed={0: 1}),
+                cut(1, 2, sent={0: 1}, consumed={0: 2}),
+            ),
+        }
+        line = consistent_line(cuts)
+        # the cascade stops at rank 0's (empty) first checkpoint and rank
+        # 1's initial state
+        assert line[0].index == 1 and line[1].index == 0
+        latest = {0: 2, 1: 2}
+        assert domino_extent(line, latest) == 0.5
+        assert rollback_distances(line, latest) == {0: 1, 1: 2}
+
+    def test_transitless_rolls_back_sender(self):
+        cuts = {
+            0: chain(0, cut(0, 1, sent={1: 5})),
+            1: chain(1, cut(1, 1, consumed={0: 3})),
+        }
+        loose = consistent_line(cuts)
+        assert loose[0].index == 1 and loose[1].index == 1
+        strict = consistent_line(cuts, transitless=True)
+        # sender rolls to initial (sent 0), then receiver's consumed 3 is
+        # an orphan -> receiver rolls to initial too
+        assert strict[0].index == 0 and strict[1].index == 0
+
+    def test_maximality_three_ranks(self):
+        cuts = {
+            0: chain(0, cut(0, 1, sent={1: 1}), cut(0, 2, sent={1: 3})),
+            1: chain(1, cut(1, 1, consumed={0: 1}), cut(1, 2, consumed={0: 2})),
+            2: chain(2, cut(2, 1)),
+        }
+        line = consistent_line(cuts)
+        assert {r: c.index for r, c in line.items()} == {0: 2, 1: 2, 2: 1}
+
+    def test_in_transit_ranges(self):
+        line = {
+            0: cut(0, 1, sent={1: 5}),
+            1: cut(1, 1, consumed={0: 3}, sent={0: 2}),
+        }
+        ranges = in_transit_ranges(line)
+        assert ranges == {(0, 1): (4, 5), (1, 0): (1, 2)}
+
+
+class TestDependencyGraph:
+    def test_interval_send_ranges(self):
+        cuts = chain(0, cut(0, 1, sent={1: 2}), cut(0, 2, sent={1: 2}))
+        ranges = interval_send_ranges(cuts, peer=1, final_count=5)
+        # interval 1 sent seqs 1-2; interval 2 nothing; volatile 3-5
+        assert ranges == [(1, 1, 2), (3, 3, 5)]
+
+    def test_edges_from_overlapping_ranges(self):
+        cuts = {
+            0: chain(0, cut(0, 1, sent={1: 2})),
+            1: chain(1, cut(1, 1, consumed={0: 1})),
+        }
+        g = rollback_dependency_graph(
+            cuts,
+            final_sent={0: {1: 3}},
+            final_consumed={1: {0: 3}},
+        )
+        # seqs 1-2 sent in (0,1); seq 1 consumed in (1,1), seqs 2-3 in (1,2)
+        assert g.has_edge((0, 1), (1, 1))
+        assert g.has_edge((0, 1), (1, 2))
+        assert g.has_edge((0, 2), (1, 2))  # volatile interval sent seq 3
+        assert not g.has_edge((0, 2), (1, 1))
+
+    def test_graph_line_matches_fixpoint_line(self):
+        cuts = {
+            0: chain(
+                0,
+                cut(0, 1, sent={1: 1}, consumed={1: 1}),
+                cut(0, 2, sent={1: 2}, consumed={1: 2}),
+            ),
+            1: chain(
+                1,
+                cut(1, 1, sent={0: 2}, consumed={0: 2}),
+                cut(1, 2, sent={0: 3}, consumed={0: 3}),
+            ),
+        }
+        final_sent = {0: {1: 3}, 1: {0: 4}}
+        final_consumed = {0: {1: 4}, 1: {0: 3}}
+        via_graph = line_via_graph(cuts, final_sent, final_consumed)
+        via_fixpoint = consistent_line(cuts)
+        assert {r: c.index for r, c in via_graph.items()} == {
+            r: c.index for r, c in via_fixpoint.items()
+        }
+
+    def test_volatile_intervals_marked(self):
+        cuts = {0: chain(0, cut(0, 1))}
+        g = rollback_dependency_graph(cuts, final_sent={}, final_consumed={})
+        assert g.nodes[(0, 2)]["volatile"]
+        assert not g.nodes[(0, 1)]["volatile"]

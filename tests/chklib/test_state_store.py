@@ -1,0 +1,156 @@
+"""Unit tests for Snapshot and CheckpointStore."""
+
+import numpy as np
+import pytest
+
+from repro.chklib import CheckpointRecord, CheckpointStore, Snapshot, state_nbytes
+
+
+def make_record(rank, index, state=None, **kw):
+    snap = Snapshot.capture(state if state is not None else {"iter": index})
+    return CheckpointRecord(
+        rank=rank,
+        index=index,
+        snapshot=snap,
+        comm_meta={"sent": {}, "consumed": {}, "coll_counter": 0},
+        taken_at=float(index),
+        **kw,
+    )
+
+
+class TestSnapshot:
+    def test_roundtrip_isolates_mutation(self):
+        state = {"iter": 3, "grid": np.arange(10.0)}
+        snap = Snapshot.capture(state)
+        state["grid"][0] = 999.0
+        state["iter"] = 4
+        restored = snap.restore()
+        assert restored["iter"] == 3
+        assert restored["grid"][0] == 0.0
+
+    def test_restore_twice_independent(self):
+        snap = Snapshot.capture({"a": np.zeros(4)})
+        r1, r2 = snap.restore(), snap.restore()
+        r1["a"][0] = 5
+        assert r2["a"][0] == 0
+
+    def test_nbytes_tracks_array_size(self):
+        small = Snapshot.capture({"x": np.zeros(10)})
+        big = Snapshot.capture({"x": np.zeros(10_000)})
+        assert big.nbytes - small.nbytes > 9000 * 8 * 0.99
+
+    def test_rng_in_state_roundtrips(self):
+        rng = np.random.default_rng(42)
+        rng.random(5)
+        snap = Snapshot.capture({"rng": rng})
+        ahead = rng.random(3)
+        replay = snap.restore()["rng"].random(3)
+        np.testing.assert_array_equal(ahead, replay)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TypeError):
+            Snapshot.capture([1, 2, 3])
+
+    def test_state_nbytes_matches_capture(self):
+        state = {"x": np.zeros(100)}
+        assert state_nbytes(state) == Snapshot.capture(state).nbytes
+
+
+class TestCheckpointRecord:
+    def test_byte_accounting_with_pad(self):
+        rec = make_record(0, 1, {"x": np.zeros(100)}, pad_bytes=1000)
+        assert rec.state_bytes == rec.snapshot.nbytes + 1000
+        assert rec.total_bytes == rec.state_bytes
+
+    def test_channel_and_log_bytes(self):
+        from repro.net import Message
+
+        rec = make_record(0, 1)
+        m = Message(src=1, dst=0, tag=0, payload=np.zeros(10), seq=1)
+        m.finalize_size()
+        rec.channel_msgs.append(m)
+        rec.log_annex.append(m)
+        assert rec.channel_bytes == m.size
+        assert rec.log_bytes == m.size
+        assert rec.total_bytes == rec.state_bytes + 2 * m.size
+
+
+class TestCheckpointStore:
+    def test_add_get_chain(self):
+        store = CheckpointStore(2)
+        store.add(make_record(0, 1))
+        store.add(make_record(0, 2))
+        store.add(make_record(1, 1))
+        assert [r.index for r in store.chain(0)] == [1, 2]
+        assert store.get(1, 1).rank == 1
+        assert store.count() == 3
+        assert store.count(rank=0) == 2
+
+    def test_duplicate_index_rejected(self):
+        store = CheckpointStore(1)
+        store.add(make_record(0, 1))
+        with pytest.raises(ValueError):
+            store.add(make_record(0, 1))
+
+    def test_zero_index_rejected(self):
+        store = CheckpointStore(1)
+        with pytest.raises(ValueError):
+            store.add(make_record(0, 0))
+
+    def test_latest_index(self):
+        store = CheckpointStore(2)
+        assert store.latest_index(0) == 0
+        store.add(make_record(0, 3))
+        assert store.latest_index(0) == 3
+
+    def test_latest_committed_global(self):
+        store = CheckpointStore(2)
+        for rank in (0, 1):
+            for idx in (1, 2):
+                store.add(make_record(rank, idx))
+        assert store.latest_committed_global() == 0
+        store.commit(0, 1)
+        store.commit(0, 2)
+        store.commit(1, 1)
+        assert store.latest_committed_global() == 1
+        store.commit(1, 2)
+        assert store.latest_committed_global() == 2
+
+    def test_discard_frees_bytes(self):
+        store = CheckpointStore(1)
+        rec = make_record(0, 1, {"x": np.zeros(1000)})
+        store.add(rec)
+        freed = store.discard(0, 1)
+        assert freed == rec.total_bytes
+        assert store.count() == 0
+        assert store.discarded_count == 1
+
+    def test_discard_older_than(self):
+        store = CheckpointStore(1)
+        for idx in (1, 2, 3):
+            store.add(make_record(0, idx))
+        store.discard_older_than(0, 3)
+        assert [r.index for r in store.chain(0)] == [3]
+
+    def test_peaks_track_maximum(self):
+        store = CheckpointStore(1)
+        store.add(make_record(0, 1, {"x": np.zeros(100)}))
+        store.add(make_record(0, 2, {"x": np.zeros(100)}))
+        peak = store.peak_bytes
+        store.discard(0, 1)
+        store.add(make_record(0, 3, {"x": np.zeros(10)}))
+        assert store.peak_bytes == peak
+        assert store.peak_checkpoints == 2
+
+    def test_find_logged(self):
+        from repro.net import Message
+
+        store = CheckpointStore(2)
+        rec = make_record(0, 1)
+        msg = Message(src=0, dst=1, tag=0, payload="m", seq=7)
+        msg.finalize_size()
+        rec.log_annex.append(msg)
+        store.add(rec)
+        assert store.find_logged(0, 1, 7) is msg
+        assert store.find_logged(0, 1, 8) is None
+        assert store.find_logged(1, 0, 7) is None

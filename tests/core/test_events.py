@@ -1,0 +1,136 @@
+"""Unit tests for events: lifecycle, composition, failure semantics."""
+
+import pytest
+
+from repro.core import AllOf, AnyOf, Engine, Event, EventAlreadyTriggered
+
+
+def test_event_lifecycle_flags():
+    eng = Engine()
+    ev = Event(eng)
+    assert not ev.triggered and not ev.processed
+    ev.succeed(7)
+    assert ev.triggered and not ev.processed
+    eng.run()
+    assert ev.processed
+    assert ev.value == 7
+
+
+def test_value_before_trigger_raises():
+    eng = Engine()
+    ev = Event(eng)
+    with pytest.raises(AttributeError):
+        _ = ev.value
+
+
+def test_double_succeed_rejected():
+    eng = Engine()
+    ev = Event(eng)
+    ev.succeed()
+    with pytest.raises(EventAlreadyTriggered):
+        ev.succeed()
+
+
+def test_fail_then_succeed_rejected():
+    eng = Engine()
+    ev = Event(eng)
+    ev.fail(RuntimeError())
+    ev.defused = True
+    with pytest.raises(EventAlreadyTriggered):
+        ev.succeed()
+
+
+def test_fail_requires_exception():
+    eng = Engine()
+    ev = Event(eng)
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_trigger_mirrors_success():
+    eng = Engine()
+    src, dst = Event(eng), Event(eng)
+    src.succeed("payload")
+    dst.trigger(src)
+    assert dst.triggered and dst.ok and dst._value == "payload"
+    eng.run()
+
+
+def test_anyof_fires_on_first():
+    eng = Engine()
+    t1 = eng.timeout(1.0, value="one")
+    t2 = eng.timeout(2.0, value="two")
+    results = {}
+
+    def proc():
+        got = yield (t1 | t2)
+        results.update(got)
+
+    eng.process(proc())
+    eng.run(until=1.5)
+    assert list(results.values()) == ["one"]
+
+
+def test_allof_waits_for_all():
+    eng = Engine()
+    t1 = eng.timeout(1.0, value="one")
+    t2 = eng.timeout(2.0, value="two")
+    done_at = []
+
+    def proc():
+        got = yield (t1 & t2)
+        done_at.append(eng.now)
+        assert set(got.values()) == {"one", "two"}
+
+    eng.process(proc())
+    eng.run()
+    assert done_at == [2.0]
+
+
+def test_empty_allof_is_immediate():
+    eng = Engine()
+    cond = AllOf(eng, [])
+    assert cond.triggered
+    eng.run()
+
+
+def test_condition_with_already_processed_member():
+    eng = Engine()
+    t1 = eng.timeout(0.0, value="early")
+    eng.run()  # t1 fully processed
+    cond = AnyOf(eng, [t1])
+    assert cond.triggered
+    eng.run()
+
+
+def test_condition_fails_if_member_fails():
+    eng = Engine()
+    good = eng.timeout(5.0)
+    bad = Event(eng)
+
+    def proc():
+        with pytest.raises(RuntimeError, match="member"):
+            yield (good & bad)
+
+    eng.process(proc())
+    bad.fail(RuntimeError("member failed"))
+    eng.run(until=1.0)
+
+
+def test_condition_rejects_foreign_events():
+    eng1, eng2 = Engine(), Engine()
+    with pytest.raises(ValueError):
+        AllOf(eng1, [Event(eng1), Event(eng2)])
+
+
+def test_timeout_carries_value():
+    eng = Engine()
+    got = []
+
+    def proc():
+        v = yield eng.timeout(1.0, value="hello")
+        got.append(v)
+
+    eng.process(proc())
+    eng.run()
+    assert got == ["hello"]

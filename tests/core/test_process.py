@@ -1,0 +1,219 @@
+"""Unit tests for simulation processes: composition, interrupts, errors."""
+
+import pytest
+
+from repro.core import Engine, Event, Interrupt, SimulationError, StopProcess
+
+
+def test_process_return_value():
+    eng = Engine()
+
+    def proc():
+        yield eng.timeout(1.0)
+        return "done"
+
+    p = eng.process(proc())
+    eng.run()
+    assert p.value == "done"
+    assert not p.is_alive
+
+
+def test_process_waits_on_process():
+    eng = Engine()
+    log = []
+
+    def child():
+        yield eng.timeout(2.0)
+        return "child-result"
+
+    def parent():
+        result = yield eng.process(child())
+        log.append((eng.now, result))
+
+    eng.process(parent())
+    eng.run()
+    assert log == [(2.0, "child-result")]
+
+
+def test_yield_from_subgenerator():
+    eng = Engine()
+
+    def helper():
+        yield eng.timeout(1.0)
+        return 10
+
+    def proc():
+        a = yield from helper()
+        b = yield from helper()
+        return a + b
+
+    p = eng.process(proc())
+    eng.run()
+    assert p.value == 20
+    assert eng.now == 2.0
+
+
+def test_stopprocess_terminates_with_value():
+    eng = Engine()
+
+    def helper():
+        yield eng.timeout(1.0)
+        raise StopProcess("early")
+
+    def proc():
+        yield from helper()
+        return "never reached"
+
+    p = eng.process(proc())
+    eng.run()
+    assert p.value == "early"
+
+
+def test_process_exception_fails_process_event():
+    eng = Engine()
+
+    def bad():
+        yield eng.timeout(1.0)
+        raise ValueError("inner")
+
+    def watcher():
+        with pytest.raises(ValueError, match="inner"):
+            yield eng.process(bad())
+
+    eng.process(watcher())
+    eng.run()
+
+
+def test_yielding_non_event_raises_inside_process():
+    eng = Engine()
+
+    def bad():
+        yield 42  # type: ignore[misc]
+
+    def watcher():
+        with pytest.raises(SimulationError, match="must yield Event"):
+            yield eng.process(bad())
+
+    eng.process(watcher())
+    eng.run()
+
+
+def test_interrupt_delivers_cause():
+    eng = Engine()
+    caught = []
+
+    def victim():
+        try:
+            yield eng.timeout(10.0)
+        except Interrupt as exc:
+            caught.append((eng.now, exc.cause))
+
+    def attacker(v):
+        yield eng.timeout(3.0)
+        v.interrupt(cause="failure")
+
+    v = eng.process(victim())
+    eng.process(attacker(v))
+    eng.run()
+    assert caught == [(3.0, "failure")]
+
+
+def test_interrupt_finished_process_is_noop():
+    eng = Engine()
+
+    def quick():
+        yield eng.timeout(1.0)
+
+    p = eng.process(quick())
+    eng.run()
+    p.interrupt()  # silent no-op
+
+
+def test_interrupted_process_can_continue():
+    eng = Engine()
+    log = []
+
+    def victim():
+        try:
+            yield eng.timeout(10.0)
+        except Interrupt:
+            pass
+        yield eng.timeout(1.0)
+        log.append(eng.now)
+
+    def attacker(v):
+        yield eng.timeout(2.0)
+        v.interrupt()
+
+    v = eng.process(victim())
+    eng.process(attacker(v))
+    eng.run()
+    assert log == [3.0]
+
+
+def test_old_target_firing_after_interrupt_does_not_double_resume():
+    eng = Engine()
+    resumed = []
+
+    def victim():
+        try:
+            yield eng.timeout(5.0)
+            resumed.append("timeout")
+        except Interrupt:
+            resumed.append("interrupt")
+        # wait past the original timeout to prove it does not resume us
+        yield eng.timeout(10.0)
+
+    def attacker(v):
+        yield eng.timeout(1.0)
+        v.interrupt()
+
+    v = eng.process(victim())
+    eng.process(attacker(v))
+    eng.run()
+    assert resumed == ["interrupt"]
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    eng = Engine()
+    done = []
+
+    def proc():
+        t = eng.timeout(0.0, value="v")
+        yield eng.timeout(1.0)  # t is long processed by now
+        got = yield t
+        done.append(got)
+
+    eng.process(proc())
+    eng.run()
+    assert done == ["v"]
+
+
+def test_process_requires_generator():
+    eng = Engine()
+    with pytest.raises(TypeError):
+        eng.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_name_defaults():
+    eng = Engine()
+
+    def worker():
+        yield eng.timeout(0.1)
+
+    p = eng.process(worker(), name="io-thread")
+    assert p.name == "io-thread"
+    eng.run()
+
+
+def test_active_process_accounting():
+    eng = Engine()
+
+    def proc():
+        yield eng.timeout(1.0)
+
+    eng.process(proc())
+    eng.process(proc())
+    assert eng._active_processes == 2
+    eng.run()
+    assert eng._active_processes == 0

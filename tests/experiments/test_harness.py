@@ -1,0 +1,134 @@
+"""Experiment-harness tests on miniature workloads (fast, full machinery)."""
+
+import pytest
+
+from repro.apps import SOR, NQueens
+from repro.experiments import (
+    SCHEMES_TABLE1,
+    Workload,
+    make_scheme,
+    run_workload,
+    table1_workloads,
+    table23_workloads,
+)
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table23 import run_table23
+from repro.machine import MachineParams
+
+
+def tiny_sor():
+    app = SOR(n=40, iters=60, flops_per_cell=600.0)
+    app.image_bytes = 64 * 1024
+    return app
+
+
+def tiny_nqueens():
+    app = NQueens(n=9, flops_per_node=40000.0)
+    app.image_bytes = 64 * 1024
+    return app
+
+
+TINY = [Workload("sor-tiny", tiny_sor), Workload("nq-tiny", tiny_nqueens)]
+MACHINE = MachineParams(n_nodes=4)
+
+
+class TestSchemeFactory:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "coord_nb",
+            "coord_nbm",
+            "coord_nbms",
+            "coord_nbs",
+            "indep",
+            "indep_m",
+            "indep_log",
+            "indep_m_log",
+        ],
+    )
+    def test_known_schemes(self, name):
+        scheme = make_scheme(name, [1.0, 2.0], 1.0)
+        assert scheme.name
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheme("nope", [1.0], 1.0)
+
+    def test_variant_flags(self):
+        assert not make_scheme("coord_nb", [1.0], 1.0).memory_ckpt
+        assert make_scheme("coord_nbm", [1.0], 1.0).memory_ckpt
+        nbms = make_scheme("coord_nbms", [1.0], 1.0)
+        assert nbms.memory_ckpt and nbms.staggered
+        nbs = make_scheme("coord_nbs", [1.0], 1.0)
+        assert nbs.staggered and not nbs.memory_ckpt
+
+
+class TestRunWorkload:
+    def test_overheads_positive_and_consistent(self):
+        res = run_workload(
+            TINY[0], ("coord_nb", "coord_nbms"), rounds=2, machine=MACHINE
+        )
+        assert res.normal_time > 0
+        for scheme in ("coord_nb", "coord_nbms"):
+            assert res.overhead_seconds(scheme) > 0
+            assert res.overhead_percent(scheme) == pytest.approx(
+                100 * res.overhead_seconds(scheme) / res.normal_time
+            )
+            assert res.per_checkpoint(scheme) == pytest.approx(
+                res.overhead_seconds(scheme) / 2
+            )
+
+    def test_interval_spacing(self):
+        res = run_workload(TINY[0], (), rounds=3, machine=MACHINE)
+        assert res.interval == pytest.approx(res.normal_time / 4.5)
+
+
+class TestWorkloadCatalogues:
+    def test_table1_has_21_rows(self):
+        ws = table1_workloads()
+        assert len(ws) == 21
+        labels = [w.label for w in ws]
+        assert sum(1 for x in labels if x.startswith("ising")) == 8
+        assert sum(1 for x in labels if x.startswith("sor")) == 6
+        assert "tsp-12" in labels and "nqueens-12" in labels
+
+    def test_table23_has_9_rows(self):
+        assert len(table23_workloads()) == 9
+
+    def test_scale_shrinks_iterations(self):
+        full = table1_workloads(1.0)[0].make()
+        quick = table1_workloads(0.2)[0].make()
+        assert quick.iters < full.iters
+        assert quick.n == full.n  # sizes (checkpoint volumes) unchanged
+
+    def test_factories_make_fresh_instances(self):
+        w = table1_workloads()[0]
+        assert w.make() is not w.make()
+
+
+class TestTableRunners:
+    def test_table1_on_tiny_workloads(self):
+        result = run_table1(workloads=TINY, machine=MACHINE, rounds=2)
+        table = result.render()
+        assert "sor-tiny" in table and "nq-tiny" in table
+        assert "COORD_NBMS" in table
+        rows = result.rows()
+        assert len(rows) == 2
+        assert all(set(r) == set(SCHEMES_TABLE1) for r in rows)
+        # summary lines render
+        assert "better in" in result.summary()
+        assert set(result.shape_holds()) == {
+            "nb_beats_indep_majority",
+            "indep_m_beats_nbm_majority",
+            "nbms_beats_indep_m_majority",
+        }
+
+    def test_table23_on_tiny_workloads(self):
+        result = run_table23(workloads=TINY, machine=MACHINE, rounds=2)
+        t2 = result.render_table2()
+        t3 = result.render_table3()
+        assert "NORMAL" in t2
+        assert "%" in t3
+        red = result.nb_to_nbms_reduction()
+        assert red["min"] > 0
+        assert "reduction factor" in result.summary()

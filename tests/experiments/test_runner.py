@@ -1,0 +1,61 @@
+"""CLI runner smoke tests (tiny workloads via monkeypatching)."""
+
+import pytest
+
+import repro.experiments.runner as runner_mod
+from repro.apps import SOR, NQueens
+from repro.experiments import Workload
+
+
+def tiny_workloads(scale=1.0):
+    def sor():
+        app = SOR(n=32, iters=50, flops_per_cell=800.0)
+        app.image_bytes = 32 * 1024
+        return app
+
+    def nq():
+        app = NQueens(n=8, flops_per_node=60000.0)
+        app.image_bytes = 32 * 1024
+        return app
+
+    return [Workload("sor-tiny", sor), Workload("nq-tiny", nq)]
+
+
+@pytest.fixture(autouse=True)
+def patch_workloads(monkeypatch):
+    monkeypatch.setattr(runner_mod, "table1_workloads", tiny_workloads)
+    monkeypatch.setattr(runner_mod, "table23_workloads", tiny_workloads)
+
+
+def test_runner_table1(capsys):
+    assert runner_mod.main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "shape checks" in out
+    assert "sor-tiny" in out
+
+
+def test_runner_table2_and_3_share_runs(capsys):
+    assert runner_mod.main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert runner_mod.main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+    assert "reduction factor" in out
+
+
+def test_runner_quick_flag(capsys):
+    assert runner_mod.main(["table1", "--quick", "--seed", "3"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_runner_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        runner_mod.main(["not-an-experiment"])
+
+
+def test_runner_ablation_staggering(capsys):
+    assert runner_mod.main(["ablation-staggering"]) == 0
+    out = capsys.readouterr().out
+    assert "A1" in out and "COORD_NBS" in out

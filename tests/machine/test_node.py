@@ -1,0 +1,134 @@
+"""Unit tests for the node compute/interference model."""
+
+import pytest
+
+from repro.core import Engine
+from repro.machine import Node, NodeParams
+
+
+def make_node(**kw):
+    eng = Engine()
+    return eng, Node(eng, 0, NodeParams(**kw))
+
+
+def test_compute_duration_uncontended():
+    eng, node = make_node(cpu_flops=1000.0)
+
+    def proc():
+        yield from node.compute(5000.0)
+
+    eng.process(proc())
+    eng.run()
+    assert eng.now == pytest.approx(5.0)
+    assert node.flops_done == pytest.approx(5000.0)
+
+
+def test_compute_zero_work_is_instant():
+    eng, node = make_node()
+
+    def proc():
+        yield from node.compute(0.0)
+
+    eng.process(proc())
+    eng.run()
+    assert eng.now == 0.0
+
+
+def test_compute_negative_work_rejected():
+    eng, node = make_node()
+    gen = node.compute(-1.0)
+    with pytest.raises(ValueError):
+        next(gen)
+
+
+def test_interference_slows_compute():
+    eng, node = make_node(cpu_flops=1000.0, bg_write_interference=0.5)
+
+    def app():
+        yield from node.compute(3000.0)
+
+    def ckpt_thread():
+        node.bg_stream_started()
+        yield eng.timeout(100.0)  # stream for the whole run
+        node.bg_stream_stopped()
+
+    eng.process(app())
+    eng.process(ckpt_thread())
+    eng.run(until=10.0)
+    # effective rate 1000/1.5 = 666.67 -> 3000 flops in 4.5 s
+    assert node.flops_done == pytest.approx(3000.0)
+    assert node.busy_time == pytest.approx(4.5)
+
+
+def test_interference_mid_compute_exact_integration():
+    eng, node = make_node(cpu_flops=1000.0, bg_write_interference=1.0)
+    finished = []
+
+    def app():
+        yield from node.compute(4000.0)
+        finished.append(eng.now)
+
+    def ckpt_thread():
+        yield eng.timeout(2.0)  # app does 2000 flops at full rate
+        node.bg_stream_started()
+        yield eng.timeout(2.0)  # app does 1000 flops at half rate
+        node.bg_stream_stopped()
+
+    eng.process(app())
+    eng.process(ckpt_thread())
+    eng.run()
+    # remaining 1000 flops at full rate -> finish at t = 2 + 2 + 1 = 5
+    assert finished == [pytest.approx(5.0)]
+
+
+def test_slowdown_property():
+    eng, node = make_node(bg_write_interference=0.3)
+    assert node.slowdown == 1.0
+    node.bg_stream_started()
+    assert node.slowdown == pytest.approx(1.3)
+    node.bg_stream_stopped()
+    assert node.slowdown == 1.0
+
+
+def test_bg_stream_underflow_raises():
+    eng, node = make_node()
+    with pytest.raises(RuntimeError):
+        node.bg_stream_stopped()
+
+
+def test_mem_copy_duration():
+    eng, node = make_node(mem_copy_bw=1e6)
+
+    def proc():
+        yield from node.mem_copy(2e6)
+
+    eng.process(proc())
+    eng.run()
+    assert eng.now == pytest.approx(2.0)
+
+
+def test_compute_time_helper():
+    eng, node = make_node(cpu_flops=2000.0)
+    assert node.compute_time(1000.0) == pytest.approx(0.5)
+
+
+def test_parallel_computes_on_one_node_both_slow_during_stream():
+    """Two app processes on a node both integrate the interference."""
+    eng, node = make_node(cpu_flops=1000.0, bg_write_interference=1.0)
+    done = {}
+
+    def app(tag, work):
+        yield from node.compute(work)
+        done[tag] = eng.now
+
+    def ckpt():
+        node.bg_stream_started()
+        yield eng.timeout(1000.0)
+        node.bg_stream_stopped()
+
+    eng.process(app("a", 1000.0))
+    eng.process(app("b", 2000.0))
+    eng.process(ckpt())
+    eng.run(until=100.0)
+    assert done["a"] == pytest.approx(2.0)
+    assert done["b"] == pytest.approx(4.0)

@@ -1,0 +1,167 @@
+"""Unit tests for the processor-sharing transfer server."""
+
+import pytest
+
+from repro.core import Engine
+from repro.machine import SharedServer
+
+
+def finish_times(engine, server, sizes, starts=None):
+    """Run transfers and return each job's completion time."""
+    starts = starts or [0.0] * len(sizes)
+    times = {}
+
+    def submit(idx, size, start):
+        if start:
+            yield engine.timeout(start)
+        job = server.transfer(size, tag=str(idx))
+        yield job.done
+        times[idx] = engine.now
+
+    for i, (size, start) in enumerate(zip(sizes, starts)):
+        engine.process(submit(i, size, start))
+    engine.run()
+    return times
+
+
+def test_single_transfer_full_bandwidth():
+    eng = Engine()
+    srv = SharedServer(eng, bandwidth=100.0)
+    t = finish_times(eng, srv, [500.0])
+    assert t[0] == pytest.approx(5.0)
+
+
+def test_two_equal_transfers_share_fairly():
+    eng = Engine()
+    srv = SharedServer(eng, bandwidth=100.0)
+    t = finish_times(eng, srv, [500.0, 500.0])
+    # each gets 50 B/s -> both finish at 10 s
+    assert t[0] == pytest.approx(10.0)
+    assert t[1] == pytest.approx(10.0)
+
+
+def test_short_job_leaves_long_job_speeds_up():
+    eng = Engine()
+    srv = SharedServer(eng, bandwidth=100.0)
+    t = finish_times(eng, srv, [100.0, 500.0])
+    # both at 50 B/s until t=2 (job0 done, 100 B drained each);
+    # job1 has 400 B left at full 100 B/s -> done at 6 s.
+    assert t[0] == pytest.approx(2.0)
+    assert t[1] == pytest.approx(6.0)
+
+
+def test_staggered_arrival():
+    eng = Engine()
+    srv = SharedServer(eng, bandwidth=100.0)
+    t = finish_times(eng, srv, [500.0, 300.0], starts=[0.0, 3.0])
+    # job0 alone until t=3 (300 B done, 200 left); then shared at 50 B/s:
+    # job0 finishes at 3 + 200/50 = 7; job1 then has 300-200=100 left at
+    # full rate -> 8 s.
+    assert t[0] == pytest.approx(7.0)
+    assert t[1] == pytest.approx(8.0)
+
+
+def test_thrash_penalty_slows_concurrency():
+    eng = Engine()
+    srv = SharedServer(eng, bandwidth=100.0, thrash=0.5)
+    t = finish_times(eng, srv, [500.0, 500.0])
+    # per-job rate = 100 / (2 * 1.5) = 33.33 -> 15 s
+    assert t[0] == pytest.approx(15.0)
+    assert t[1] == pytest.approx(15.0)
+
+
+def test_serial_vs_concurrent_total_time_with_thrash():
+    """With thrash > 0, staggering the same byte volume is strictly faster —
+    the mechanism that makes Coord_NBMS win."""
+    eng1 = Engine()
+    srv1 = SharedServer(eng1, bandwidth=100.0, thrash=0.3)
+    concurrent = finish_times(eng1, srv1, [400.0] * 4)
+
+    eng2 = Engine()
+    srv2 = SharedServer(eng2, bandwidth=100.0, thrash=0.3)
+    serial = finish_times(eng2, srv2, [400.0] * 4, starts=[0.0, 4.0, 8.0, 12.0])
+
+    assert max(serial.values()) == pytest.approx(16.0)
+    assert max(concurrent.values()) > max(serial.values())
+
+
+def test_zero_byte_transfer_completes_immediately():
+    eng = Engine()
+    srv = SharedServer(eng, bandwidth=100.0)
+    job = srv.transfer(0.0)
+    assert job.done.triggered
+    eng.run()
+
+
+def test_cancel_removes_job_and_speeds_rest():
+    eng = Engine()
+    srv = SharedServer(eng, bandwidth=100.0)
+    cancelled = srv.transfer(1000.0)
+    t = {}
+
+    def other():
+        yield eng.timeout(0.0)
+        job = srv.transfer(100.0)
+        yield job.done
+        t["other"] = eng.now
+
+    def canceller():
+        yield eng.timeout(1.0)
+        srv.cancel(cancelled)
+
+    eng.process(other())
+    eng.process(canceller())
+    eng.run()
+    # shared (50 B/s) for 1 s -> 50 B done; then alone -> 50/100 = 0.5 s more
+    assert t["other"] == pytest.approx(1.5)
+    assert not cancelled.done.triggered
+
+
+def test_metrics_accumulate():
+    eng = Engine()
+    srv = SharedServer(eng, bandwidth=100.0)
+    finish_times(eng, srv, [100.0, 200.0])
+    assert srv.bytes_completed == pytest.approx(300.0)
+    assert srv.jobs_completed == 2
+    assert srv.peak_concurrency == 2
+
+
+def test_per_job_rate_formula():
+    eng = Engine()
+    srv = SharedServer(eng, bandwidth=120.0, thrash=0.25)
+    assert srv.per_job_rate(1) == pytest.approx(120.0)
+    assert srv.per_job_rate(2) == pytest.approx(120.0 / (2 * 1.25))
+    assert srv.per_job_rate(4) == pytest.approx(120.0 / (4 * 1.75))
+
+
+def test_invalid_parameters():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        SharedServer(eng, bandwidth=0.0)
+    with pytest.raises(ValueError):
+        SharedServer(eng, bandwidth=10.0, thrash=-0.1)
+    srv = SharedServer(eng, bandwidth=10.0)
+    with pytest.raises(ValueError):
+        srv.transfer(-1.0)
+
+
+def test_on_change_observer_sees_job_count():
+    eng = Engine()
+    srv = SharedServer(eng, bandwidth=100.0)
+    counts = []
+    srv.on_change.append(counts.append)
+    finish_times(eng, srv, [100.0, 100.0])
+    assert 2 in counts and 0 in counts
+
+
+def test_many_jobs_mass_conservation():
+    eng = Engine()
+    srv = SharedServer(eng, bandwidth=50.0, thrash=0.1)
+    sizes = [10.0 * (i + 1) for i in range(10)]
+    starts = [0.5 * i for i in range(10)]
+    t = finish_times(eng, srv, sizes, starts)
+    assert srv.bytes_completed == pytest.approx(sum(sizes))
+    assert len(t) == 10
+    # completion order respects size/start structure: job 0 is smallest and
+    # earliest, so it must finish first.
+    assert t[0] == min(t.values())

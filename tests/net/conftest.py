@@ -1,0 +1,22 @@
+"""Shared fixtures for network-layer tests."""
+
+import pytest
+
+from repro.core import Engine
+from repro.machine import Cluster, MachineParams
+from repro.net import Comm, Transport
+
+
+@pytest.fixture
+def world():
+    """A small deterministic world: engine, 4-node cluster, transport."""
+
+    def build(n=4, **machine_kw):
+        eng = Engine()
+        params = MachineParams(n_nodes=n, **machine_kw)
+        cluster = Cluster(eng, params)
+        transport = Transport(cluster)
+        comms = [Comm(transport, r, n) for r in range(n)]
+        return eng, cluster, transport, comms
+
+    return build

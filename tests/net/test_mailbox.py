@@ -1,0 +1,94 @@
+"""Unit tests for Mailbox matching, draining and waiter management."""
+
+import pytest
+
+from repro.core import Engine
+from repro.net import ANY_SOURCE, ANY_TAG, Message
+from repro.net.mailbox import Mailbox
+
+
+def msg(src=0, dst=1, tag=0, payload=None, seq=1):
+    m = Message(src=src, dst=dst, tag=tag, payload=payload, seq=seq)
+    m.finalize_size()
+    return m
+
+
+@pytest.fixture
+def box():
+    return Mailbox(Engine(), rank=1)
+
+
+def test_deliver_then_recv(box):
+    box.deliver(msg(payload="x"))
+    req = box.recv()
+    assert req.triggered and req._value.payload == "x"
+
+
+def test_recv_then_deliver(box):
+    req = box.recv(source=0, tag=5)
+    assert not req.triggered
+    box.deliver(msg(tag=5, payload="y"))
+    assert req.triggered
+
+
+def test_waiting_recv_skips_non_matching(box):
+    req = box.recv(source=2)
+    box.deliver(msg(src=0))
+    assert not req.triggered
+    assert len(box) == 1
+    box.deliver(msg(src=2))
+    assert req.triggered
+
+
+def test_oldest_matching_wins(box):
+    box.deliver(msg(seq=1, payload="first"))
+    box.deliver(msg(seq=2, payload="second"))
+    req = box.recv(source=0)
+    assert req._value.payload == "first"
+
+
+def test_wildcards(box):
+    box.deliver(msg(src=3, tag=9))
+    assert box.recv(source=ANY_SOURCE, tag=ANY_TAG).triggered
+
+
+def test_probe_matches_without_consuming(box):
+    box.deliver(msg(tag=4, payload="z"))
+    assert box.probe(tag=4).payload == "z"
+    assert box.probe(tag=5) is None
+    assert len(box) == 1
+
+
+def test_drain_empties_and_returns(box):
+    box.deliver(msg(seq=1))
+    box.deliver(msg(seq=2))
+    drained = box.drain()
+    assert [m.seq for m in drained] == [1, 2]
+    assert len(box) == 0
+
+
+def test_cancel_waiters_returns_specs(box):
+    box.recv(source=3, tag=7)
+    box.recv()
+    specs = box.cancel_waiters()
+    assert specs == [(3, 7), (ANY_SOURCE, ANY_TAG)]
+    # a later delivery goes to the buffer, not the cancelled waiters
+    box.deliver(msg(src=3, tag=7))
+    assert len(box) == 1
+
+
+def test_on_consume_hook_fires(box):
+    seen = []
+    box.on_consume = seen.append
+    box.deliver(msg(payload="a"))
+    box.recv()
+    assert len(seen) == 1 and seen[0].payload == "a"
+
+
+def test_multiple_waiters_fifo(box):
+    r1 = box.recv(source=0)
+    r2 = box.recv(source=0)
+    box.deliver(msg(seq=1))
+    box.deliver(msg(seq=2))
+    assert r1._value.seq == 1
+    assert r2._value.seq == 2

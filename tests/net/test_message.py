@@ -1,0 +1,53 @@
+"""Unit tests for Message and payload sizing."""
+
+import numpy as np
+import pytest
+
+from repro.net import HEADER_BYTES, Message, payload_nbytes
+
+
+def test_numpy_payload_sized_by_buffer():
+    arr = np.zeros(100, dtype=np.float64)
+    assert payload_nbytes(arr) == 800
+
+
+def test_none_payload_is_free():
+    assert payload_nbytes(None) == 0
+
+
+def test_scalar_payload_floor():
+    assert payload_nbytes(3) == 8
+    assert payload_nbytes(2.5) == 8
+    assert payload_nbytes(True) == 8
+
+
+def test_bytes_payload():
+    assert payload_nbytes(b"abcd") == 4
+
+
+def test_tuple_of_arrays_sums():
+    a = np.zeros(10, dtype=np.int64)
+    b = np.zeros(5, dtype=np.float32)
+    assert payload_nbytes((a, b, 7)) == 80 + 20 + 8
+
+
+def test_generic_payload_pickle_sized():
+    size = payload_nbytes({"key": [1, 2, 3]})
+    assert size > 8
+
+
+def test_finalize_size_adds_header():
+    msg = Message(src=0, dst=1, tag=5, payload=np.zeros(4))
+    msg.finalize_size()
+    assert msg.size == HEADER_BYTES + 32
+
+
+def test_finalize_size_keeps_explicit_size():
+    msg = Message(src=0, dst=1, tag=0, payload=None, size=999)
+    msg.finalize_size()
+    assert msg.size == 999
+
+
+def test_channel_property():
+    msg = Message(src=3, dst=7, tag=0, payload=None)
+    assert msg.channel == (3, 7)

@@ -1,0 +1,139 @@
+"""Property-based tests for recovery-line computation.
+
+Random executions are generated as message histories; cut counts are
+derived from them, and the invariants checked:
+
+* the fixpoint line is consistent;
+* it is maximal (componentwise >= every consistent line found by brute
+  force over all lines);
+* it matches the rollback-dependency-graph BFS on the same input;
+* the transitless line is componentwise <= the plain line and transitless.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chklib.dependency import line_via_graph
+from repro.chklib.recovery import CutPoint, consistent_line, is_consistent
+
+
+@st.composite
+def executions(draw):
+    """A random message history with interleaved checkpoints.
+
+    Returns (cuts, final_sent, final_consumed).
+    """
+    n_ranks = draw(st.integers(2, 4))
+    n_events = draw(st.integers(0, 40))
+    sent = {p: {q: 0 for q in range(n_ranks)} for p in range(n_ranks)}
+    consumed = {q: {p: 0 for p in range(n_ranks)} for q in range(n_ranks)}
+    #: per-channel backlog of sent-but-not-consumed counts
+    cuts = {p: [CutPoint(rank=p, index=0, sent=(), consumed=())] for p in range(n_ranks)}
+
+    def snapshot(p):
+        idx = len(cuts[p])
+        cuts[p].append(
+            CutPoint(
+                rank=p,
+                index=idx,
+                sent=tuple(sorted((q, c) for q, c in sent[p].items() if c)),
+                consumed=tuple(
+                    sorted((q, c) for q, c in consumed[p].items() if c)
+                ),
+            )
+        )
+
+    for _ in range(n_events):
+        kind = draw(st.sampled_from(["send", "recv", "ckpt"]))
+        if kind == "send":
+            p = draw(st.integers(0, n_ranks - 1))
+            q = draw(st.integers(0, n_ranks - 1))
+            if p != q:
+                sent[p][q] += 1
+        elif kind == "recv":
+            # consume from a channel with a backlog, FIFO
+            candidates = [
+                (p, q)
+                for p in range(n_ranks)
+                for q in range(n_ranks)
+                if p != q and consumed[q][p] < sent[p][q]
+            ]
+            if candidates:
+                p, q = draw(st.sampled_from(candidates))
+                consumed[q][p] += 1
+        else:
+            p = draw(st.integers(0, n_ranks - 1))
+            snapshot(p)
+
+    return cuts, sent, consumed
+
+
+@given(executions())
+@settings(max_examples=150, deadline=None)
+def test_fixpoint_line_is_consistent(execution):
+    cuts, _, _ = execution
+    line = consistent_line(cuts)
+    assert is_consistent(line)
+
+
+@given(executions())
+@settings(max_examples=150, deadline=None)
+def test_transitless_line_is_transitless_and_older(execution):
+    cuts, _, _ = execution
+    loose = consistent_line(cuts)
+    strict = consistent_line(cuts, transitless=True)
+    assert is_consistent(strict, transitless=True)
+    for r in cuts:
+        assert strict[r].index <= loose[r].index
+
+
+@given(executions())
+@settings(max_examples=60, deadline=None)
+def test_fixpoint_line_is_the_maximum(execution):
+    cuts, _, _ = execution
+    line = consistent_line(cuts)
+    ranks = sorted(cuts)
+    # brute force over every line (sizes are small by construction)
+    for combo in itertools.product(*[range(len(cuts[r])) for r in ranks]):
+        candidate = {r: cuts[r][i] for r, i in zip(ranks, combo)}
+        if is_consistent(candidate):
+            for r in ranks:
+                assert candidate[r].index <= line[r].index
+
+
+@given(executions())
+@settings(max_examples=80, deadline=None)
+def test_graph_bfs_agrees_with_fixpoint(execution):
+    cuts, sent, consumed = execution
+    via_fix = consistent_line(cuts)
+    via_graph = line_via_graph(cuts, final_sent=sent, final_consumed=consumed)
+    assert {r: c.index for r, c in via_graph.items()} == {
+        r: c.index for r, c in via_fix.items()
+    }
+
+
+@given(executions())
+@settings(max_examples=60, deadline=None)
+def test_line_monotone_under_more_checkpoints(execution):
+    """Adding a checkpoint never moves the line backwards (the GC-safety
+    property: discarding strictly-older checkpoints is sound)."""
+    cuts, sent, consumed = execution
+    before = consistent_line(cuts)
+    # append a fresh checkpoint of the final counters to one rank
+    import copy
+
+    cuts2 = copy.deepcopy(cuts)
+    p = sorted(cuts2)[0]
+    cuts2[p].append(
+        CutPoint(
+            rank=p,
+            index=len(cuts2[p]),
+            sent=tuple(sorted((q, c) for q, c in sent[p].items() if c)),
+            consumed=tuple(sorted((q, c) for q, c in consumed[p].items() if c)),
+        )
+    )
+    after = consistent_line(cuts2)
+    for r in cuts:
+        assert after[r].index >= before[r].index
