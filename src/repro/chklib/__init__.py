@@ -17,7 +17,16 @@ from .recovery import (
     is_consistent,
     rollback_distances,
 )
-from .runtime import CheckpointRuntime, Ctx, FaultPlan, RecoveryEvent, RunReport
+from .retry import stable_read, stable_write
+from .runtime import (
+    CheckpointRuntime,
+    Ctx,
+    FaultModel,
+    FaultPlan,
+    RecoveryEvent,
+    RetryPolicy,
+    RunReport,
+)
 from .schemes import (
     CoordinatedScheme,
     IndependentScheme,
@@ -32,8 +41,12 @@ __all__ = [
     "CheckpointRuntime",
     "Ctx",
     "FaultPlan",
+    "FaultModel",
+    "RetryPolicy",
     "RunReport",
     "RecoveryEvent",
+    "stable_write",
+    "stable_read",
     "Scheme",
     "SchemeAgent",
     "NoCheckpointing",

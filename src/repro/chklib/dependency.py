@@ -76,6 +76,10 @@ def rollback_dependency_graph(
         n_intervals = len(cuts[r])  # cuts 0..k -> intervals 1..k, +1 volatile
         for i in range(1, n_intervals + 1):
             g.add_node((r, i), volatile=(i == n_intervals))
+            if i > 1:
+                # succession: rolling back interval i invalidates the cut
+                # at its end, so every later interval of r rolls back too
+                g.add_edge((r, i - 1), (r, i))
     for p in ranks:
         for q in ranks:
             if p == q:

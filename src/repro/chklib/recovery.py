@@ -21,7 +21,7 @@ exists; :func:`consistent_line` finds it by standard rollback propagation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .storage_mgr import CheckpointRecord, CheckpointStore
 
@@ -62,17 +62,24 @@ class CutPoint:
 def build_cuts(
     store: CheckpointStore,
     written_only: bool = True,
+    eligible: Optional[Callable[[CheckpointRecord], bool]] = None,
 ) -> Dict[int, List[CutPoint]]:
     """Per-rank cut lists (index 0 = initial state) from the store.
 
     ``written_only`` excludes checkpoints whose write to stable storage has
-    not finished — they do not survive a crash.
+    not finished — they do not survive a crash. Quarantined checkpoints
+    (corrupt or unreadable) are always excluded; *eligible* narrows
+    further when given.
     """
     cuts: Dict[int, List[CutPoint]] = {}
     for rank in range(store.n_ranks):
         points = [CutPoint(rank=rank, index=0, sent=(), consumed=())]
         for rec in store.chain(rank):
             if written_only and rec.written_at is None:
+                continue
+            if rec.quarantined:
+                continue
+            if eligible is not None and not eligible(rec):
                 continue
             meta = rec.comm_meta
             points.append(

@@ -1,0 +1,84 @@
+"""Bounded retry-with-backoff around stable-storage operations.
+
+Storage operations can fail transiently when a
+:class:`~repro.fault.injection.StorageFaultInjector` is active. These
+helpers wrap :meth:`StableStorage.write` / :meth:`StableStorage.read` in
+the run's :class:`~repro.fault.model.RetryPolicy`: each failed attempt
+pays its (partial) transfer time, then the caller backs off and tries
+again, up to ``max_retries`` times. When the budget is exhausted the
+final :class:`~repro.core.errors.StorageFault` propagates and the caller
+decides the degradation path (coordinated aborts the round, independent
+drops the local checkpoint, recovery quarantines the record).
+
+A crash :class:`~repro.core.errors.Interrupt` is *not* retried — it
+propagates immediately so the owning process dies with the machine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..core.errors import StorageFault
+from ..fault.model import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.tracing import Tracer
+    from ..machine.node import Node
+    from ..machine.storage import StableStorage
+
+__all__ = ["stable_write", "stable_read"]
+
+
+def stable_write(
+    storage: "StableStorage",
+    node: "Node",
+    nbytes: float,
+    tag: str = "",
+    retry: Optional[RetryPolicy] = None,
+    tracer: Optional["Tracer"] = None,
+    background: bool = False,
+) -> Generator[Any, Any, None]:
+    """Write with retry-with-backoff; raises the last :class:`StorageFault`
+    once the retry budget is exhausted."""
+    retry = retry or RetryPolicy()
+    attempt = 0
+    while True:
+        try:
+            yield from storage.write(node, nbytes, tag=tag, background=background)
+            return
+        except StorageFault:
+            if attempt >= retry.max_retries:
+                raise
+            if tracer is not None:
+                tracer.add("storage.write_retries")
+            delay = retry.delay(attempt)
+            attempt += 1
+            if delay > 0:
+                yield storage.engine.timeout(delay)
+
+
+def stable_read(
+    storage: "StableStorage",
+    node: "Node",
+    nbytes: float,
+    tag: str = "",
+    retry: Optional[RetryPolicy] = None,
+    tracer: Optional["Tracer"] = None,
+) -> Generator[Any, Any, None]:
+    """Read with retry-with-backoff; raises the last :class:`StorageFault`
+    once the retry budget is exhausted."""
+    retry = retry or RetryPolicy()
+    attempt = 0
+    while True:
+        try:
+            yield from storage.read(node, nbytes, tag=tag)
+            return
+        except StorageFault:
+            if attempt >= retry.max_retries:
+                raise
+            if tracer is not None:
+                tracer.add("storage.read_retries")
+            delay = retry.delay(attempt)
+            attempt += 1
+            if delay > 0:
+                yield storage.engine.timeout(delay)

@@ -19,35 +19,35 @@ original results exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Sequence
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 import dataclasses as _dc
 
 from ..core.engine import Engine
-from ..core.errors import Interrupt
+from ..core.errors import Interrupt, SimulationError, StorageFault
 from ..core.events import Event
 from ..core.process import Process
 from ..core.rng import RngStreams
 from ..core.tracing import Tracer
+from ..fault.injection import make_injector
+from ..fault.model import FaultModel, FaultPlan, RetryPolicy
 from ..machine.cluster import Cluster
 from ..machine.params import MachineParams
 from ..net.api import Comm
 from ..net.transport import Transport
+from .recovery import CutPoint
 from .schemes.base import NoCheckpointing, Scheme
-from .storage_mgr import CheckpointStore
+from .storage_mgr import CheckpointRecord, CheckpointStore
 
-__all__ = ["CheckpointRuntime", "Ctx", "RunReport", "RecoveryEvent", "FaultPlan"]
-
-
-@dataclass(frozen=True)
-class FaultPlan:
-    """When to crash the machine (whole-application failures)."""
-
-    crash_times: Sequence[float] = ()
-
-    @staticmethod
-    def single(at: float) -> "FaultPlan":
-        return FaultPlan(crash_times=(float(at),))
+__all__ = [
+    "CheckpointRuntime",
+    "Ctx",
+    "RunReport",
+    "RecoveryEvent",
+    "FaultPlan",
+    "FaultModel",
+    "RetryPolicy",
+]
 
 
 @dataclass
@@ -61,6 +61,19 @@ class RecoveryEvent:
     replayed_messages: int
     duration: float  #: crash -> all drivers restarted
     domino_extent: float  #: fraction of ranks pushed to the initial state
+    #: ranks that actually failed (all ranks for a machine crash).
+    failed_ranks: Tuple[int, ...] = ()
+    #: ranks whose local disks died with them (per-node failures).
+    disks_lost: Tuple[int, ...] = ()
+    #: checkpoints quarantined while recovering (corrupt or unreadable).
+    quarantined: int = 0
+    #: restore-read retries spent before the line could be materialised.
+    restore_retries: int = 0
+    #: the restored line satisfied the *scheme's* recoverability
+    #: requirement (same committed round for coordinated, transitless for
+    #: unlogged independent, replayable logs for logged independent) —
+    #: always True for sound schemes; recorded so tests can assert it.
+    line_consistent: bool = True
 
 
 @dataclass
@@ -86,6 +99,14 @@ class RunReport:
     app_bytes: int
     counters: Dict[str, float] = field(default_factory=dict)
     recoveries: List[RecoveryEvent] = field(default_factory=list)
+    # -- resilience accounting (fault-injection subsystem) --------------------
+    storage_write_faults: int = 0  #: injected transient write failures
+    storage_read_faults: int = 0  #: injected transient read failures
+    storage_write_retries: int = 0  #: write attempts repeated after a fault
+    storage_read_retries: int = 0  #: read attempts repeated after a fault
+    rounds_aborted: int = 0  #: coordinated 2PC rounds aborted cleanly
+    ckpt_writes_failed: int = 0  #: checkpoint writes dropped after retries
+    checkpoints_quarantined: int = 0  #: records excluded as corrupt/unreadable
 
     @property
     def overhead_vs(self) -> Any:  # pragma: no cover - convenience stub
@@ -129,8 +150,11 @@ class CheckpointRuntime:
         machine: Optional[MachineParams] = None,
         seed: int = 0,
         fault_plan: Optional[FaultPlan] = None,
+        fault_model: Optional[FaultModel] = None,
         trace: bool = True,
     ) -> None:
+        if fault_plan is not None and fault_model is not None:
+            raise ValueError("pass either fault_plan or fault_model, not both")
         self.app = app
         self.engine = Engine()
         self.tracer = Tracer(self.engine, enabled=trace)
@@ -143,7 +167,21 @@ class CheckpointRuntime:
         self.scheme = scheme or NoCheckpointing()
         self.seed = int(seed)
         self.rngs = RngStreams(seed)
-        self.fault_plan = fault_plan
+        #: the unified fault model (legacy FaultPlan is normalised into it).
+        if fault_model is None and fault_plan is not None:
+            fault_model = FaultModel.from_plan(fault_plan)
+        self.fault_model = fault_model
+        self.fault_plan = fault_plan  # kept for legacy introspection
+        #: deterministic storage-fault oracle (None = storage never fails).
+        self.injector = (
+            make_injector(fault_model.storage, self.rngs)
+            if fault_model is not None
+            else None
+        )
+        if self.injector is not None:
+            # faults target the shared global server; private local disks
+            # stay reliable (they fail by dying with their node instead).
+            self.storage.set_fault_injector(self.injector)
         #: bumped on every recovery; stale wire messages are dropped by it.
         self.generation = 0
         self.recoveries: List[RecoveryEvent] = []
@@ -168,14 +206,21 @@ class CheckpointRuntime:
     def finished(self) -> bool:
         return self._done.triggered
 
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The run's retry/backoff knobs for failed storage operations."""
+        if self.fault_model is not None:
+            return self.fault_model.retry
+        return RetryPolicy()
+
     def run(self) -> RunReport:
         """Execute to completion (including any scheduled crashes)."""
         if self._ran:
             raise RuntimeError("a CheckpointRuntime instance runs only once")
         self._ran = True
         self.scheme.install(self)
-        if self.fault_plan is not None and self.fault_plan.crash_times:
-            self.engine.process(self._injector(), name="fault-injector")
+        if self.fault_model is not None and self.fault_model.has_crashes:
+            self.engine.process(self._crash_injector(), name="fault-injector")
         self._start_generation({r: None for r in range(self.n_ranks)})
         self.engine.run(until=self._done)
         return self._report()
@@ -221,25 +266,70 @@ class CheckpointRuntime:
 
     # -- failure injection & recovery -----------------------------------------------
 
-    def _injector(self):
-        assert self.fault_plan is not None
-        for t in sorted(self.fault_plan.crash_times):
-            if t > self.engine.now:
-                yield self.engine.timeout(t - self.engine.now)
+    def _crash_injector(self):
+        assert self.fault_model is not None
+        for ev in self.fault_model.crash_events(self.n_ranks):
+            if ev.time > self.engine.now:
+                yield self.engine.timeout(ev.time - self.engine.now)
             if self.finished:
                 return
-            yield from self._recover()
+            yield from self._recover(
+                failed_ranks=ev.ranks, disks_lost=ev.disks_lost
+            )
 
-    def _recover(self):
+    def _restore_reader(self, rank, rec, source, failures, stats):
+        """Read one rank's restore bytes, retrying transient faults; on an
+        exhausted retry budget the record lands in *failures* (the recovery
+        loop quarantines it and falls back) instead of raising — a reader
+        death inside ``all_of`` would take down recovery itself."""
+        nbytes = self.store.restore_read_bytes(rank, rec.index)
+        retry = self.retry_policy
+        attempt = 0
+        while True:
+            try:
+                yield from source.read(
+                    self.cluster.node(rank), nbytes, tag=f"restore:r{rank}"
+                )
+                return
+            except StorageFault:
+                if attempt >= retry.max_retries:
+                    failures[rank] = rec
+                    return
+                stats["restore_retries"] += 1
+                self.tracer.add("storage.read_retries")
+                delay = retry.delay(attempt)
+                attempt += 1
+                if delay > 0:
+                    yield self.engine.timeout(delay)
+
+    def _check_line(self, line) -> None:
+        """No rank may resume from a checkpoint that is not committed,
+        written and unquarantined — a violated invariant is a scheme bug."""
+        for rank, rec in line.items():
+            if rec is None:
+                continue
+            if rec.quarantined or rec.written_at is None or not rec.committed:
+                raise SimulationError(
+                    f"recovery line selected unusable checkpoint {rec!r} "
+                    f"for rank {rank}"
+                )
+
+    def _recover(self, failed_ranks=None, disks_lost=()):
         engine = self.engine
         t_crash = engine.now
+        failed = tuple(
+            sorted(failed_ranks)
+            if failed_ranks is not None
+            else range(self.n_ranks)
+        )
+        disks_lost = tuple(sorted(disks_lost))
         self.tracer.add("fault.crashes")
-        iters_at_crash = {
-            r: (self.agents[r].state_ref or {}).get("iter", 0)
-            for r in range(self.n_ranks)
-        }
+        if len(failed) < self.n_ranks:
+            self.tracer.add("fault.node_crashes")
         cuts_before = {r: self.agents[r].epoch for r in range(self.n_ranks)}
-        # 1. the crash: kill every process of the current generation.
+        # 1. the crash: the application restarts as a gang (the paper's
+        #    recovery semantics), so every process of the current
+        #    generation dies even when only a subset of nodes failed.
         self.generation += 1
         for proc in self._gen_procs:
             proc.defused = True
@@ -249,11 +339,74 @@ class CheckpointRuntime:
         for comm in self.comms:
             comm.reset_mailbox()
         self.scheme.on_crash(self)
-        # 2. decide the recovery line and drop everything newer.
-        line = self.scheme.recovery_line(self)
+        two_level = getattr(self.scheme, "two_level", False)
+        # 2. a crashed *node* is replaced hardware: its private local disk
+        #    is gone, so under two-level storage only checkpoints already
+        #    trickled to the global server survive for that rank.
+        if disks_lost and two_level:
+            for rank in disks_lost:
+                for rec in list(self.store.chain(rank)):
+                    if rec.global_written_at is None:
+                        self.store.discard(rank, rec.index)
+                        self.tracer.add("fault.disk_lost_ckpts")
+        # 3. validate integrity: silently corrupted images are caught by
+        #    their checksum now, before line selection can pick them.
+        quarantined = 0
+        for rank in range(self.n_ranks):
+            for rec in self.store.chain(rank):
+                if (
+                    not rec.quarantined
+                    and rec.written_at is not None
+                    and not rec.verify_integrity()
+                ):
+                    self.store.quarantine(rank, rec.index)
+                    self.tracer.add("fault.ckpt_corrupt_detected")
+                    quarantined += 1
+        # 4. self-healing restore: pick a line, read it back (retrying
+        #    transient faults); if a record stays unreadable, quarantine it
+        #    and fall back to the newest older line — degrade, never die.
+        stats = {"restore_retries": 0}
+        while True:
+            line = self.scheme.recovery_line(self)
+            self._check_line(line)
+            failures: Dict[int, CheckpointRecord] = {}
+            readers = []
+            for rank, rec in line.items():
+                if rec is None:
+                    continue
+                # incremental chains are read back whole (base + deltas);
+                # two-level storage restores from the *surviving* local
+                # disks in parallel instead of queueing at the global
+                # server — a rank whose disk died reads from the server.
+                source = (
+                    self.cluster.local_disk(rank)
+                    if two_level and rank not in disks_lost
+                    else self.storage
+                )
+                readers.append(
+                    engine.process(
+                        self._restore_reader(rank, rec, source, failures, stats),
+                        name=f"restore:r{rank}",
+                    )
+                )
+            if readers:
+                self.cluster.set_all_blocked(True)  # the machine is quiescent
+                try:
+                    yield engine.all_of(readers)
+                finally:
+                    self.cluster.set_all_blocked(False)
+            if not failures:
+                break
+            for rank, rec in failures.items():
+                self.store.quarantine(rank, rec.index)
+                self.tracer.add("fault.restore_quarantined")
+                quarantined += 1
         line_idx = {
             r: (rec.index if rec is not None else 0) for r, rec in line.items()
         }
+        # 5. drop everything newer than the final line. (Quarantined
+        #    records above the line go too: sender logs needed for replay
+        #    live in annexes at or below the senders' line indices.)
         for rank, idx in line_idx.items():
             for stale in [
                 i for i in range(idx + 1, self.store.latest_index(rank) + 1)
@@ -263,35 +416,7 @@ class CheckpointRuntime:
                 except KeyError:
                     pass
         replay = self.scheme.replay_messages(self, line)
-        # 3. read the surviving states back from stable storage (concurrent).
-        two_level = getattr(self.scheme, "two_level", False)
-        readers = []
-        for rank, rec in line.items():
-            if rec is not None:
-                # incremental chains are read back whole (base + deltas);
-                # two-level storage restores from the (surviving) local
-                # disks in parallel instead of queueing at the global server
-                nbytes = self.store.restore_read_bytes(rank, rec.index)
-                source = (
-                    self.cluster.local_disk(rank) if two_level else self.storage
-                )
-                readers.append(
-                    engine.process(
-                        source.read(
-                            self.cluster.node(rank),
-                            nbytes,
-                            tag=f"restore:r{rank}",
-                        ),
-                        name=f"restore:r{rank}",
-                    )
-                )
-        if readers:
-            self.cluster.set_all_blocked(True)  # the machine is quiescent
-            try:
-                yield engine.all_of(readers)
-            finally:
-                self.cluster.set_all_blocked(False)
-        # 4. restore per-rank state, counters, epochs.
+        # 6. restore per-rank state, counters, epochs.
         states: Dict[int, Optional[dict]] = {}
         for rank, rec in line.items():
             if rec is not None:
@@ -304,12 +429,12 @@ class CheckpointRuntime:
                     {"sent": {}, "consumed": {}, "coll_counter": 0}
                 )
                 self.agents[rank].reset_for_recovery(epoch=0)
-        # 5. re-inject in-transit channel state, in per-channel seq order.
+        # 7. re-inject in-transit channel state, in per-channel seq order.
         for msg in sorted(replay, key=lambda m: (m.dst, m.src, m.seq)):
             clone = _dc.replace(msg, meta=dict(msg.meta))
             clone.meta["gen"] = self.generation
             self.transport.deliver_local(clone)
-        # 6. restart the application.
+        # 8. restart the application.
         self._start_generation(states)
         event = RecoveryEvent(
             crash_time=t_crash,
@@ -328,9 +453,32 @@ class CheckpointRuntime:
             domino_extent=(
                 sum(1 for i in line_idx.values() if i == 0) / self.n_ranks
             ),
+            failed_ranks=failed,
+            disks_lost=disks_lost,
+            quarantined=quarantined,
+            restore_retries=stats["restore_retries"],
+            line_consistent=self.scheme.line_sound(
+                self, line, self._line_cuts(line)
+            ),
         )
         self.recoveries.append(event)
         self.tracer.add("fault.recovery_time", event.duration)
+
+    def _line_cuts(self, line) -> Dict[int, CutPoint]:
+        """The restored line as :class:`CutPoint`s (for consistency audit)."""
+        cut_line: Dict[int, CutPoint] = {}
+        for r, rec in line.items():
+            if rec is None:
+                cut_line[r] = CutPoint(rank=r, index=0, sent=(), consumed=())
+            else:
+                cut_line[r] = CutPoint(
+                    rank=r,
+                    index=rec.index,
+                    sent=tuple(sorted(rec.comm_meta["sent"].items())),
+                    consumed=tuple(sorted(rec.comm_meta["consumed"].items())),
+                    record=rec,
+                )
+        return cut_line
 
     # -- reporting -------------------------------------------------------------------
 
@@ -355,4 +503,11 @@ class CheckpointRuntime:
             app_bytes=self.transport.bytes_sent,
             counters=dict(self.tracer.counters),
             recoveries=list(self.recoveries),
+            storage_write_faults=self.storage.write_faults,
+            storage_read_faults=self.storage.read_faults,
+            storage_write_retries=int(self.tracer.get("storage.write_retries")),
+            storage_read_retries=int(self.tracer.get("storage.read_retries")),
+            rounds_aborted=int(self.tracer.get("chk.rounds_aborted")),
+            ckpt_writes_failed=int(self.tracer.get("chk.ckpt_writes_failed")),
+            checkpoints_quarantined=self.store.quarantined_count,
         )

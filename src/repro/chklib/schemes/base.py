@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
-from ...core.errors import SimulationError
+from ...core.errors import SimulationError, StorageFault
 from ...net.api import CommAgent
 from ...net.message import KIND_APP, Message
+from ..retry import stable_write
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...net.api import Comm
@@ -185,12 +186,21 @@ class Scheme:
 
     def _trickle(self, agent: SchemeAgent, record, nbytes: float):
         rt = agent.runtime
-        yield from rt.storage.write(
-            agent.node,
-            nbytes,
-            tag=f"trickle{record.index}:r{agent.rank}",
-            background=True,
-        )
+        try:
+            yield from stable_write(
+                rt.storage,
+                agent.node,
+                nbytes,
+                tag=f"trickle{record.index}:r{agent.rank}",
+                retry=rt.retry_policy,
+                tracer=rt.tracer,
+                background=True,
+            )
+        except StorageFault:
+            # the local-disk copy stays valid; only the global replica is
+            # missing, which matters if this node's disk later dies.
+            rt.tracer.add("chk.trickle_failures")
+            return
         record.global_written_at = rt.engine.now
         rt.tracer.add("chk.trickled_bytes", nbytes)
 
@@ -230,6 +240,16 @@ class Scheme:
             if record is not None:
                 msgs.extend(record.channel_msgs)
         return msgs
+
+    def line_sound(self, runtime: "CheckpointRuntime", line, cut_line) -> bool:
+        """Does the restored *line* satisfy this scheme's recoverability
+        requirement? Default: the no-orphan condition on *cut_line* (a
+        ``{rank: CutPoint}`` view of *line*). Schemes that tolerate
+        orphans under piecewise-deterministic re-execution override this
+        with their actual invariant."""
+        from ..recovery import is_consistent
+
+        return is_consistent(cut_line)
 
     def on_crash(self, runtime: "CheckpointRuntime") -> None:
         """Clear global protocol state when a failure is detected."""

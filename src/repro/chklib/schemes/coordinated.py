@@ -42,10 +42,11 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Sequence, Set
 
-from ...core.errors import SimulationError
+from ...core.errors import SimulationError, StorageFault
 from ...core.events import Event
 from ...net.message import KIND_CONTROL, KIND_MARKER, Message
 from ..incremental import PAGE_SIZE, IncrementalState
+from ..retry import stable_write
 from ..state import Snapshot
 from ..storage_mgr import CheckpointRecord
 from .base import Scheme, SchemeAgent
@@ -59,12 +60,23 @@ CTL_REQUEST = "request"
 CTL_ACK = "ack"
 CTL_COMMIT = "commit"
 CTL_TOKEN = "token"
+#: a rank exhausted its write retries: the 2PC round cannot commit and is
+#: cancelled everywhere (rank -> coordinator, then broadcast).
+CTL_ABORT = "abort"
 
 
 class _Round:
     """Per-agent state of one in-progress checkpoint."""
 
-    __slots__ = ("n", "record", "markers_pending", "token_event", "write_done", "acked")
+    __slots__ = (
+        "n",
+        "record",
+        "markers_pending",
+        "token_event",
+        "write_done",
+        "acked",
+        "aborted",
+    )
 
     def __init__(self, n: int, record: CheckpointRecord, others: Set[int], engine) -> None:
         self.n = n
@@ -73,6 +85,7 @@ class _Round:
         self.token_event: Event = Event(engine)
         self.write_done = False
         self.acked = False
+        self.aborted = False
 
 
 class CoordinatedAgent(SchemeAgent):
@@ -85,6 +98,9 @@ class CoordinatedAgent(SchemeAgent):
         self.early_markers: Dict[int, Set[int]] = {}
         #: staggering tokens that arrived before the cut.
         self.early_tokens: Set[int] = set()
+        #: rounds cancelled by CTL_ABORT — never cut for these, even if the
+        #: (slower) request arrives after the abort.
+        self.aborted_rounds: Set[int] = set()
         #: page-level dirty tracking (incremental checkpointing only).
         self.inc: Optional[IncrementalState] = (
             IncrementalState(full_every=scheme.full_every)
@@ -96,6 +112,7 @@ class CoordinatedAgent(SchemeAgent):
         self.round = None
         self.early_markers.clear()
         self.early_tokens.clear()
+        self.aborted_rounds.clear()
         super().reset_for_recovery(epoch)
 
 
@@ -134,6 +151,8 @@ class CoordinatedScheme(Scheme):
         self.coordinator_rank = coordinator_rank
         self._next_n = 1
         self._acks: Dict[int, Set[int]] = {}
+        #: rounds the coordinator has cancelled (stale acks are ignored).
+        self._aborted: Set[int] = set()
         #: staggering for the blocking-write variant (NBS): a FIFO write
         #: slot granted in cut order. A ring token would deadlock here —
         #: with cuts deferred to iteration boundaries, the token's next hop
@@ -246,6 +265,11 @@ class CoordinatedScheme(Scheme):
             self._apply_commit(agent, n)
         elif ctype == CTL_TOKEN:
             self._on_token(agent, n)
+        elif ctype == CTL_ABORT:
+            if agent.rank == self.coordinator_rank:
+                self._on_abort(agent, n)
+            else:
+                self._apply_abort(agent, n)
         else:
             raise SimulationError(f"{self.name}: bad control message {msg!r}")
 
@@ -283,6 +307,8 @@ class CoordinatedScheme(Scheme):
             return
         n = agent.pending_cut
         agent.pending_cut = None
+        if n in agent.aborted_rounds:
+            return  # the round was cancelled before this rank could cut
         yield from self._cut(agent, n)
 
     def _cut(self, agent: CoordinatedAgent, n: int) -> Generator[Any, Any, None]:
@@ -366,24 +392,48 @@ class CoordinatedScheme(Scheme):
             # FIFO slot, granted in cut order.
             assert self._write_slot is not None
             rt.cluster.set_rank_blocked(agent.rank, True)
+            wrote = True
             try:
                 with self._write_slot.request() as slot:
                     yield slot
-                    yield from self.ckpt_storage(agent).write(
-                        agent.node, record.write_bytes, tag=f"ckpt{n}:r{agent.rank}"
-                    )
+                    try:
+                        yield from stable_write(
+                            self.ckpt_storage(agent),
+                            agent.node,
+                            record.write_bytes,
+                            tag=f"ckpt{n}:r{agent.rank}",
+                            retry=rt.retry_policy,
+                            tracer=rt.tracer,
+                        )
+                    except StorageFault:
+                        wrote = False
             finally:
                 rt.cluster.set_rank_blocked(agent.rank, False)
-            self._write_finished(agent, rnd)
+            if wrote:
+                self._write_finished(agent, rnd)
+            else:
+                self._write_failed(agent, rnd)
         else:
             rt.cluster.set_rank_blocked(agent.rank, True)
+            wrote = True
             try:
-                yield from self.ckpt_storage(agent).write(
-                    agent.node, record.write_bytes, tag=f"ckpt{n}:r{agent.rank}"
-                )
+                try:
+                    yield from stable_write(
+                        self.ckpt_storage(agent),
+                        agent.node,
+                        record.write_bytes,
+                        tag=f"ckpt{n}:r{agent.rank}",
+                        retry=rt.retry_policy,
+                        tracer=rt.tracer,
+                    )
+                except StorageFault:
+                    wrote = False
             finally:
                 rt.cluster.set_rank_blocked(agent.rank, False)
-            self._write_finished(agent, rnd)
+            if wrote:
+                self._write_finished(agent, rnd)
+            else:
+                self._write_failed(agent, rnd)
         agent.charge_blocked(t0)
         rt.tracer.close_span(span)
         self._maybe_ack(agent, rnd)
@@ -392,6 +442,7 @@ class CoordinatedScheme(Scheme):
         rt = agent.runtime
         if cow:
             agent.node.cow_window_opened()
+        wrote = True
         try:
             # the token ring only runs in the memory variants (NBMS/NBCS);
             # NBS serialises via the write slot in the blocking path.
@@ -401,23 +452,42 @@ class CoordinatedScheme(Scheme):
                 and agent.rank != self.coordinator_rank
             ):
                 yield rnd.token_event
-            yield from self.ckpt_storage(agent).write(
-                agent.node,
-                rnd.record.write_bytes,
-                tag=f"ckpt{rnd.n}:r{agent.rank}",
-                background=True,
-            )
+            if rnd.aborted:
+                return  # an abort woke us up; nothing to write
+            try:
+                yield from stable_write(
+                    self.ckpt_storage(agent),
+                    agent.node,
+                    rnd.record.write_bytes,
+                    tag=f"ckpt{rnd.n}:r{agent.rank}",
+                    retry=rt.retry_policy,
+                    tracer=rt.tracer,
+                    background=True,
+                )
+            except StorageFault:
+                wrote = False
         finally:
             if cow:
                 agent.node.cow_window_closed()
-        self._write_finished(agent, rnd)
-        self._maybe_ack(agent, rnd)
+        if wrote:
+            self._write_finished(agent, rnd)
+            self._maybe_ack(agent, rnd)
+        else:
+            self._write_failed(agent, rnd)
 
     def _write_finished(self, agent: CoordinatedAgent, rnd: _Round) -> None:
         rt = agent.runtime
+        if rnd.aborted:
+            return  # the round died while the write was in flight
         rnd.record.written_at = rt.engine.now
         rt.store.add(rnd.record)
         rnd.write_done = True
+        inj = rt.storage.fault_injector
+        if inj is not None and inj.corrupts_checkpoint(agent.rank, rnd.n):
+            # silent media corruption: nobody notices until recovery
+            # validates the record's checksum.
+            rt.store.corrupt(agent.rank, rnd.n)
+            rt.tracer.add("chk.ckpts_corrupted")
         self.after_stable_write(agent, rnd.record, rnd.record.write_bytes)
         if self.staggered and self.memory_ckpt:  # NBS uses the FIFO slot
             nxt = (agent.rank + 1) % rt.n_ranks
@@ -427,8 +497,70 @@ class CoordinatedScheme(Scheme):
                     name=f"token:{rnd.n}:{agent.rank}->{nxt}",
                 )
 
+    # -- round abort (a rank's write exhausted its retries) -----------------------
+
+    def _write_failed(self, agent: CoordinatedAgent, rnd: _Round) -> None:
+        """This rank cannot persist checkpoint *rnd.n*: the round can never
+        gather all acks, so cancel it cleanly for everyone instead of
+        wedging the protocol."""
+        rt = agent.runtime
+        rt.tracer.add("chk.ckpt_writes_failed")
+        self._apply_abort(agent, rnd.n)
+        if agent.rank == self.coordinator_rank:
+            self._on_abort(agent, rnd.n)
+        else:
+            rt.spawn(
+                agent.comm.send_control(
+                    self.coordinator_rank, KIND_CONTROL, type=CTL_ABORT, n=rnd.n
+                ),
+                name=f"abort:{rnd.n}:r{agent.rank}",
+            )
+
+    def _on_abort(self, agent_at_coord: CoordinatedAgent, n: int) -> None:
+        """Coordinator side: cancel round *n* once and broadcast the abort."""
+        rt = agent_at_coord.runtime
+        if n in self._aborted:
+            return
+        self._aborted.add(n)
+        self._acks.pop(n, None)
+        rt.tracer.add("chk.rounds_aborted")
+        comm = rt.comms[self.coordinator_rank]
+        for dst in range(rt.n_ranks):
+            if dst != self.coordinator_rank:
+                rt.spawn(
+                    comm.send_control(dst, KIND_CONTROL, type=CTL_ABORT, n=n),
+                    name=f"abort:{n}->{dst}",
+                )
+        self._apply_abort(agent_at_coord, n)
+
+    def _apply_abort(self, agent: CoordinatedAgent, n: int) -> None:
+        """Rank-local cancellation of round *n* (idempotent)."""
+        rt = agent.runtime
+        agent.aborted_rounds.add(n)
+        rnd = agent.round
+        if rnd is not None and rnd.n == n:
+            rnd.aborted = True
+            if not rnd.token_event.triggered:
+                # wake a staggered writer stuck waiting for a token that
+                # will never come; it bails out on rnd.aborted
+                rnd.token_event.succeed()
+            agent.round = None
+        agent.early_markers.pop(n, None)
+        agent.early_tokens.discard(n)
+        if agent.pending_cut is not None and agent.pending_cut <= n:
+            agent.pending_cut = None
+        try:
+            if not rt.store.get(agent.rank, n).committed:
+                rt.store.discard(agent.rank, n)
+        except KeyError:
+            pass
+        if agent.inc is not None:
+            # the incremental chain now has a hole at n; force the next
+            # checkpoint to be a full one.
+            agent.inc.reset()
+
     def _maybe_ack(self, agent: CoordinatedAgent, rnd: _Round) -> None:
-        if rnd.acked or not rnd.write_done or rnd.markers_pending:
+        if rnd.aborted or rnd.acked or not rnd.write_done or rnd.markers_pending:
             return
         rnd.acked = True
         agent.round = None  # channel recording is complete
@@ -447,6 +579,8 @@ class CoordinatedScheme(Scheme):
 
     def _on_ack(self, agent_at_coord: CoordinatedAgent, src: int, n: int) -> None:
         rt = agent_at_coord.runtime
+        if n in self._aborted:
+            return  # stale ack racing the abort broadcast
         acks = self._acks.setdefault(n, set())
         acks.add(src)
         if len(acks) < rt.n_ranks:
@@ -473,19 +607,58 @@ class CoordinatedScheme(Scheme):
     # -- recovery -------------------------------------------------------------------
 
     def recovery_line(self, runtime: "CheckpointRuntime") -> Dict[int, Any]:
-        n = runtime.store.latest_committed_global()
-        if n == 0:
+        """The newest usable global checkpoint.
+
+        A round *n* is usable when every rank holds a written, restorable
+        (unquarantined, chain-intact) record *n* and at least one rank
+        committed it: a processed COMMIT(n) proves the coordinator had all
+        acks, hence everyone's write and markers finished — so tentative
+        members are committed on the spot (2PC commit-on-recovery).
+        Quarantined or missing records simply exclude their round, and the
+        search falls back to the newest older committed line."""
+        store = runtime.store
+        common: Optional[Set[int]] = None
+        committed_idx: Set[int] = set()
+        for rank in range(runtime.n_ranks):
+            ok = set()
+            for rec in store.chain(rank):
+                if rec.written_at is None or rec.quarantined:
+                    continue
+                if not store.chain_intact(rank, rec.index):
+                    continue
+                ok.add(rec.index)
+                if rec.committed:
+                    committed_idx.add(rec.index)
+            common = ok if common is None else common & ok
+        usable = {i for i in (common or set()) if i in committed_idx}
+        if not usable:
             return {r: None for r in range(runtime.n_ranks)}
-        return {r: runtime.store.get(r, n) for r in range(runtime.n_ranks)}
+        n = max(usable)
+        line: Dict[int, Any] = {}
+        for r in range(runtime.n_ranks):
+            rec = store.get(r, n)
+            if not rec.committed:
+                store.commit(r, n)
+                runtime.tracer.add("chk.commit_on_recovery")
+            line[r] = rec
+        return line
+
+    def line_sound(self, runtime: "CheckpointRuntime", line, cut_line) -> bool:
+        # a committed global round restores every rank to the *same* index
+        # (orphan messages across it are tolerated: piecewise-deterministic
+        # re-execution regenerates them and sequence numbers drop the dups)
+        return len({cut.index for cut in cut_line.values()}) == 1
 
     def on_crash(self, runtime: "CheckpointRuntime") -> None:
         self._acks.clear()
+        self._aborted.clear()
 
     def reset_agent(self, agent: SchemeAgent) -> None:
         assert isinstance(agent, CoordinatedAgent)
         agent.round = None
         agent.early_markers.clear()
         agent.early_tokens.clear()
+        agent.aborted_rounds.clear()
         if agent.inc is not None:
             agent.inc.reset()
 

@@ -31,11 +31,12 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Sequence
 
-from ...core.errors import SimulationError
+from ...core.errors import SimulationError, StorageFault
 from ...net.message import Message
 from ..garbage import collect_garbage
 from ..incremental import PAGE_SIZE, IncrementalState
 from ..recovery import build_cuts, consistent_line, in_transit_ranges
+from ..retry import stable_write
 from ..state import Snapshot
 from ..storage_mgr import CheckpointRecord
 from .base import Scheme, SchemeAgent
@@ -230,13 +231,25 @@ class IndependentScheme(Scheme):
             )
         else:
             rt.cluster.set_rank_blocked(agent.rank, True)
+            wrote = True
             try:
-                yield from self.ckpt_storage(agent).write(
-                    agent.node, write_bytes, tag=f"ickpt{n}:r{agent.rank}"
-                )
+                try:
+                    yield from stable_write(
+                        self.ckpt_storage(agent),
+                        agent.node,
+                        write_bytes,
+                        tag=f"ickpt{n}:r{agent.rank}",
+                        retry=rt.retry_policy,
+                        tracer=rt.tracer,
+                    )
+                except StorageFault:
+                    wrote = False
             finally:
                 rt.cluster.set_rank_blocked(agent.rank, False)
-            self._write_finished(agent, record, write_bytes)
+            if wrote:
+                self._write_finished(agent, record, write_bytes)
+            else:
+                self._write_failed(agent, record)
         agent.charge_blocked(t0)
         rt.tracer.close_span(span)
 
@@ -250,18 +263,46 @@ class IndependentScheme(Scheme):
         rt = agent.runtime
         if cow:
             agent.node.cow_window_opened()
+        wrote = True
         try:
-            yield from self.ckpt_storage(agent).write(
-                agent.node,
-                nbytes,
-                tag=f"ickpt{record.index}:r{agent.rank}",
-                background=True,
-            )
+            try:
+                yield from stable_write(
+                    self.ckpt_storage(agent),
+                    agent.node,
+                    nbytes,
+                    tag=f"ickpt{record.index}:r{agent.rank}",
+                    retry=rt.retry_policy,
+                    tracer=rt.tracer,
+                    background=True,
+                )
+            except StorageFault:
+                wrote = False
         finally:
             agent.writing = False
             if cow:
                 agent.node.cow_window_closed()
-        self._write_finished(agent, record, nbytes)
+        if wrote:
+            self._write_finished(agent, record, nbytes)
+        else:
+            self._write_failed(agent, record)
+
+    def _write_failed(
+        self, agent: IndependentAgent, record: CheckpointRecord
+    ) -> None:
+        """The checkpoint write exhausted its retries. Independent schemes
+        have no round to abort: drop the local checkpoint and carry on (the
+        previous one still covers this rank). Log messages that failed to
+        persist go back to the front of the volatile log so the next
+        checkpoint flushes them — replay must never miss a logged send."""
+        rt = agent.runtime
+        rt.tracer.add("chk.ckpt_writes_failed")
+        if self.logging and record.log_annex:
+            agent.volatile_log[:0] = record.log_annex
+            record.log_annex = []
+        if agent.inc is not None:
+            # the chain would base on a checkpoint that never landed;
+            # force the next checkpoint to be a full one.
+            agent.inc.reset()
 
     def _write_finished(
         self, agent: IndependentAgent, record: CheckpointRecord, nbytes: float
@@ -270,6 +311,11 @@ class IndependentScheme(Scheme):
         record.written_at = rt.engine.now
         record.committed = True  # a written independent checkpoint is stable
         rt.store.add(record)
+        inj = rt.storage.fault_injector
+        if inj is not None and inj.corrupts_checkpoint(agent.rank, record.index):
+            # silent media corruption, detected at recovery by checksum
+            rt.store.corrupt(agent.rank, record.index)
+            rt.tracer.add("chk.ckpts_corrupted")
         self.after_stable_write(agent, record, nbytes)
         rt.tracer.add("chk.commits")
         if self.gc:
@@ -291,14 +337,30 @@ class IndependentScheme(Scheme):
 
     def _logged_send_cost(self, agent: IndependentAgent, msg: Message):
         """Synchronous log flush inside the send path (pessimistic mode)."""
-        yield from agent.runtime.storage.write(
-            agent.node, msg.size, tag=f"msglog:r{agent.rank}"
-        )
+        rt = agent.runtime
+        try:
+            yield from stable_write(
+                rt.storage,
+                agent.node,
+                msg.size,
+                tag=f"msglog:r{agent.rank}",
+                retry=rt.retry_policy,
+                tracer=rt.tracer,
+            )
+        except StorageFault:
+            # degrade to optimistic for this message: it is already in the
+            # volatile log and flushes with the next checkpoint instead.
+            rt.tracer.add("chk.msglog_failed")
 
     # -- recovery ---------------------------------------------------------------------
 
     def recovery_line(self, runtime: "CheckpointRuntime") -> Dict[int, Any]:
-        cuts = build_cuts(runtime.store, written_only=True)
+        store = runtime.store
+        cuts = build_cuts(
+            store,
+            written_only=True,
+            eligible=lambda rec: store.chain_intact(rec.rank, rec.index),
+        )
         if self.logging:
             # Sender-based logging makes recovery *orphan-tolerant* under
             # piecewise determinism: every rank restores its own latest
@@ -321,7 +383,12 @@ class IndependentScheme(Scheme):
     ) -> List[Message]:
         if not self.logging:
             return []  # the line is transitless: nothing in flight
-        cuts = build_cuts(runtime.store, written_only=True)
+        store = runtime.store
+        cuts = build_cuts(
+            store,
+            written_only=True,
+            eligible=lambda rec: store.chain_intact(rec.rank, rec.index),
+        )
         cut_line = {
             r: next(
                 c
@@ -341,6 +408,19 @@ class IndependentScheme(Scheme):
                     )
                 msgs.append(logged)
         return msgs
+
+    def line_sound(self, runtime: "CheckpointRuntime", line, cut_line) -> bool:
+        from ..recovery import is_consistent
+
+        if self.logging:
+            # Orphan-tolerant: each rank restores its own newest usable
+            # checkpoint; soundness additionally needs every in-transit
+            # message in the stable logs, which replay_messages has
+            # already verified (it raises on a missing one).
+            return True
+        # without logs nothing in flight survives: the line must be
+        # consistent *and* transitless
+        return is_consistent(cut_line, transitless=True)
 
     def reset_agent(self, agent: SchemeAgent) -> None:
         assert isinstance(agent, IndependentAgent)

@@ -11,8 +11,9 @@ accumulates a chain until garbage collection).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..net.message import Message
 from .state import Snapshot
@@ -48,6 +49,32 @@ class CheckpointRecord:
     stored_state_bytes: Optional[int] = None
     #: index of the checkpoint this increment builds on (``None`` = full).
     base_index: Optional[int] = None
+    #: CRC of the state image *as stored* — set at capture; silent media
+    #: corruption perturbs it so recovery-time validation can detect it.
+    #: (Log annexes carry per-message framing checksums and are salvaged
+    #: even from a corrupt record; only the state image is suspect.)
+    stored_checksum: Optional[int] = None
+    #: quarantined by recovery: failed integrity validation or exhausted
+    #: its restore-read retries; never eligible for recovery again.
+    quarantined: bool = False
+
+    def __post_init__(self) -> None:
+        if self.stored_checksum is None:
+            self.stored_checksum = self.content_checksum()
+
+    # -- integrity -----------------------------------------------------------
+
+    def content_checksum(self) -> int:
+        """CRC over the state image this record restores."""
+        return zlib.crc32(self.snapshot.blob)
+
+    def verify_integrity(self) -> bool:
+        """Does the stored image still match its capture-time checksum?"""
+        return self.stored_checksum == self.content_checksum()
+
+    def mark_corrupted(self) -> None:
+        """Silently rot the stored image (fault injection / tests)."""
+        self.stored_checksum = (self.content_checksum() ^ 0xDEADBEEF) & 0xFFFFFFFF
 
     @property
     def state_bytes(self) -> int:
@@ -80,6 +107,8 @@ class CheckpointRecord:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         flag = "committed" if self.committed else "tentative"
+        if self.quarantined:
+            flag += " QUARANTINED"
         return f"<Ckpt r{self.rank}#{self.index} {flag} {self.total_bytes}B>"
 
 
@@ -96,6 +125,7 @@ class CheckpointStore:
         self.peak_checkpoints = 0
         self.discarded_bytes = 0.0
         self.discarded_count = 0
+        self.quarantined_count = 0
 
     # -- additions -----------------------------------------------------------
 
@@ -114,6 +144,19 @@ class CheckpointStore:
         """Mark a checkpoint stable (keeps it eligible for recovery)."""
         self._chains[rank][index].committed = True
 
+    def quarantine(self, rank: int, index: int) -> None:
+        """Mark a checkpoint unusable (corrupt or unreadable). The record
+        stays in storage (it still occupies bytes) but is permanently
+        excluded from recovery-line construction."""
+        rec = self._chains[rank][index]
+        if not rec.quarantined:
+            rec.quarantined = True
+            self.quarantined_count += 1
+
+    def corrupt(self, rank: int, index: int) -> None:
+        """Silently corrupt a stored checkpoint image (fault injection)."""
+        self._chains[rank][index].mark_corrupted()
+
     # -- queries -----------------------------------------------------------------
 
     def get(self, rank: int, index: int) -> CheckpointRecord:
@@ -128,12 +171,24 @@ class CheckpointStore:
         chain = self._chains[rank]
         return max(chain) if chain else 0
 
-    def latest_committed_global(self) -> int:
-        """Largest index committed by *every* rank (0 if none)."""
+    def latest_committed_global(
+        self, eligible: Optional[Callable[[CheckpointRecord], bool]] = None
+    ) -> int:
+        """Largest index committed by *every* rank (0 if none).
+
+        Quarantined records never qualify; *eligible* narrows further
+        (e.g. "must have reached the global server").
+        """
         best = 0
         candidates = None
         for rank in range(self.n_ranks):
-            committed = {i for i, rec in self._chains[rank].items() if rec.committed}
+            committed = {
+                i
+                for i, rec in self._chains[rank].items()
+                if rec.committed
+                and not rec.quarantined
+                and (eligible is None or eligible(rec))
+            }
             candidates = committed if candidates is None else candidates & committed
         if candidates:
             best = max(candidates)
@@ -172,6 +227,18 @@ class CheckpointStore:
         return freed
 
     # -- incremental-chain support ----------------------------------------------
+
+    def chain_intact(self, rank: int, index: int) -> bool:
+        """Is checkpoint *index* restorable — present, unquarantined, and
+        with its whole incremental chain present and unquarantined?"""
+        idx = index
+        while True:
+            rec = self._chains[rank].get(idx)
+            if rec is None or rec.quarantined:
+                return False
+            if rec.base_index is None:
+                return True
+            idx = rec.base_index
 
     def chain_base(self, rank: int, index: int) -> int:
         """First (full) checkpoint of the incremental chain ending at

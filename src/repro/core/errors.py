@@ -13,6 +13,7 @@ __all__ = [
     "Deadlock",
     "Interrupt",
     "StopProcess",
+    "StorageFault",
     "EventAlreadyTriggered",
 ]
 
@@ -56,6 +57,26 @@ class StopProcess(SimulationError):
     def __init__(self, value: Any = None) -> None:
         super().__init__("process stopped")
         self.value = value
+
+
+class StorageFault(SimulationError):
+    """A stable-storage operation failed transiently (injected fault).
+
+    Raised out of :meth:`repro.machine.storage.StableStorage.write` /
+    ``read`` when the fault injector decides the operation fails. Callers
+    (schemes, the recovery path) are expected to retry with backoff and to
+    degrade cleanly when retries are exhausted.
+    """
+
+    def __init__(self, op: str, tag: str = "", partial_bytes: float = 0.0) -> None:
+        super().__init__(
+            f"storage {op} fault"
+            + (f" [{tag}]" if tag else "")
+            + f" after {partial_bytes:.0f}B"
+        )
+        self.op = op
+        self.tag = tag
+        self.partial_bytes = partial_bytes
 
 
 class EventAlreadyTriggered(SimulationError):

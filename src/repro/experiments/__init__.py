@@ -16,6 +16,7 @@ from .harness import (
     make_scheme,
     run_workload,
 )
+from .resilience import ResilienceResult, run_resilience
 from .sweeps import run_bandwidth_sweep, run_writer_sweep
 from .table1 import Table1Result, run_table1
 from .twolevel import run_two_level
@@ -52,4 +53,6 @@ __all__ = [
     "run_interval_sweep",
     "young_interval",
     "run_two_level",
+    "run_resilience",
+    "ResilienceResult",
 ]

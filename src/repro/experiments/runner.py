@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments.runner sweep-storage
     python -m repro.experiments.runner domino
     python -m repro.experiments.runner storage-overhead
+    python -m repro.experiments.runner resilience
     python -m repro.experiments.runner all
 """
 
@@ -25,6 +26,7 @@ from .ablations import run_staggering_ablation, run_sync_cost
 from .capture import run_capture_ablation
 from .domino import run_domino, run_storage_overhead
 from .faults import run_failure_rates, run_interval_sweep
+from .resilience import run_resilience
 from .sweeps import run_bandwidth_sweep, run_writer_sweep
 from .table1 import run_table1
 from .table23 import run_table23
@@ -70,6 +72,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "failure-rates",
             "interval-sweep",
             "two-level",
+            "resilience",
             "all",
         ],
     )
@@ -107,6 +110,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "failure-rates",
             "interval-sweep",
             "two-level",
+            "resilience",
         ]
     )
 
@@ -203,6 +207,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif exp == "two-level":
             res = run_two_level(seed=args.seed)
             _record("E3 — two-level stable storage", res)
+            _emit(exp, res.render(), _shape_report(res.shape_holds()))
+        elif exp == "resilience":
+            res = run_resilience(seed=args.seed)
+            _record("R3 — resilience under faulty stable storage", res)
             _emit(exp, res.render(), _shape_report(res.shape_holds()))
 
     if args.report and report_sections:

@@ -1,10 +1,39 @@
-"""Failure injection: plan builders for crash schedules.
+"""Failure injection: fault models, plan builders and the storage injector.
 
-The runtime consumes a :class:`~repro.chklib.runtime.FaultPlan` (a list of
-crash times); this package builds them: single crashes, periodic schedules
-and deterministic exponential (Poisson) sequences for MTBF studies.
+The runtime consumes a :class:`~repro.fault.model.FaultModel` describing
+whole-machine crashes, per-node crash schedules and stable-storage faults
+(transient op failures + silent checkpoint corruption), plus the
+:class:`~repro.fault.model.RetryPolicy` governing retry-with-backoff. The
+legacy :class:`~repro.fault.model.FaultPlan` (crash times only) is still
+accepted everywhere and normalised internally.
 """
 
-from .plans import exponential_plan, periodic_plan, single_crash
+from .injection import OpVerdict, StorageFaultInjector, make_injector
+from .model import CrashEvent, FaultModel, FaultPlan, RetryPolicy, StorageFaultSpec
+from .plans import (
+    crash_times,
+    exponential_node_model,
+    exponential_plan,
+    node_crash_model,
+    periodic_plan,
+    single_crash,
+    storage_fault_model,
+)
 
-__all__ = ["single_crash", "periodic_plan", "exponential_plan"]
+__all__ = [
+    "FaultPlan",
+    "FaultModel",
+    "CrashEvent",
+    "RetryPolicy",
+    "StorageFaultSpec",
+    "StorageFaultInjector",
+    "OpVerdict",
+    "make_injector",
+    "single_crash",
+    "periodic_plan",
+    "exponential_plan",
+    "crash_times",
+    "node_crash_model",
+    "exponential_node_model",
+    "storage_fault_model",
+]

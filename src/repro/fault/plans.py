@@ -1,15 +1,23 @@
-"""Builders for crash schedules."""
+"""Builders for crash schedules and fault models."""
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..chklib.runtime import FaultPlan
 from ..core.rng import derive_seed
+from .model import FaultModel, FaultPlan, RetryPolicy, StorageFaultSpec
 
-__all__ = ["single_crash", "periodic_plan", "exponential_plan", "crash_times"]
+__all__ = [
+    "single_crash",
+    "periodic_plan",
+    "exponential_plan",
+    "crash_times",
+    "node_crash_model",
+    "exponential_node_model",
+    "storage_fault_model",
+]
 
 
 def single_crash(at: float) -> FaultPlan:
@@ -50,3 +58,50 @@ def exponential_plan(
 ) -> FaultPlan:
     """A :class:`FaultPlan` with exponential inter-arrival times."""
     return FaultPlan(crash_times=tuple(crash_times(mtbf, horizon, seed, stream)))
+
+
+def node_crash_model(
+    schedule: Dict[int, Sequence[float]], **kw
+) -> FaultModel:
+    """A :class:`FaultModel` with per-node crash schedules
+    (``{rank: (t, ...)}``)."""
+    return FaultModel(node_crash_times=schedule, **kw)
+
+
+def exponential_node_model(
+    mtbf: float,
+    horizon: float,
+    ranks: Sequence[int],
+    seed: int = 0,
+    stream: str = "node-faults",
+    **kw,
+) -> FaultModel:
+    """Per-node exponential crash arrivals: each rank fails independently
+    with the given per-node MTBF (deterministic per seed and stream)."""
+    schedule = {
+        int(r): tuple(crash_times(mtbf, horizon, seed, f"{stream}.r{r}"))
+        for r in ranks
+    }
+    return FaultModel(node_crash_times=schedule, **kw)
+
+
+def storage_fault_model(
+    write_fail_p: float = 0.0,
+    read_fail_p: float = 0.0,
+    corrupt_p: float = 0.0,
+    crash_times: Sequence[float] = (),
+    retry: Optional[RetryPolicy] = None,
+    **spec_kw,
+) -> FaultModel:
+    """A :class:`FaultModel` dominated by stable-storage faults, optionally
+    combined with whole-machine crashes."""
+    return FaultModel(
+        machine_crash_times=tuple(crash_times),
+        storage=StorageFaultSpec(
+            write_fail_p=write_fail_p,
+            read_fail_p=read_fail_p,
+            corrupt_p=corrupt_p,
+            **spec_kw,
+        ),
+        retry=retry or RetryPolicy(),
+    )

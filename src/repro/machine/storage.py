@@ -8,12 +8,19 @@ most important mechanism behind the paper's results.
 Writes and reads are generator helpers meant for ``yield from`` inside
 simulation processes; they mark the owning node as "streaming" for the
 duration so the node's compute interference model can react.
+
+Fault injection: an optional injector (see
+:mod:`repro.fault.injection`) is consulted before every operation; a
+failing operation completes a deterministic fraction of the transfer (a
+torn write costs real time) and then raises
+:class:`~repro.core.errors.StorageFault`. Callers retry with backoff.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
+from ..core.errors import StorageFault
 from ..core.events import Event
 from .params import StorageParams
 from .shared_server import SharedServer
@@ -21,6 +28,7 @@ from .shared_server import SharedServer
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.engine import Engine
     from ..core.tracing import Tracer
+    from ..fault.injection import StorageFaultInjector
     from .node import Node
 
 __all__ = ["StableStorage"]
@@ -48,6 +56,15 @@ class StableStorage:
         self.bytes_read = 0.0
         self.write_ops = 0
         self.read_ops = 0
+        #: injected transient failures observed (successful ops excluded).
+        self.write_faults = 0
+        self.read_faults = 0
+        #: optional fault oracle (duck-typed; see repro.fault.injection).
+        self.fault_injector: Optional["StorageFaultInjector"] = None
+
+    def set_fault_injector(self, injector: Optional["StorageFaultInjector"]) -> None:
+        """Install (or clear) the fault oracle consulted per operation."""
+        self.fault_injector = injector
 
     # -- service ------------------------------------------------------------
 
@@ -68,9 +85,15 @@ class StableStorage:
         ``background=True`` marks the node as interference-generating for the
         duration (checkpointer-thread writes); foreground writes block the
         caller anyway, so they do not additionally slow the (idle) CPU.
+
+        Raises :class:`StorageFault` when the fault injector fails the
+        operation (after the torn transfer's partial service time).
         """
         if nbytes < 0:
             raise ValueError(f"negative write size: {nbytes}")
+        verdict = (
+            self.fault_injector.on_write(tag) if self.fault_injector else None
+        )
         span = (
             self.tracer.open_span("storage.write", node=node.id, bytes=nbytes, tag=tag)
             if self.tracer
@@ -81,6 +104,16 @@ class StableStorage:
         job = None
         try:
             yield self.engine.timeout(self.params.op_latency)
+            if verdict is not None and verdict.fail:
+                partial = nbytes * verdict.fraction
+                if partial > 0:
+                    job = self.server.transfer(partial, tag=tag or f"write:n{node.id}")
+                    yield job.done
+                    job = None
+                self.write_faults += 1
+                if self.tracer:
+                    self.tracer.add("storage.write_faults")
+                raise StorageFault("write", tag=tag, partial_bytes=partial)
             job = self.server.transfer(nbytes, tag=tag or f"write:n{node.id}")
             yield job.done
         finally:
@@ -89,27 +122,54 @@ class StableStorage:
             if job is not None and not job.done.triggered:
                 # interrupted mid-transfer (crash): free the server
                 self.server.cancel(job)
+            if self.tracer and span is not None:
+                # close in all cases — a crash or injected fault must not
+                # leak an open span (satellite fix: span leak on interrupt)
+                self.tracer.close_span(span)
         self.bytes_written += nbytes
         self.write_ops += 1
-        if self.tracer and span is not None:
-            self.tracer.close_span(span)
+        if self.tracer:
             self.tracer.add("storage.bytes_written", nbytes)
             self.tracer.add("storage.write_ops")
 
     def read(
         self, node: "Node", nbytes: float, tag: str = ""
     ) -> Generator[Event, Any, None]:
-        """Stream *nbytes* from stable storage to *node* (recovery path)."""
+        """Stream *nbytes* from stable storage to *node* (recovery path).
+
+        Raises :class:`StorageFault` when the fault injector fails the
+        operation.
+        """
         if nbytes < 0:
             raise ValueError(f"negative read size: {nbytes}")
+        verdict = (
+            self.fault_injector.on_read(tag) if self.fault_injector else None
+        )
+        span = (
+            self.tracer.open_span("storage.read", node=node.id, bytes=nbytes, tag=tag)
+            if self.tracer
+            else None
+        )
         job = None
         try:
             yield self.engine.timeout(self.params.op_latency)
+            if verdict is not None and verdict.fail:
+                partial = nbytes * verdict.fraction
+                if partial > 0:
+                    job = self.server.transfer(partial, tag=tag or f"read:n{node.id}")
+                    yield job.done
+                    job = None
+                self.read_faults += 1
+                if self.tracer:
+                    self.tracer.add("storage.read_faults")
+                raise StorageFault("read", tag=tag, partial_bytes=partial)
             job = self.server.transfer(nbytes, tag=tag or f"read:n{node.id}")
             yield job.done
         finally:
             if job is not None and not job.done.triggered:
                 self.server.cancel(job)
+            if self.tracer and span is not None:
+                self.tracer.close_span(span)
         self.bytes_read += nbytes
         self.read_ops += 1
         if self.tracer:

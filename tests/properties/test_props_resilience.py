@@ -1,0 +1,164 @@
+"""End-to-end property tests for the fault-injection subsystem.
+
+Random fault models — probabilistic storage faults, scheduled corruption,
+machine or per-node crashes — are thrown at full simulated runs, and the
+resilience invariants checked:
+
+* the run always completes with the **exact** fault-free result
+  (retries, aborts, quarantine and line fallback never corrupt state);
+* every recovery restores a line satisfying the scheme's recoverability
+  requirement (``RecoveryEvent.line_consistent``);
+* no rank ever resumes from an uncommitted or quarantined checkpoint
+  (audited at the moment each candidate line is selected).
+"""
+
+import functools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import SOR
+from repro.chklib import CheckpointRuntime, CoordinatedScheme, IndependentScheme
+from repro.fault import FaultModel, RetryPolicy, StorageFaultSpec
+from repro.machine import MachineParams
+
+N_RANKS = 4
+MACHINE = MachineParams(n_nodes=N_RANKS)
+SCHEME_NAMES = ("coord_nb", "coord_nbm", "coord_nbms", "indep_m_log", "indep_m_nolog")
+
+
+def _app():
+    app = SOR(n=20, iters=8, flops_per_cell=3000.0)
+    app.image_bytes = 16 * 1024
+    return app
+
+
+@functools.lru_cache(maxsize=None)
+def _baseline(seed):
+    """(undisturbed sim time, exact application result) for *seed*."""
+    report = CheckpointRuntime(_app(), machine=MACHINE, seed=seed).run()
+    return report.sim_time, report.result["sum"]
+
+
+def _make_scheme(name, T):
+    times = [T / 4, T / 2]
+    skew = T / 50
+    if name == "coord_nb":
+        return CoordinatedScheme.NB(times)
+    if name == "coord_nbm":
+        return CoordinatedScheme.NBM(times)
+    if name == "coord_nbms":
+        return CoordinatedScheme.NBMS(times)
+    if name == "indep_m_log":
+        return IndependentScheme.IndepM(times, skew=skew, logging=True)
+    return IndependentScheme.IndepM(times, skew=skew)
+
+
+class AuditingRuntime(CheckpointRuntime):
+    """Snapshots the state of every candidate recovery line the runtime
+    accepts, at the moment of acceptance (records newer than the line are
+    discarded afterwards, so post-run inspection would be too late)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.audited_lines = []
+
+    def _check_line(self, line):
+        super()._check_line(line)
+        self.audited_lines.append(
+            {
+                rank: None
+                if rec is None
+                else (rec.committed, rec.quarantined, rec.written_at is not None)
+                for rank, rec in line.items()
+            }
+        )
+
+
+@st.composite
+def fault_scenarios(draw):
+    seed = draw(st.integers(0, 3))
+    scheme = draw(st.sampled_from(SCHEME_NAMES))
+    p_write = draw(st.sampled_from([0.0, 0.02, 0.05, 0.15]))
+    p_read = draw(st.sampled_from([0.0, 0.02, 0.05, 0.15]))
+    p_corrupt = draw(st.sampled_from([0.0, 0.05, 0.25]))
+    # scheduled corruption of an early checkpoint of a random rank — the
+    # quarantine/fallback path, forced deterministically
+    corrupt_ckpts = ()
+    if draw(st.booleans()):
+        corrupt_ckpts = ((draw(st.integers(0, N_RANKS - 1)), draw(st.integers(1, 2))),)
+    crash_frac = draw(st.floats(0.3, 0.95))
+    node_crash = draw(st.booleans())  # partial failure vs whole machine
+    max_retries = draw(st.integers(0, 4))
+    return dict(
+        seed=seed,
+        scheme=scheme,
+        spec=StorageFaultSpec(
+            write_fail_p=p_write,
+            read_fail_p=p_read,
+            corrupt_p=p_corrupt,
+            corrupt_ckpts=corrupt_ckpts,
+        ),
+        crash_frac=crash_frac,
+        node_crash=node_crash,
+        retry=RetryPolicy(max_retries=max_retries, backoff_base=0.01),
+    )
+
+
+def _run(sc):
+    T, expected = _baseline(sc["seed"])
+    at = sc["crash_frac"] * T
+    if sc["node_crash"]:
+        model = FaultModel.node_crash(
+            1, at, storage=sc["spec"], retry=sc["retry"]
+        )
+    else:
+        model = FaultModel.machine_crash(at, storage=sc["spec"], retry=sc["retry"])
+    rt = AuditingRuntime(
+        _app(),
+        scheme=_make_scheme(sc["scheme"], T),
+        machine=MACHINE,
+        seed=sc["seed"],
+        fault_model=model,
+    )
+    return rt, rt.run(), expected
+
+
+@given(fault_scenarios())
+@settings(max_examples=30, deadline=None)
+def test_result_exact_and_recovery_sound_under_storage_faults(sc):
+    rt, report, expected = _run(sc)
+    assert report.result["sum"] == expected
+    assert report.recoveries, "the scheduled crash must actually fire"
+    for ev in report.recoveries:
+        assert ev.line_consistent, f"unsound line restored: {ev}"
+
+
+@given(fault_scenarios())
+@settings(max_examples=30, deadline=None)
+def test_no_rank_resumes_from_uncommitted_or_quarantined(sc):
+    rt, report, _ = _run(sc)
+    assert rt.audited_lines, "recovery never selected a line"
+    for line in rt.audited_lines:
+        for rank, flags in line.items():
+            if flags is None:  # initial state — always safe
+                continue
+            committed, quarantined, written = flags
+            assert committed, f"rank {rank} resumed from uncommitted checkpoint"
+            assert not quarantined, f"rank {rank} resumed from quarantined checkpoint"
+            assert written, f"rank {rank} resumed from unwritten checkpoint"
+
+
+@given(fault_scenarios())
+@settings(max_examples=20, deadline=None)
+def test_retry_accounting_is_bounded(sc):
+    """Retries never exceed the per-operation budget times the number of
+    faults, and a zero-fault spec injects nothing."""
+    rt, report, _ = _run(sc)
+    budget = sc["retry"].max_retries
+    assert report.storage_write_retries <= report.storage_write_faults * max(budget, 1)
+    assert report.storage_read_retries <= report.storage_read_faults * max(budget, 1)
+    if not sc["spec"].any_faults:
+        assert report.storage_write_faults == 0
+        assert report.storage_read_faults == 0
+        assert report.checkpoints_quarantined == 0
