@@ -38,6 +38,7 @@ def collect_garbage(
     store: CheckpointStore,
     transitless: bool = False,
     logging_recovery: bool = False,
+    tracer=None,
 ) -> GcStats:
     """Discard every checkpoint that can no longer be needed by recovery.
 
@@ -49,15 +50,23 @@ def collect_garbage(
       soon as none of its logged messages can still be in transit across
       the latest line (i.e. every annex message has been consumed by its
       destination's newest cut).
+
+    With a *tracer*, each pass emits a ``gc.run`` event carrying the
+    per-rank protected indices (the line members and their incremental
+    chains) and a ``gc.discard`` event per removed checkpoint, so the
+    trace invariant engine can audit that GC never eats a line member.
     """
     cuts = build_cuts(store, written_only=True)
     before_count = store.count()
     freed = 0
+    protected: Dict[int, tuple] = {}
+    discards = []  # (rank, index) chosen by the policy below
     if logging_recovery:
         latest = {r: cuts[r][-1] for r in cuts}
         line_indices = {r: c.index for r, c in latest.items()}
         for rank in cuts:
             if latest[rank].index == 0:
+                protected[rank] = ()
                 continue
             # an incremental latest checkpoint needs its chain of bases
             chain_keep = set()
@@ -68,6 +77,7 @@ def collect_garbage(
                 if rec.base_index is None:
                     break
                 idx = rec.base_index
+            protected[rank] = tuple(sorted(chain_keep))
             for rec in list(store.chain(rank)):
                 if rec.index in chain_keep:
                     continue
@@ -76,7 +86,7 @@ def collect_garbage(
                     for m in rec.log_annex
                 )
                 if not still_needed:
-                    freed += store.discard(rank, rec.index)
+                    discards.append((rank, rec.index))
     else:
         line = consistent_line(cuts, transitless=transitless)
         line_indices = {r: c.index for r, c in line.items()}
@@ -84,7 +94,26 @@ def collect_garbage(
             keep_from = (
                 store.chain_base(rank, cut.index) if cut.index > 0 else 0
             )
-            freed += store.discard_older_than(rank, keep_from)
+            protected[rank] = tuple(
+                rec.index
+                for rec in store.chain(rank)
+                if keep_from <= rec.index <= cut.index
+            )
+            discards.extend(
+                (rank, rec.index)
+                for rec in store.chain(rank)
+                if rec.index < keep_from
+            )
+    if tracer is not None:
+        tracer.event(
+            "gc.run",
+            line=tuple(sorted(line_indices.items())),
+            protected=tuple(sorted(protected.items())),
+        )
+    for rank, index in discards:
+        if tracer is not None:
+            tracer.event("gc.discard", rank=rank, index=index)
+        freed += store.discard(rank, index)
     return GcStats(
         line_indices=line_indices,
         freed_bytes=freed,

@@ -24,7 +24,12 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 import dataclasses as _dc
 
 from ..core.engine import Engine
-from ..core.errors import Interrupt, SimulationError, StorageFault
+from ..core.errors import (
+    Interrupt,
+    InvariantViolation,
+    SimulationError,
+    StorageFault,
+)
 from ..core.events import Event
 from ..core.process import Process
 from ..core.rng import RngStreams
@@ -223,7 +228,14 @@ class CheckpointRuntime:
             self.engine.process(self._crash_injector(), name="fault-injector")
         self._start_generation({r: None for r in range(self.n_ranks)})
         self.engine.run(until=self._done)
-        return self._report()
+        report = self._report()
+        # post-run audit: replay the recorded event stream through the
+        # trace invariant engine when --verify (or the tests) asked for it.
+        from ..verify.trace_check import check_runtime, runtime_verification_enabled
+
+        if runtime_verification_enabled() and self.tracer.enabled:
+            check_runtime(self).raise_if_violated()
+        return report
 
     def spawn(self, generator, name: str = "") -> Process:
         """Start a generation-scoped helper process (killed on crash)."""
@@ -267,7 +279,10 @@ class CheckpointRuntime:
     # -- failure injection & recovery -----------------------------------------------
 
     def _crash_injector(self):
-        assert self.fault_model is not None
+        if self.fault_model is None:
+            raise InvariantViolation(
+                "crash injector started without a fault model"
+            )
         for ev in self.fault_model.crash_events(self.n_ranks):
             if ev.time > self.engine.now:
                 yield self.engine.timeout(ev.time - self.engine.now)
@@ -331,6 +346,7 @@ class CheckpointRuntime:
         #    recovery semantics), so every process of the current
         #    generation dies even when only a subset of nodes failed.
         self.generation += 1
+        self.tracer.event("recover.crash", gen=self.generation, failed=failed)
         for proc in self._gen_procs:
             proc.defused = True
             if proc.is_alive:
@@ -416,6 +432,23 @@ class CheckpointRuntime:
                 except KeyError:
                     pass
         replay = self.scheme.replay_messages(self, line)
+        cut_line = self._line_cuts(line)
+        line_ok = self.scheme.line_sound(self, line, cut_line)
+        self.tracer.event(
+            "recover.line",
+            gen=self.generation,
+            indices=tuple(sorted(line_idx.items())),
+            klass=self.scheme.klass,
+            logging=bool(getattr(self.scheme, "logging", False)),
+            consistent=line_ok,
+            sent=tuple((r, cut.sent) for r, cut in sorted(cut_line.items())),
+            consumed=tuple(
+                (r, cut.consumed) for r, cut in sorted(cut_line.items())
+            ),
+        )
+        self.tracer.event(
+            "recover.replay", gen=self.generation, count=len(replay)
+        )
         # 6. restore per-rank state, counters, epochs.
         states: Dict[int, Optional[dict]] = {}
         for rank, rec in line.items():
@@ -457,9 +490,7 @@ class CheckpointRuntime:
             disks_lost=disks_lost,
             quarantined=quarantined,
             restore_retries=stats["restore_retries"],
-            line_consistent=self.scheme.line_sound(
-                self, line, self._line_cuts(line)
-            ),
+            line_consistent=line_ok,
         )
         self.recoveries.append(event)
         self.tracer.add("fault.recovery_time", event.duration)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
-from ...core.errors import SimulationError, StorageFault
+from ...core.errors import InvariantViolation, SimulationError, StorageFault
 from ...net.api import CommAgent
 from ...net.message import KIND_APP, Message
 from ..retry import stable_write
@@ -85,6 +85,14 @@ class SchemeAgent(CommAgent):
         msg.epoch = self.epoch
         msg.meta["gen"] = self.runtime.generation
         if msg.kind == KIND_APP:
+            self.runtime.tracer.event(
+                "msg.send",
+                src=msg.src,
+                dst=msg.dst,
+                seq=msg.seq,
+                epoch=msg.epoch,
+                gen=self.runtime.generation,
+            )
             self.scheme.on_app_send(self, msg)
 
     def on_deliver(self, msg: Message) -> bool:
@@ -93,12 +101,23 @@ class SchemeAgent(CommAgent):
             self.runtime.tracer.add("chk.stale_dropped")
             return False
         if msg.kind == KIND_APP:
-            assert self.comm is not None
+            if self.comm is None:
+                raise InvariantViolation(
+                    "agent delivered to before bind()", rank=self.rank
+                )
             if msg.seq <= self.comm.consumed_counts.get(msg.src, 0):
                 # duplicate of an already-consumed message (orphan replay
                 # after a rollback under piecewise-deterministic re-execution)
                 self.runtime.tracer.add("chk.duplicates_dropped")
                 return False
+            self.runtime.tracer.event(
+                "msg.deliver",
+                src=msg.src,
+                dst=msg.dst,
+                seq=msg.seq,
+                epoch=msg.epoch,
+                gen=self.runtime.generation,
+            )
             self.scheme.on_app_deliver(self, msg)
         return True
 

@@ -42,7 +42,7 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Sequence, Set
 
-from ...core.errors import SimulationError, StorageFault
+from ...core.errors import InvariantViolation, SimulationError, StorageFault
 from ...core.events import Event
 from ...net.message import KIND_CONTROL, KIND_MARKER, Message
 from ..incremental import PAGE_SIZE, IncrementalState
@@ -224,6 +224,9 @@ class CoordinatedScheme(Scheme):
             n = self._next_n
             self._next_n += 1
             runtime.tracer.add("chk.initiations")
+            runtime.tracer.event(
+                "proto.request", round=n, coordinator=self.coordinator_rank
+            )
             # local "request" to the coordinator's own agent ...
             runtime.agents[self.coordinator_rank].set_pending(n)
             # ... and control messages to everyone else (sent in rank order,
@@ -348,6 +351,7 @@ class CoordinatedScheme(Scheme):
         agent.epoch = n
         agent.cuts_taken += 1
         rt.tracer.add("chk.cuts")
+        rt.tracer.event("proto.cut", rank=agent.rank, round=n, scheme=self.name)
         # pre-cut messages still queued in the mailbox are in-transit state
         for m in agent.comm.mailbox.pending:
             if m.epoch < n:
@@ -390,12 +394,23 @@ class CoordinatedScheme(Scheme):
         elif self.staggered:
             # blocking + staggered (NBS ablation): serialise writes on a
             # FIFO slot, granted in cut order.
-            assert self._write_slot is not None
+            if self._write_slot is None:
+                raise InvariantViolation(
+                    "NBS cut without a write slot (install() not run?)",
+                    scheme=self.name,
+                    rank=agent.rank,
+                )
             rt.cluster.set_rank_blocked(agent.rank, True)
             wrote = True
             try:
                 with self._write_slot.request() as slot:
                     yield slot
+                    rt.tracer.event(
+                        "proto.write_begin",
+                        rank=agent.rank,
+                        round=n,
+                        scheme=self.name,
+                    )
                     try:
                         yield from stable_write(
                             self.ckpt_storage(agent),
@@ -407,6 +422,9 @@ class CoordinatedScheme(Scheme):
                         )
                     except StorageFault:
                         wrote = False
+                    rt.tracer.event(
+                        "proto.write_end", rank=agent.rank, round=n, ok=wrote
+                    )
             finally:
                 rt.cluster.set_rank_blocked(agent.rank, False)
             if wrote:
@@ -416,6 +434,9 @@ class CoordinatedScheme(Scheme):
         else:
             rt.cluster.set_rank_blocked(agent.rank, True)
             wrote = True
+            rt.tracer.event(
+                "proto.write_begin", rank=agent.rank, round=n, scheme=self.name
+            )
             try:
                 try:
                     yield from stable_write(
@@ -430,6 +451,7 @@ class CoordinatedScheme(Scheme):
                     wrote = False
             finally:
                 rt.cluster.set_rank_blocked(agent.rank, False)
+            rt.tracer.event("proto.write_end", rank=agent.rank, round=n, ok=wrote)
             if wrote:
                 self._write_finished(agent, rnd)
             else:
@@ -454,6 +476,12 @@ class CoordinatedScheme(Scheme):
                 yield rnd.token_event
             if rnd.aborted:
                 return  # an abort woke us up; nothing to write
+            rt.tracer.event(
+                "proto.write_begin",
+                rank=agent.rank,
+                round=rnd.n,
+                scheme=self.name,
+            )
             try:
                 yield from stable_write(
                     self.ckpt_storage(agent),
@@ -466,6 +494,9 @@ class CoordinatedScheme(Scheme):
                 )
             except StorageFault:
                 wrote = False
+            rt.tracer.event(
+                "proto.write_end", rank=agent.rank, round=rnd.n, ok=wrote
+            )
         finally:
             if cow:
                 agent.node.cow_window_closed()
@@ -492,6 +523,9 @@ class CoordinatedScheme(Scheme):
         if self.staggered and self.memory_ckpt:  # NBS uses the FIFO slot
             nxt = (agent.rank + 1) % rt.n_ranks
             if nxt != self.coordinator_rank:
+                rt.tracer.event(
+                    "proto.token_pass", round=rnd.n, src=agent.rank, dst=nxt
+                )
                 rt.spawn(
                     agent.comm.send_control(nxt, KIND_CONTROL, type=CTL_TOKEN, n=rnd.n),
                     name=f"token:{rnd.n}:{agent.rank}->{nxt}",
@@ -505,6 +539,7 @@ class CoordinatedScheme(Scheme):
         wedging the protocol."""
         rt = agent.runtime
         rt.tracer.add("chk.ckpt_writes_failed")
+        rt.tracer.event("proto.abort_report", rank=agent.rank, round=rnd.n)
         self._apply_abort(agent, rnd.n)
         if agent.rank == self.coordinator_rank:
             self._on_abort(agent, rnd.n)
@@ -524,6 +559,7 @@ class CoordinatedScheme(Scheme):
         self._aborted.add(n)
         self._acks.pop(n, None)
         rt.tracer.add("chk.rounds_aborted")
+        rt.tracer.event("proto.abort", round=n)
         comm = rt.comms[self.coordinator_rank]
         for dst in range(rt.n_ranks):
             if dst != self.coordinator_rank:
@@ -536,6 +572,8 @@ class CoordinatedScheme(Scheme):
     def _apply_abort(self, agent: CoordinatedAgent, n: int) -> None:
         """Rank-local cancellation of round *n* (idempotent)."""
         rt = agent.runtime
+        if n not in agent.aborted_rounds:
+            rt.tracer.event("proto.abort_apply", rank=agent.rank, round=n)
         agent.aborted_rounds.add(n)
         rnd = agent.round
         if rnd is not None and rnd.n == n:
@@ -565,6 +603,7 @@ class CoordinatedScheme(Scheme):
         rnd.acked = True
         agent.round = None  # channel recording is complete
         rt = agent.runtime
+        rt.tracer.event("proto.ack", rank=agent.rank, round=rnd.n)
         if agent.rank == self.coordinator_rank:
             self._on_ack(agent, agent.rank, rnd.n)
         else:
@@ -586,6 +625,7 @@ class CoordinatedScheme(Scheme):
         if len(acks) < rt.n_ranks:
             return
         del self._acks[n]
+        rt.tracer.event("proto.commit", round=n, acks=tuple(sorted(acks)))
         comm = rt.comms[self.coordinator_rank]
         for dst in range(rt.n_ranks):
             if dst != self.coordinator_rank:
@@ -597,6 +637,7 @@ class CoordinatedScheme(Scheme):
 
     def _apply_commit(self, agent: CoordinatedAgent, n: int) -> None:
         rt = agent.runtime
+        rt.tracer.event("proto.commit_apply", rank=agent.rank, round=n)
         rt.store.commit(agent.rank, n)
         # an incremental checkpoint needs its chain back to the last full
         # one; only records older than the chain base are disposable.
@@ -640,6 +681,7 @@ class CoordinatedScheme(Scheme):
             if not rec.committed:
                 store.commit(r, n)
                 runtime.tracer.add("chk.commit_on_recovery")
+                runtime.tracer.event("proto.commit_on_recovery", rank=r, round=n)
             line[r] = rec
         return line
 

@@ -201,6 +201,7 @@ class IndependentScheme(Scheme):
         agent.epoch = n
         agent.cuts_taken += 1
         rt.tracer.add("chk.cuts")
+        rt.tracer.event("proto.cut", rank=agent.rank, round=n, scheme=self.name)
         span = rt.tracer.open_span("ckpt.cut", rank=agent.rank, n=n, scheme=self.name)
         write_bytes = record.write_bytes + (
             0 if self.pessimistic_logging else record.log_bytes
@@ -232,6 +233,9 @@ class IndependentScheme(Scheme):
         else:
             rt.cluster.set_rank_blocked(agent.rank, True)
             wrote = True
+            rt.tracer.event(
+                "proto.write_begin", rank=agent.rank, round=n, scheme=self.name
+            )
             try:
                 try:
                     yield from stable_write(
@@ -246,6 +250,7 @@ class IndependentScheme(Scheme):
                     wrote = False
             finally:
                 rt.cluster.set_rank_blocked(agent.rank, False)
+            rt.tracer.event("proto.write_end", rank=agent.rank, round=n, ok=wrote)
             if wrote:
                 self._write_finished(agent, record, write_bytes)
             else:
@@ -264,6 +269,12 @@ class IndependentScheme(Scheme):
         if cow:
             agent.node.cow_window_opened()
         wrote = True
+        rt.tracer.event(
+            "proto.write_begin",
+            rank=agent.rank,
+            round=record.index,
+            scheme=self.name,
+        )
         try:
             try:
                 yield from stable_write(
@@ -281,6 +292,9 @@ class IndependentScheme(Scheme):
             agent.writing = False
             if cow:
                 agent.node.cow_window_closed()
+        rt.tracer.event(
+            "proto.write_end", rank=agent.rank, round=record.index, ok=wrote
+        )
         if wrote:
             self._write_finished(agent, record, nbytes)
         else:
@@ -318,11 +332,13 @@ class IndependentScheme(Scheme):
             rt.tracer.add("chk.ckpts_corrupted")
         self.after_stable_write(agent, record, nbytes)
         rt.tracer.add("chk.commits")
+        rt.tracer.event("proto.local_commit", rank=agent.rank, index=record.index)
         if self.gc:
             stats = collect_garbage(
                 rt.store,
                 transitless=not self.logging,
                 logging_recovery=self.logging,
+                tracer=rt.tracer,
             )
             rt.tracer.add("chk.gc_freed_bytes", stats.freed_bytes)
             rt.tracer.add("chk.gc_freed_ckpts", stats.freed_checkpoints)

@@ -16,7 +16,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from .errors import Deadlock, SimulationError
+from .errors import Deadlock, InvariantViolation, SimulationError
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process
 
@@ -95,7 +95,12 @@ class Engine:
             self.step_hook(time, event)
         callbacks = event.callbacks
         event.callbacks = None  # mark processed
-        assert callbacks is not None
+        if callbacks is None:
+            raise InvariantViolation(
+                "event processed twice (callbacks already consumed)",
+                event=repr(event),
+                now=self._now,
+            )
         for callback in callbacks:
             callback(event)
         if not event.ok and not event.defused:

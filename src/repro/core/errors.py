@@ -15,6 +15,8 @@ __all__ = [
     "StopProcess",
     "StorageFault",
     "EventAlreadyTriggered",
+    "InvariantViolation",
+    "VerificationError",
 ]
 
 
@@ -81,3 +83,33 @@ class StorageFault(SimulationError):
 
 class EventAlreadyTriggered(SimulationError):
     """An event was succeeded or failed twice."""
+
+
+class InvariantViolation(SimulationError):
+    """An internal correctness invariant did not hold at runtime.
+
+    Used instead of bare ``assert`` for runtime validation in simulation
+    code: unlike ``assert``, these checks survive ``python -O`` and carry a
+    structured description of what was violated. The sim-hygiene lint
+    (:mod:`repro.verify.lint`) forbids bare non-``isinstance`` asserts in
+    :mod:`repro` precisely so correctness checks end up here.
+    """
+
+    def __init__(self, what: str, **context: Any) -> None:
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(context.items()))
+        super().__init__(what + (f" [{detail}]" if detail else ""))
+        self.what = what
+        self.context = context
+
+
+class VerificationError(SimulationError):
+    """The protocol verification subsystem found a violated invariant.
+
+    Raised by the trace invariant engine (when post-run verification is
+    enabled) and by the model-checker CLI when exploration surfaces a
+    counterexample. Carries the individual violations for reporting.
+    """
+
+    def __init__(self, summary: str, violations: Any = ()) -> None:
+        super().__init__(summary)
+        self.violations = list(violations)

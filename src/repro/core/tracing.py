@@ -4,7 +4,10 @@ A :class:`Tracer` is attached to a run and accumulates:
 
 * **counters** — monotone named totals (bytes written, protocol messages…);
 * **timelines** — (time, value) samples for plotting/sweeps;
-* **spans** — named intervals (checkpoint N on node R took [t0, t1]).
+* **spans** — named intervals (checkpoint N on node R took [t0, t1]);
+* **events** — structured protocol events (vote/commit/abort/token-pass,
+  cuts, writes, message sends/deliveries, recoveries, GC) consumed by the
+  trace invariant engine (:mod:`repro.verify.trace_check`).
 
 Recording is cheap (dict/list appends) and can be disabled wholesale, so the
 hot path of big sweeps pays almost nothing.
@@ -18,7 +21,28 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import Engine
 
-__all__ = ["Tracer", "Span"]
+__all__ = ["Tracer", "Span", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured protocol event at a point in simulated time.
+
+    ``kind`` is a dotted name (``proto.commit``, ``msg.deliver``,
+    ``recover.line``, ``gc.discard``…); ``fields`` hold the event's
+    payload (round number, rank, channel, sequence number, …). The full
+    vocabulary is documented in :mod:`repro.verify.invariants`.
+    """
+
+    time: float
+    kind: str
+    fields: Dict[str, object]
+
+    def __getitem__(self, key: str) -> object:
+        return self.fields[key]
+
+    def get(self, key: str, default: object = None) -> object:
+        return self.fields.get(key, default)
 
 
 @dataclass
@@ -46,6 +70,7 @@ class Tracer:
         self.counters: Dict[str, float] = {}
         self.timelines: Dict[str, List[Tuple[float, float]]] = {}
         self.spans: List[Span] = []
+        self.events: List[TraceEvent] = []
 
     # -- counters ------------------------------------------------------------
 
@@ -57,6 +82,17 @@ class Tracer:
 
     def get(self, counter: str, default: float = 0.0) -> float:
         return self.counters.get(counter, default)
+
+    # -- events ----------------------------------------------------------------
+
+    def event(self, kind: str, **fields: object) -> None:
+        """Record a structured protocol event at the current time."""
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(self.engine.now, kind, fields))
+
+    def events_named(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
 
     # -- timelines -------------------------------------------------------------
 
@@ -90,5 +126,6 @@ class Tracer:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<Tracer counters={len(self.counters)} "
-            f"timelines={len(self.timelines)} spans={len(self.spans)}>"
+            f"timelines={len(self.timelines)} spans={len(self.spans)} "
+            f"events={len(self.events)}>"
         )

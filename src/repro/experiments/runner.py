@@ -12,7 +12,14 @@ Usage::
     python -m repro.experiments.runner domino
     python -m repro.experiments.runner storage-overhead
     python -m repro.experiments.runner resilience
+    python -m repro.experiments.runner smoke
     python -m repro.experiments.runner all
+
+Any invocation accepts ``--verify``: every simulation run is then audited
+post-hoc by the trace invariant engine (:mod:`repro.verify`), and the
+first violated invariant aborts the experiment with a VerificationError.
+``smoke`` is the verification smoke battery itself — a small traced run of
+every scheme (plus a crash) with the audit always on.
 """
 
 from __future__ import annotations
@@ -73,10 +80,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             "interval-sweep",
             "two-level",
             "resilience",
+            "smoke",
             "all",
         ],
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="audit every run's event trace post-hoc (repro.verify)",
+    )
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -91,8 +104,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.verify:
+        from ..verify import set_runtime_verification
+
+        set_runtime_verification(True)
+
     scale = 0.2 if args.quick else 1.0
-    t0 = time.time()
+    t0 = time.time()  # verify: allow[wall-clock] — CLI wall-time reporting
     todo = (
         [args.experiment]
         if args.experiment != "all"
@@ -212,6 +230,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             res = run_resilience(seed=args.seed)
             _record("R3 — resilience under faulty stable storage", res)
             _emit(exp, res.render(), _shape_report(res.shape_holds()))
+        elif exp == "smoke":
+            from ..verify.smoke import run_smoke
+
+            results = run_smoke(seed=args.seed, verbose=args.verbose)
+            lines = [
+                f"  [{'ok' if rep.ok else 'FAIL'}] {name:<16} {rep.summary()}"
+                for name, rep in results
+            ]
+            _emit("smoke", "verification smoke battery:\n" + "\n".join(lines))
+            for _name, rep in results:
+                rep.raise_if_violated()
 
     if args.report and report_sections:
         from ..analysis import build_report
@@ -220,7 +249,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.report, "w") as fh:
             fh.write(text)
         print(f"[runner] report written to {args.report}")
-    print(f"[runner] done in {time.time() - t0:.1f}s wall")
+    print(f"[runner] done in {time.time() - t0:.1f}s wall")  # verify: allow[wall-clock]
     return 0
 
 

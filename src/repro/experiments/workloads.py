@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, List
 
 from ..apps import ASP, SOR, Application, Gauss, Ising, NBody, NQueens, TSP
+from ..core.errors import InvariantViolation
 
 __all__ = ["Workload", "table1_workloads", "table23_workloads", "quick_workloads"]
 
@@ -76,7 +77,11 @@ def table1_workloads(scale: float = 1.0) -> List[Workload]:
     )
     ws.append(Workload("tsp-12", lambda: TSP(n_cities=12, flops_per_node=4000.0)))
     ws.append(Workload("nqueens-12", lambda: NQueens(n=12, flops_per_node=2000.0)))
-    assert len(ws) == 21
+    if len(ws) != 21:
+        raise InvariantViolation(
+            "Table 1 workload list drifted from the paper's 21 rows",
+            got=len(ws),
+        )
     return ws
 
 

@@ -1,0 +1,56 @@
+"""Three-layer verification subsystem for the reproduction.
+
+1. **Model checking** (:mod:`.model`, :mod:`.explorer`) — exhaustive
+   explicit-state exploration of abstracted protocol state machines: the
+   coordinated two-phase commit (with crash/abort at every reachable
+   state) and the staggered token ring. Small-N (2–4 ranks) but complete:
+   every interleaving of message deliveries, write completions and
+   failures is visited.
+2. **Trace invariants** (:mod:`.invariants`, :mod:`.trace_check`) —
+   declarative checkers replayed over the structured event streams the
+   simulator records (FIFO delivery, 2PC commit rules, staggered-write
+   mutual exclusion, GC line safety, recovery-line soundness). Runnable
+   post-hoc on any run via ``--verify`` on the experiment runner.
+3. **Sim-hygiene lint** (:mod:`.lint`) — an AST pass over ``src/repro``
+   that forbids wall-clock and unseeded-randomness leaks into simulation
+   code, bare ``assert`` for runtime validation, and engine primitives
+   called without ``yield``.
+
+CLI: ``python -m repro.verify [lint|model|smoke|all]``.
+"""
+
+from .explorer import ExplorationResult, Violation, explore
+from .invariants import RunMeta, TraceViolation, default_checkers
+from .lint import LintIssue, lint_paths, lint_source
+from .model import ModelBugs, TokenRingModel, TwoPhaseCommitModel
+from .trace_check import (
+    TraceReport,
+    check_runtime,
+    check_trace,
+    meta_for_runtime,
+    runtime_verification_enabled,
+    set_runtime_verification,
+    verified,
+)
+
+__all__ = [
+    "ExplorationResult",
+    "Violation",
+    "explore",
+    "RunMeta",
+    "TraceViolation",
+    "default_checkers",
+    "LintIssue",
+    "lint_paths",
+    "lint_source",
+    "ModelBugs",
+    "TokenRingModel",
+    "TwoPhaseCommitModel",
+    "TraceReport",
+    "check_runtime",
+    "check_trace",
+    "meta_for_runtime",
+    "runtime_verification_enabled",
+    "set_runtime_verification",
+    "verified",
+]

@@ -1,0 +1,94 @@
+"""CLI for the verification subsystem.
+
+Usage::
+
+    python -m repro.verify            # everything (lint + model + smoke)
+    python -m repro.verify lint       # sim-hygiene AST lint over src/repro
+    python -m repro.verify model      # exhaustive small-N model checking
+    python -m repro.verify smoke      # traced scheme runs + invariant audit
+
+Exit status is non-zero as soon as any layer reports a problem, so the CI
+``verify`` job can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .explorer import explore
+from .lint import lint_paths
+from .model import TokenRingModel, TwoPhaseCommitModel
+from .smoke import run_smoke
+
+__all__ = ["main"]
+
+
+def _run_lint(verbose: bool) -> int:
+    issues = lint_paths()
+    for issue in issues:
+        print(f"{issue.path}:{issue.line}:{issue.col}: [{issue.rule}] {issue.message}")
+    print(f"[verify:lint] {len(issues)} issue(s)")
+    return 1 if issues else 0
+
+
+def _run_model(ranks: List[int], verbose: bool) -> int:
+    failed = 0
+    for n in ranks:
+        result = explore(TwoPhaseCommitModel(n_ranks=n))
+        print(f"[verify:model] 2pc n={n}: {result.summary()}")
+        if verbose:
+            for v in result.violations[:3]:
+                print(f"  {v.invariant}: " + " -> ".join(v.trace))
+        failed += 0 if result.ok else 1
+    for n in ranks:
+        result = explore(TokenRingModel(n_ranks=n))
+        print(f"[verify:model] token-ring n={n}: {result.summary()}")
+        failed += 0 if result.ok else 1
+    return 1 if failed else 0
+
+
+def _run_smoke(seed: int, verbose: bool) -> int:
+    results = run_smoke(seed=seed, verbose=verbose)
+    bad = 0
+    for name, report in results:
+        print(f"[verify:smoke] {name:<16} {report.summary()}")
+        for v in report.violations[:5]:
+            print(f"  [{v.invariant}] t={v.time:.6f} {v.message}")
+        bad += 0 if report.ok else 1
+    return 1 if bad else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.verify", description=__doc__)
+    parser.add_argument(
+        "layer",
+        nargs="?",
+        default="all",
+        choices=["lint", "model", "smoke", "all"],
+    )
+    parser.add_argument(
+        "--ranks",
+        type=int,
+        nargs="+",
+        default=[2, 3, 4],
+        help="system sizes for the model checker (default: 2 3 4)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    status = 0
+    if args.layer in ("lint", "all"):
+        status |= _run_lint(args.verbose)
+    if args.layer in ("model", "all"):
+        status |= _run_model(args.ranks, args.verbose)
+    if args.layer in ("smoke", "all"):
+        status |= _run_smoke(args.seed, args.verbose)
+    print(f"[verify] {'PASS' if status == 0 else 'FAIL'}")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Exhaustive state-space exploration for protocol models.
+
+A *model* is any object exposing:
+
+* ``initial_states() -> Iterable[state]`` — hashable start states;
+* ``successors(state) -> Iterable[(label, state)]`` — every enabled action
+  and its resulting state (the explorer never invents transitions);
+* ``invariants`` — ``[(name, predicate)]`` checked on **every** reachable
+  state. Because a crash can happen at any instant, checking a state
+  invariant on every reachable state is equivalent to checking it at every
+  possible crash point — this is how the model covers crash branches
+  without an explicit crash action;
+* ``terminal_invariants`` — ``[(name, predicate)]`` checked only on states
+  with no enabled action (termination / final-outcome properties).
+
+Exploration is breadth-first, so a reported counterexample trace is a
+shortest one. The frontier is bounded by ``max_states`` as a safety valve;
+hitting the bound marks the result incomplete instead of raising, because
+an incomplete exploration can still *find* bugs — it just cannot prove
+their absence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+__all__ = ["Violation", "ExplorationResult", "explore"]
+
+State = Hashable
+
+
+@dataclass
+class Violation:
+    """One invariant violation with a shortest counterexample trace."""
+
+    invariant: str
+    state: Any
+    trace: Tuple[str, ...]  #: action labels from an initial state
+    terminal: bool = False  #: found on a terminal (deadlocked/final) state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = "terminal state" if self.terminal else "state"
+        steps = " -> ".join(self.trace) or "<initial>"
+        return f"<Violation {self.invariant} at {where} via {steps}>"
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one exhaustive exploration."""
+
+    states_explored: int
+    transitions: int
+    terminal_states: int
+    violations: List[Violation] = field(default_factory=list)
+    complete: bool = True  #: False when max_states cut the search short
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        scope = "exhaustive" if self.complete else "TRUNCATED"
+        return (
+            f"{status}: {self.states_explored} states, "
+            f"{self.transitions} transitions, "
+            f"{self.terminal_states} terminal ({scope})"
+        )
+
+
+def trace_to(
+    parents: Dict[State, Optional[Tuple[State, str]]], state: State
+) -> Tuple[str, ...]:
+    """Reconstruct the action-label path from an initial state to *state*."""
+    labels: List[str] = []
+    cursor: Optional[State] = state
+    while cursor is not None:
+        link = parents[cursor]
+        if link is None:
+            break
+        cursor, label = link
+        labels.append(label)
+    return tuple(reversed(labels))
+
+
+def explore(
+    model: Any,
+    max_states: int = 500_000,
+    stop_at_first: bool = False,
+) -> ExplorationResult:
+    """Breadth-first exhaustive exploration of *model*.
+
+    Every reachable state is checked against ``model.invariants``; states
+    with no successor are additionally checked against
+    ``model.terminal_invariants``. Violations carry a shortest trace.
+    """
+    invariants = list(getattr(model, "invariants", ()))
+    terminal_invariants = list(getattr(model, "terminal_invariants", ()))
+    parents: Dict[State, Optional[Tuple[State, str]]] = {}
+    queue: deque[State] = deque()
+    result = ExplorationResult(
+        states_explored=0, transitions=0, terminal_states=0
+    )
+
+    def check(state: State, checks, terminal: bool) -> bool:
+        for name, predicate in checks:
+            if not predicate(state):
+                result.violations.append(
+                    Violation(
+                        invariant=name,
+                        state=state,
+                        trace=trace_to(parents, state),
+                        terminal=terminal,
+                    )
+                )
+                if stop_at_first:
+                    return False
+        return True
+
+    for initial in model.initial_states():
+        if initial not in parents:
+            parents[initial] = None
+            queue.append(initial)
+
+    while queue:
+        state = queue.popleft()
+        result.states_explored += 1
+        if not check(state, invariants, terminal=False):
+            return result
+        successors = list(model.successors(state))
+        result.transitions += len(successors)
+        if not successors:
+            result.terminal_states += 1
+            if not check(state, terminal_invariants, terminal=True):
+                return result
+            continue
+        for label, nxt in successors:
+            if nxt not in parents:
+                if len(parents) >= max_states:
+                    result.complete = False
+                    continue
+                parents[nxt] = (state, label)
+                queue.append(nxt)
+
+    return result

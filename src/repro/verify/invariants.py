@@ -1,0 +1,455 @@
+"""Declarative invariant checkers over recorded event streams.
+
+The schemes, runtime and GC emit structured :class:`~repro.core.tracing.TraceEvent`
+records; each checker here replays that stream and reports violations. The
+event vocabulary (``kind`` → fields):
+
+=====================  =====================================================
+``proto.request``      round, coordinator — 2PC initiation
+``proto.cut``          rank, round, scheme — a rank captured its state
+``proto.ack``          rank, round — a rank's commit vote (write + markers)
+``proto.commit``       round, acks — coordinator's commit decision
+``proto.commit_apply`` rank, round — a rank made its record permanent
+``proto.commit_on_recovery`` rank, round — 2PC commit-on-recovery rule
+``proto.abort_report`` rank, round — a rank's abort vote (write failed)
+``proto.abort``        round — coordinator's abort decision
+``proto.abort_apply``  rank, round — rank-local round cancellation
+``proto.token_pass``   round, src, dst — staggering token hand-off
+``proto.write_begin``  rank, round, scheme — checkpoint stable write starts
+``proto.write_end``    rank, round, ok — … finished (ok=False: retries
+                       exhausted)
+``proto.local_commit`` rank, index — independent: written checkpoint stable
+``msg.send``           src, dst, seq, epoch, gen — application send
+``msg.deliver``        src, dst, seq, epoch, gen — accepted app delivery
+``recover.crash``      gen, failed — a failure took the machine down
+``recover.line``       gen, indices, klass, logging, consistent,
+                       sent, consumed — the restored recovery line
+``recover.replay``     gen, count — in-transit messages re-injected
+``gc.run``             line, protected — GC pass over the store
+``gc.discard``         rank, index — GC removed one checkpoint
+=====================  =====================================================
+
+Checkers are fed events in recorded order via :meth:`Checker.on_event` and
+report accumulated :class:`TraceViolation`s from :meth:`Checker.finish`.
+They are deliberately *independent re-implementations* of the conditions
+the runtime already enforces inline — the point is cross-checking the
+implementation, not reusing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.tracing import TraceEvent
+
+__all__ = [
+    "RunMeta",
+    "TraceViolation",
+    "Checker",
+    "MonotonicClock",
+    "ChannelFifo",
+    "CutMonotonic",
+    "CoordinatedTwoPhase",
+    "StaggeredWriteMutex",
+    "GcLineSafety",
+    "LineSoundness",
+    "default_checkers",
+]
+
+
+@dataclass(frozen=True)
+class RunMeta:
+    """What the checkers need to know about the run they are auditing."""
+
+    n_ranks: int
+    scheme: str = "none"  #: scheme name (coord_nbms, indep_m, …)
+    klass: str = "none"  #: "coordinated" | "independent" | "none"
+    staggered: bool = False
+    logging: bool = False
+
+
+@dataclass
+class TraceViolation:
+    """One violated trace invariant."""
+
+    invariant: str
+    message: str
+    time: float
+    event_index: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TraceViolation {self.invariant} t={self.time:.6f}: {self.message}>"
+
+
+class Checker:
+    """Base class: accumulate violations while replaying the stream."""
+
+    name = "checker"
+
+    def __init__(self, meta: RunMeta) -> None:
+        self.meta = meta
+        self.violations: List[TraceViolation] = []
+        self._index = -1
+
+    def feed(self, index: int, ev: TraceEvent) -> None:
+        self._index = index
+        self.on_event(ev)
+
+    def flag(self, message: str, time: float) -> None:
+        self.violations.append(
+            TraceViolation(
+                invariant=self.name,
+                message=message,
+                time=time,
+                event_index=self._index,
+            )
+        )
+
+    # -- overridables --------------------------------------------------------
+
+    def on_event(self, ev: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def finish(self) -> List[TraceViolation]:
+        return self.violations
+
+
+class MonotonicClock(Checker):
+    """Event timestamps never decrease: the simulated clock is monotone."""
+
+    name = "monotonic_clock"
+
+    def __init__(self, meta: RunMeta) -> None:
+        super().__init__(meta)
+        self._last = float("-inf")
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if ev.time < self._last:
+            self.flag(
+                f"clock moved backwards: {ev.kind} at {ev.time} after {self._last}",
+                ev.time,
+            )
+        self._last = max(self._last, ev.time)
+
+
+class ChannelFifo(Checker):
+    """Per-channel FIFO delivery within each generation.
+
+    Within one generation, sends on a channel carry strictly increasing
+    sequence numbers, accepted deliveries arrive in strictly increasing
+    sequence order, and nothing is delivered that was never sent — either
+    in this generation or re-injected from a checkpoint's channel state
+    (replayed messages keep their pre-crash sequence numbers).
+    """
+
+    name = "channel_fifo"
+
+    def __init__(self, meta: RunMeta) -> None:
+        super().__init__(meta)
+        self._sent: Dict[Tuple[int, int, int], int] = {}  #: (gen,src,dst) -> seq
+        self._delivered: Dict[Tuple[int, int, int], int] = {}
+        #: highest seq ever put on a channel across generations — a replayed
+        #: or re-executed message may reuse one of these, never exceed them+1.
+        self._channel_high: Dict[Tuple[int, int], int] = {}
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if ev.kind == "msg.send":
+            key = (ev["gen"], ev["src"], ev["dst"])
+            seq = ev["seq"]
+            last = self._sent.get(key, 0)
+            if seq <= last:
+                self.flag(
+                    f"send {ev['src']}->{ev['dst']} gen={ev['gen']} "
+                    f"seq={seq} not increasing (last {last})",
+                    ev.time,
+                )
+            self._sent[key] = max(last, seq)
+            chan = (ev["src"], ev["dst"])
+            self._channel_high[chan] = max(self._channel_high.get(chan, 0), seq)
+        elif ev.kind == "msg.deliver":
+            key = (ev["gen"], ev["src"], ev["dst"])
+            seq = ev["seq"]
+            last = self._delivered.get(key, 0)
+            if seq <= last:
+                self.flag(
+                    f"delivery {ev['src']}->{ev['dst']} gen={ev['gen']} "
+                    f"seq={seq} out of order (last {last})",
+                    ev.time,
+                )
+            self._delivered[key] = max(last, seq)
+            chan = (ev["src"], ev["dst"])
+            if seq > self._channel_high.get(chan, 0):
+                self.flag(
+                    f"delivery {ev['src']}->{ev['dst']} seq={seq} was never "
+                    f"sent (channel high {self._channel_high.get(chan, 0)})",
+                    ev.time,
+                )
+
+
+class CutMonotonic(Checker):
+    """Per-rank checkpoint indices advance strictly, rewinding only at a
+    recovery (to the restored line's index)."""
+
+    name = "cut_monotonic"
+
+    def __init__(self, meta: RunMeta) -> None:
+        super().__init__(meta)
+        self._epoch: Dict[int, int] = {r: 0 for r in range(meta.n_ranks)}
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if ev.kind == "proto.cut":
+            rank, n = ev["rank"], ev["round"]
+            if n <= self._epoch.get(rank, 0):
+                self.flag(
+                    f"rank {rank} cut round {n} <= current epoch "
+                    f"{self._epoch.get(rank, 0)}",
+                    ev.time,
+                )
+            self._epoch[rank] = max(self._epoch.get(rank, 0), n)
+        elif ev.kind == "recover.line":
+            for rank, idx in dict(ev["indices"]).items():
+                self._epoch[rank] = idx
+
+
+class CoordinatedTwoPhase(Checker):
+    """The 2PC commit rules, re-derived from the event stream:
+
+    * a commit decision for round *n* requires an ack from **every** rank —
+      audited against the decision's own ``acks`` evidence (the votes the
+      coordinator actually held), not just the votes cast somewhere in the
+      stream, so a premature-quorum coordinator is caught even on runs
+      where the missing vote was merely still on the wire;
+    * every ack the decision cites must actually have been cast;
+    * no commit decision (or apply) for a round with an abort vote;
+    * no round may see both a commit and an abort decision;
+    * commit-on-recovery is legal only for a round whose commit decision
+      was broadcast before the crash.
+    """
+
+    name = "coordinated_two_phase"
+
+    def __init__(self, meta: RunMeta) -> None:
+        super().__init__(meta)
+        self._acks: Dict[int, Set[int]] = {}
+        self._abort_votes: Dict[int, Set[int]] = {}
+        self._committed: Set[int] = set()
+        self._aborted: Set[int] = set()
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if self.meta.klass != "coordinated":
+            return
+        if ev.kind == "proto.ack":
+            self._acks.setdefault(ev["round"], set()).add(ev["rank"])
+        elif ev.kind == "proto.abort_report":
+            self._abort_votes.setdefault(ev["round"], set()).add(ev["rank"])
+        elif ev.kind == "proto.commit":
+            n = ev["round"]
+            self._committed.add(n)
+            cited = ev.get("acks")
+            acks = set(cited) if cited is not None else self._acks.get(n, set())
+            if acks != set(range(self.meta.n_ranks)):
+                self.flag(
+                    f"round {n} committed with acks {sorted(acks)} "
+                    f"(need all {self.meta.n_ranks} ranks)",
+                    ev.time,
+                )
+            if cited is not None:
+                uncast = set(cited) - self._acks.get(n, set())
+                if uncast:
+                    self.flag(
+                        f"round {n} commit cites ack(s) from {sorted(uncast)} "
+                        f"that were never cast",
+                        ev.time,
+                    )
+            if n in self._abort_votes:
+                self.flag(
+                    f"round {n} committed after abort vote(s) from "
+                    f"{sorted(self._abort_votes[n])}",
+                    ev.time,
+                )
+            if n in self._aborted:
+                self.flag(f"round {n} committed after an abort decision", ev.time)
+        elif ev.kind == "proto.abort":
+            n = ev["round"]
+            self._aborted.add(n)
+            if n in self._committed:
+                self.flag(f"round {n} aborted after a commit decision", ev.time)
+        elif ev.kind == "proto.commit_apply":
+            n = ev["round"]
+            if n not in self._committed:
+                self.flag(
+                    f"rank {ev['rank']} applied commit for round {n} "
+                    f"without a commit decision",
+                    ev.time,
+                )
+            if n in self._abort_votes or n in self._aborted:
+                self.flag(
+                    f"rank {ev['rank']} applied commit for aborted round {n}",
+                    ev.time,
+                )
+        elif ev.kind == "proto.commit_on_recovery":
+            n = ev["round"]
+            if n not in self._committed:
+                self.flag(
+                    f"commit-on-recovery of round {n} that was never "
+                    f"decided committed before the crash",
+                    ev.time,
+                )
+
+
+class StaggeredWriteMutex(Checker):
+    """Staggered variants: checkpoint writes of one round never overlap —
+    the token ring (NBMS/NBCS) / write slot (NBS) holds mutual exclusion
+    on the stable-storage path."""
+
+    name = "staggered_write_mutex"
+
+    def __init__(self, meta: RunMeta) -> None:
+        super().__init__(meta)
+        self._open: Dict[int, int] = {}  #: round -> rank currently writing
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if not self.meta.staggered or self.meta.klass != "coordinated":
+            return
+        if ev.kind == "proto.write_begin":
+            n, rank = ev["round"], ev["rank"]
+            if n in self._open:
+                self.flag(
+                    f"rank {rank} began its round-{n} write while rank "
+                    f"{self._open[n]} was still writing (staggering broken)",
+                    ev.time,
+                )
+            self._open[n] = rank
+        elif ev.kind == "proto.write_end":
+            self._open.pop(ev["round"], None)
+
+
+class GcLineSafety(Checker):
+    """Garbage collection never deletes a recovery-line member.
+
+    Two independent checks: (1) a ``gc.discard`` must not hit an index the
+    same pass declared protected (the line and its incremental chains);
+    (2) no later ``recover.line`` may restore an index that GC discarded
+    earlier (indices are never reused, so this is exact).
+    """
+
+    name = "gc_line_safety"
+
+    def __init__(self, meta: RunMeta) -> None:
+        super().__init__(meta)
+        self._protected: Dict[int, Tuple[int, ...]] = {}
+        self._discarded: Set[Tuple[int, int]] = set()
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if ev.kind == "gc.run":
+            self._protected = {
+                rank: tuple(keep) for rank, keep in dict(ev["protected"]).items()
+            }
+        elif ev.kind == "gc.discard":
+            rank, idx = ev["rank"], ev["index"]
+            if idx in self._protected.get(rank, ()):
+                self.flag(
+                    f"GC discarded protected checkpoint r{rank}#{idx} "
+                    f"(line/chain member)",
+                    ev.time,
+                )
+            self._discarded.add((rank, idx))
+        elif ev.kind == "recover.line":
+            for rank, idx in dict(ev["indices"]).items():
+                if idx > 0 and (rank, idx) in self._discarded:
+                    self.flag(
+                        f"recovery line uses checkpoint r{rank}#{idx} that "
+                        f"GC discarded earlier",
+                        ev.time,
+                    )
+
+
+class LineSoundness(Checker):
+    """Every restored recovery line satisfies the scheme's consistency-line
+    definition, recomputed from the line's channel counters:
+
+    * **coordinated** — single committed round: all ranks restore the same
+      index (orphans tolerated under piecewise-deterministic replay);
+    * **independent, no logging** — no orphans *and* transitless
+      (``consumed == sent`` on every channel);
+    * **independent + logging** — orphan-tolerant, but every in-transit
+      message must have been replayed from the stable logs (the runtime
+      raises if one is missing; we re-check the replay count).
+    """
+
+    name = "line_soundness"
+
+    def __init__(self, meta: RunMeta) -> None:
+        super().__init__(meta)
+        #: in-transit message count implied by the last restored line's
+        #: counters, awaiting the matching ``recover.replay`` event.
+        self._expect_replay: Optional[int] = None
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if ev.kind == "recover.replay":
+            if (
+                self._expect_replay is not None
+                and ev["count"] != self._expect_replay
+            ):
+                self.flag(
+                    f"recovery replayed {ev['count']} in-transit messages "
+                    f"but the line's counters imply {self._expect_replay} "
+                    f"(messages lost or duplicated across the line)",
+                    ev.time,
+                )
+            self._expect_replay = None
+            return
+        if ev.kind != "recover.line":
+            return
+        indices = dict(ev["indices"])
+        sent = {r: dict(v) for r, v in dict(ev["sent"]).items()}
+        consumed = {r: dict(v) for r, v in dict(ev["consumed"]).items()}
+        if not ev.get("consistent", True):
+            self.flag("runtime flagged the restored line as unsound", ev.time)
+        ranks = sorted(indices)
+        self._expect_replay = sum(
+            max(0, sent.get(p, {}).get(q, 0) - consumed.get(q, {}).get(p, 0))
+            for p in ranks
+            for q in ranks
+            if p != q
+        )
+        if self.meta.klass == "coordinated":
+            if len(set(indices.values())) != 1:
+                self.flag(
+                    f"coordinated line spans several rounds: {indices}", ev.time
+                )
+            return
+        if self.meta.klass != "independent":
+            return
+        for p in ranks:
+            for q in ranks:
+                if p == q:
+                    continue
+                sent_pq = sent.get(p, {}).get(q, 0)
+                cons_qp = consumed.get(q, {}).get(p, 0)
+                if not self.meta.logging and cons_qp > sent_pq:
+                    self.flag(
+                        f"orphan across the line on channel {p}->{q}: "
+                        f"consumed {cons_qp} > sent {sent_pq}",
+                        ev.time,
+                    )
+                if not self.meta.logging and sent_pq != cons_qp:
+                    self.flag(
+                        f"unlogged independent line is not transitless on "
+                        f"{p}->{q}: sent {sent_pq}, consumed {cons_qp}",
+                        ev.time,
+                    )
+
+
+def default_checkers(meta: RunMeta) -> List[Checker]:
+    """The full checker battery for one run."""
+    return [
+        MonotonicClock(meta),
+        ChannelFifo(meta),
+        CutMonotonic(meta),
+        CoordinatedTwoPhase(meta),
+        StaggeredWriteMutex(meta),
+        GcLineSafety(meta),
+        LineSoundness(meta),
+    ]

@@ -1,0 +1,411 @@
+"""Abstract protocol models for exhaustive checking.
+
+Two executable state machines mirror the protocols implemented in
+:mod:`repro.chklib.schemes`:
+
+* :class:`TwoPhaseCommitModel` — one round of the coordinated scheme's
+  2PC (REQUEST → cut/write → ACK|ABORT → COMMIT|ABORT broadcast), with the
+  storage-write failure branch of every rank explored nondeterministically
+  (the abort path added by the fault-injection subsystem). Markers are
+  abstracted away: on reliable FIFO links they only delay the ack, never
+  change the decision.
+* :class:`TokenRingModel` — the NBMS staggered background-write ring: the
+  coordinator writes first, every other rank waits for the token and
+  passes it on after its own write.
+
+One round is modelled, which is exhaustive in practice: rounds are
+independent by construction (committing round *n* discards *n−1* and the
+coordinator never overlaps initiations of the same rank's cut), so a
+multi-round bug is a single-round bug plus the store's chain bookkeeping,
+which the trace invariant engine checks on real runs.
+
+Crash coverage: the explorer checks state invariants on **every** reachable
+state, which is equivalent to crashing the machine at every instant — e.g.
+``commit_implies_all_written`` is exactly the soundness condition of the
+recovery path's commit-on-recovery rule (a processed COMMIT proves every
+rank's write finished, so the record is durable wherever the crash lands).
+
+:class:`ModelBugs` injects deliberate protocol bugs (mutation testing for
+the checker itself): each flag must be caught by at least one invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, NamedTuple, Optional, Tuple
+
+__all__ = ["ModelBugs", "TwoPhaseCommitModel", "TokenRingModel"]
+
+
+# -- participant phases -------------------------------------------------------
+
+P_WORKING = "working"  #: request not yet delivered
+P_WRITING = "writing"  #: cut taken, stable write in flight
+P_WRITTEN = "written"  #: write durable, ack sent (or pending)
+P_FAILED = "failed"  #: write exhausted retries, abort report sent
+P_COMMITTED = "committed"  #: COMMIT applied to a durable record
+P_ABORTED = "aborted"  #: round cancelled, tentative record discarded
+#: COMMIT applied to a record that was never durably written — this phase
+#: is unreachable in a correct protocol and exists so invariants can name
+#: the disaster precisely.
+P_COMMITTED_UNWRITTEN = "committed-unwritten"
+
+#: coordinator phases
+C_IDLE = "idle"
+C_WAITING = "waiting"
+C_COMMITTED = "committed"
+C_ABORTED = "aborted"
+
+DECIDED = (P_COMMITTED, P_ABORTED)
+
+
+@dataclass(frozen=True)
+class ModelBugs:
+    """Deliberate protocol mutations (all off = the shipped protocol)."""
+
+    #: coordinator broadcasts COMMIT one ack early (quorum N-1, not N).
+    commit_without_all_acks: bool = False
+    #: participant acks at the cut, before its stable write finished.
+    ack_before_write: bool = False
+    #: this rank's ACK is lost on the wire (never delivered).
+    drop_ack: Optional[int] = None
+    #: coordinator silently drops CTL_ABORT reports (round wedges).
+    ignore_abort: bool = False
+    #: coordinator answers an abort report with a COMMIT broadcast.
+    commit_on_abort: bool = False
+
+    def any(self) -> bool:
+        return any(
+            (
+                self.commit_without_all_acks,
+                self.ack_before_write,
+                self.drop_ack is not None,
+                self.ignore_abort,
+                self.commit_on_abort,
+            )
+        )
+
+
+class TpcState(NamedTuple):
+    """One reachable configuration of a 2PC round (hashable)."""
+
+    coord: str
+    acks: FrozenSet[int]
+    parts: Tuple[str, ...]
+    failed: FrozenSet[int]  #: ranks whose write failed (sticky abort votes)
+    msgs: FrozenSet[Tuple[str, int]]  #: (type, rank) messages in flight
+
+    def part(self, rank: int) -> str:
+        return self.parts[rank]
+
+
+def _replace_part(parts: Tuple[str, ...], rank: int, phase: str) -> Tuple[str, ...]:
+    out = list(parts)
+    out[rank] = phase
+    return tuple(out)
+
+
+class TwoPhaseCommitModel:
+    """One coordinated checkpoint round as an exhaustive state machine.
+
+    ``fault_ranks`` lists the ranks whose stable write may (also)
+    nondeterministically fail, producing the CTL_ABORT branch; by default
+    every rank may fail, which explores every combination of abort votes
+    and message interleavings.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int = 3,
+        coordinator: int = 0,
+        fault_ranks: Optional[Iterable[int]] = None,
+        bugs: Optional[ModelBugs] = None,
+    ) -> None:
+        if n_ranks < 2:
+            raise ValueError("the protocol needs at least 2 ranks")
+        self.n = n_ranks
+        self.coordinator = coordinator
+        self.fault_ranks = frozenset(
+            range(n_ranks) if fault_ranks is None else fault_ranks
+        )
+        self.bugs = bugs or ModelBugs()
+        self.invariants = [
+            ("agreement", self._inv_agreement),
+            ("no_commit_after_abort_vote", self._inv_no_commit_after_abort),
+            ("commit_implies_all_acks", self._inv_commit_implies_all_acks),
+            ("commit_implies_all_written", self._inv_commit_implies_written),
+            ("no_commit_of_unwritten_record", self._inv_no_unwritten_commit),
+        ]
+        self.terminal_invariants = [
+            ("termination_all_decided", self._inv_terminal_decided),
+            ("atomic_outcome", self._inv_terminal_atomic),
+        ]
+
+    # -- state space ---------------------------------------------------------
+
+    def initial_states(self) -> Iterable[TpcState]:
+        yield TpcState(
+            coord=C_IDLE,
+            acks=frozenset(),
+            parts=tuple(P_WORKING for _ in range(self.n)),
+            failed=frozenset(),
+            msgs=frozenset(),
+        )
+
+    def successors(self, s: TpcState) -> Iterator[Tuple[str, TpcState]]:
+        bugs = self.bugs
+        # 1. the coordinator initiates the round
+        if s.coord == C_IDLE:
+            msgs = s.msgs | {("request", r) for r in range(self.n)}
+            yield "initiate", s._replace(coord=C_WAITING, msgs=msgs)
+            return  # nothing else can happen before initiation
+        # 2. write outcomes (local nondeterminism at each writing rank)
+        for r in range(self.n):
+            if s.part(r) != P_WRITING:
+                continue
+            ack = frozenset() if bugs.ack_before_write else {("ack", r)}
+            if bugs.drop_ack == r:
+                ack = frozenset()
+            yield (
+                f"write-ok:{r}",
+                s._replace(
+                    parts=_replace_part(s.parts, r, P_WRITTEN),
+                    msgs=s.msgs | ack,
+                ),
+            )
+            if r in self.fault_ranks:
+                yield (
+                    f"write-fail:{r}",
+                    s._replace(
+                        parts=_replace_part(s.parts, r, P_FAILED),
+                        failed=s.failed | {r},
+                        msgs=s.msgs | {("fail", r)},
+                    ),
+                )
+        # 3. message deliveries (one interleaving branch per in-flight msg)
+        for mtype, r in sorted(s.msgs):
+            nxt = self._deliver(s, mtype, r)
+            if nxt is not None:
+                yield f"deliver-{mtype}:{r}", nxt
+
+    def _deliver(self, s: TpcState, mtype: str, r: int) -> Optional[TpcState]:
+        bugs = self.bugs
+        base = s._replace(msgs=s.msgs - {(mtype, r)})
+        if mtype == "request":
+            if s.part(r) != P_WORKING:
+                return base  # stale (rank already aborted the round)
+            acks = (
+                base.msgs | {("ack", r)}
+                if bugs.ack_before_write and bugs.drop_ack != r
+                else base.msgs
+            )
+            return base._replace(
+                parts=_replace_part(s.parts, r, P_WRITING), msgs=acks
+            )
+        if mtype == "ack":
+            if s.coord != C_WAITING:
+                return base  # stale ack racing the decision broadcast
+            acks = base.acks | {r}
+            quorum = self.n - 1 if bugs.commit_without_all_acks else self.n
+            if len(acks) >= quorum:
+                return base._replace(
+                    coord=C_COMMITTED,
+                    acks=acks,
+                    msgs=base.msgs | {("commit", q) for q in range(self.n)},
+                )
+            return base._replace(acks=acks)
+        if mtype == "fail":
+            if bugs.ignore_abort:
+                return base
+            if s.coord != C_WAITING:
+                return base  # decision already made (or repeated report)
+            if bugs.commit_on_abort:
+                return base._replace(
+                    coord=C_COMMITTED,
+                    msgs=base.msgs | {("commit", q) for q in range(self.n)},
+                )
+            return base._replace(
+                coord=C_ABORTED,
+                msgs=base.msgs | {("abort", q) for q in range(self.n)},
+            )
+        if mtype == "commit":
+            phase = s.part(r)
+            if phase == P_WRITTEN:
+                return base._replace(parts=_replace_part(s.parts, r, P_COMMITTED))
+            if phase in (P_COMMITTED, P_ABORTED):
+                return base
+            # committing a record that is not durably on stable storage
+            return base._replace(
+                parts=_replace_part(s.parts, r, P_COMMITTED_UNWRITTEN)
+            )
+        if mtype == "abort":
+            phase = s.part(r)
+            if phase in (P_COMMITTED, P_COMMITTED_UNWRITTEN, P_ABORTED):
+                return base
+            return base._replace(parts=_replace_part(s.parts, r, P_ABORTED))
+        raise ValueError(f"unknown message type {mtype!r}")  # pragma: no cover
+
+    # -- invariants (checked on every reachable state) -------------------------
+
+    def _inv_agreement(self, s: TpcState) -> bool:
+        """No rank may be committed while another is aborted."""
+        return not (P_COMMITTED in s.parts and P_ABORTED in s.parts)
+
+    def _inv_no_commit_after_abort(self, s: TpcState) -> bool:
+        """Once any rank voted abort (write failed), nothing commits."""
+        if not s.failed:
+            return True
+        return (
+            s.coord != C_COMMITTED
+            and P_COMMITTED not in s.parts
+            and P_COMMITTED_UNWRITTEN not in s.parts
+            and not any(m == "commit" for m, _ in s.msgs)
+        )
+
+    def _inv_commit_implies_all_acks(self, s: TpcState) -> bool:
+        """The coordinator decides commit only with every rank's ack."""
+        if s.coord != C_COMMITTED or self.bugs.commit_on_abort:
+            return True
+        return s.acks == frozenset(range(self.n))
+
+    def _inv_commit_implies_written(self, s: TpcState) -> bool:
+        """A visible commit proves every rank's write finished — the
+        soundness condition of recovery's commit-on-recovery rule."""
+        committed_visible = s.coord == C_COMMITTED or any(
+            m == "commit" for m, _ in s.msgs
+        )
+        if not committed_visible:
+            return True
+        return all(p in (P_WRITTEN, P_COMMITTED) for p in s.parts)
+
+    def _inv_no_unwritten_commit(self, s: TpcState) -> bool:
+        return P_COMMITTED_UNWRITTEN not in s.parts
+
+    # -- terminal invariants -----------------------------------------------------
+
+    def _inv_terminal_decided(self, s: TpcState) -> bool:
+        """No quiescent state may leave the round undecided (liveness as a
+        safety check: a wedged round is a deadlocked terminal state)."""
+        return (
+            s.coord in (C_COMMITTED, C_ABORTED)
+            and all(p in DECIDED for p in s.parts)
+        )
+
+    def _inv_terminal_atomic(self, s: TpcState) -> bool:
+        """All-commit-or-all-abort at quiescence."""
+        decided = set(p for p in s.parts if p in DECIDED)
+        return len(decided) <= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<TwoPhaseCommitModel n={self.n} faults={sorted(self.fault_ranks)} "
+            f"bugs={'yes' if self.bugs.any() else 'no'}>"
+        )
+
+
+# -- the staggered-write token ring -------------------------------------------
+
+
+class RingState(NamedTuple):
+    """Configuration of the background-write token ring (hashable)."""
+
+    phases: Tuple[str, ...]  #: per-rank: "waiting" | "writing" | "done"
+    token_to: Optional[int]  #: token in flight towards this rank (None = no)
+
+
+R_WAITING = "waiting"
+R_WRITING = "writing"
+R_DONE = "done"
+
+
+class TokenRingModel:
+    """The NBMS staggering ring: one background write per rank per round.
+
+    The coordinator writes without waiting (it owns the initial token);
+    rank *r* passes the token to *r+1* after finishing, and the ring stops
+    when the next hop would be the coordinator again. ``skip_token`` makes
+    one rank start its write without holding the token — the mutual
+    exclusion bug the ring exists to prevent.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int = 3,
+        coordinator: int = 0,
+        skip_token: Optional[int] = None,
+    ) -> None:
+        if n_ranks < 2:
+            raise ValueError("the ring needs at least 2 ranks")
+        self.n = n_ranks
+        self.coordinator = coordinator
+        self.skip_token = skip_token
+        self.invariants = [
+            ("storage_write_mutex", self._inv_mutex),
+        ]
+        self.terminal_invariants = [
+            ("all_writes_complete", self._inv_all_done),
+        ]
+
+    def initial_states(self) -> Iterable[RingState]:
+        yield RingState(
+            phases=tuple(R_WAITING for _ in range(self.n)), token_to=None
+        )
+
+    def successors(self, s: RingState) -> Iterator[Tuple[str, RingState]]:
+        coord = self.coordinator
+        # the coordinator starts unprompted
+        if s.phases[coord] == R_WAITING:
+            yield (
+                f"start:{coord}",
+                s._replace(phases=_replace_part(s.phases, coord, R_WRITING)),
+            )
+        # the buggy rank may start without the token
+        if (
+            self.skip_token is not None
+            and s.phases[self.skip_token] == R_WAITING
+            and self.skip_token != coord
+        ):
+            yield (
+                f"skip-token:{self.skip_token}",
+                s._replace(
+                    phases=_replace_part(s.phases, self.skip_token, R_WRITING)
+                ),
+            )
+        # token arrival starts the receiving rank's write
+        if s.token_to is not None:
+            r = s.token_to
+            if s.phases[r] == R_WAITING:
+                yield (
+                    f"token-arrive:{r}",
+                    s._replace(
+                        phases=_replace_part(s.phases, r, R_WRITING),
+                        token_to=None,
+                    ),
+                )
+            else:
+                # token for a rank that already wrote (skip-token bug):
+                # dropped, exactly like a stale CTL_TOKEN in the scheme.
+                yield f"token-stale:{r}", s._replace(token_to=None)
+        # write completions pass the token along the ring
+        for r in range(self.n):
+            if s.phases[r] != R_WRITING:
+                continue
+            nxt = (r + 1) % self.n
+            token_to = s.token_to if nxt == coord else nxt
+            yield (
+                f"finish:{r}",
+                s._replace(
+                    phases=_replace_part(s.phases, r, R_DONE), token_to=token_to
+                ),
+            )
+
+    def _inv_mutex(self, s: RingState) -> bool:
+        """At most one rank drives the stable-storage path at a time."""
+        return sum(1 for p in s.phases if p == R_WRITING) <= 1
+
+    def _inv_all_done(self, s: RingState) -> bool:
+        """The ring terminates with every rank's write on stable storage."""
+        return all(p == R_DONE for p in s.phases)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TokenRingModel n={self.n} skip_token={self.skip_token}>"

@@ -1,0 +1,148 @@
+"""Tests for the sim-hygiene AST lint."""
+
+from repro.verify import lint_paths, lint_source
+from repro.verify.lint import default_target
+
+
+def _rules(source):
+    return [i.rule for i in lint_source(source)]
+
+
+# -- wall clock ---------------------------------------------------------------
+
+
+def test_time_time_flagged():
+    assert _rules("import time\nt = time.time()\n") == ["wall-clock"]
+
+
+def test_perf_counter_flagged():
+    assert _rules("import time\nt = time.perf_counter()\n") == ["wall-clock"]
+
+
+def test_datetime_now_flagged():
+    src = "import datetime\nt = datetime.datetime.now()\n"
+    assert _rules(src) == ["wall-clock"]
+
+
+def test_from_time_import_flagged():
+    src = "from time import time\nt = time()\n"
+    rules = _rules(src)
+    assert rules.count("wall-clock") == 2  # the import and the call
+
+
+def test_engine_now_is_fine():
+    assert _rules("t = engine.now\n") == []
+
+
+def test_unrelated_dot_time_not_flagged():
+    # `span.time()` or `report.time()` must not trip the suffix match
+    assert _rules("t = report.elapsed()\n") == []
+
+
+# -- nondeterminism -----------------------------------------------------------
+
+
+def test_global_random_call_flagged():
+    assert _rules("import random\nx = random.random()\n") == ["nondeterminism"]
+
+
+def test_from_random_import_flagged():
+    assert _rules("from random import choice\n") == ["nondeterminism"]
+
+
+def test_numpy_global_rng_flagged():
+    src = "import numpy as np\nx = np.random.rand(3)\n"
+    assert _rules(src) == ["nondeterminism"]
+
+
+def test_unseeded_default_rng_flagged():
+    src = "import numpy as np\nrng = np.random.default_rng()\n"
+    assert _rules(src) == ["nondeterminism"]
+
+
+def test_seeded_default_rng_allowed():
+    src = "import numpy as np\nrng = np.random.default_rng(1234)\n"
+    assert _rules(src) == []
+
+
+def test_seeded_default_rng_keyword_allowed():
+    src = "import numpy as np\nrng = np.random.default_rng(seed=s)\n"
+    assert _rules(src) == []
+
+
+def test_local_variable_named_random_not_flagged():
+    # no `import random`, so `random.x()` is someone's object attribute
+    assert _rules("x = random.shuffle(deck)\n") == []
+
+
+# -- bare assert --------------------------------------------------------------
+
+
+def test_bare_assert_flagged():
+    assert _rules("assert x > 0, 'boom'\n") == ["bare-assert"]
+
+
+def test_isinstance_assert_allowed():
+    assert _rules("assert isinstance(agent, CoordinatedAgent)\n") == []
+
+
+# -- unyielded primitives -----------------------------------------------------
+
+
+def test_unyielded_compute_flagged():
+    src = "def f(ctx):\n    ctx.compute(100.0)\n"
+    assert _rules(src) == ["unyielded-primitive"]
+
+
+def test_yield_from_compute_allowed():
+    src = "def f(ctx):\n    yield from ctx.compute(100.0)\n"
+    assert _rules(src) == []
+
+
+def test_assigned_generator_allowed():
+    # binding the generator (to spawn or combine) is deliberate use
+    src = "def f(ctx):\n    g = ctx.compute(100.0)\n    return g\n"
+    assert _rules(src) == []
+
+
+def test_unyielded_send_flagged():
+    src = "def f(comm):\n    comm.send(1, payload)\n"
+    assert _rules(src) == ["unyielded-primitive"]
+
+
+# -- pragmas ------------------------------------------------------------------
+
+
+def test_allow_pragma_waives_named_rule():
+    src = "import time\nt = time.time()  # verify: allow[wall-clock]\n"
+    assert _rules(src) == []
+
+
+def test_allow_pragma_blanket():
+    src = "import time\nt = time.time()  # verify: allow\n"
+    assert _rules(src) == []
+
+
+def test_allow_pragma_wrong_rule_does_not_waive():
+    src = "import time\nt = time.time()  # verify: allow[bare-assert]\n"
+    assert _rules(src) == ["wall-clock"]
+
+
+# -- the tree itself ----------------------------------------------------------
+
+
+def test_syntax_error_is_a_finding_not_a_crash():
+    issues = lint_source("def broken(:\n")
+    assert [i.rule for i in issues] == ["syntax"]
+
+
+def test_repro_package_is_clean():
+    """The enforcement satellite: the shipped simulator passes its own lint."""
+    issues = lint_paths()
+    assert issues == [], "\n".join(str(i) for i in issues)
+
+
+def test_default_target_is_the_repro_package():
+    target = default_target()
+    assert target.name == "repro"
+    assert (target / "core").is_dir()
