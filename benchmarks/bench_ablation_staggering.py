@@ -10,10 +10,10 @@ workloads.
 from repro.experiments import run_staggering_ablation, table23_workloads
 
 
-def test_staggering_ablation(benchmark, bench_scale, bench_seed, save_result):
+def test_staggering_ablation(benchmark, bench_scale, bench_seed, save_result, grid_executor):
     result = benchmark.pedantic(
         lambda: run_staggering_ablation(
-            workloads=table23_workloads(bench_scale)[:5], seed=bench_seed
+            workloads=table23_workloads(bench_scale)[:5], seed=bench_seed, executor=grid_executor
         ),
         rounds=1,
         iterations=1,

@@ -13,9 +13,9 @@ from repro.experiments.capture import run_capture_ablation
 from repro.experiments.faults import run_failure_rates, run_interval_sweep
 
 
-def test_capture_ablation(benchmark, bench_seed, save_result):
+def test_capture_ablation(benchmark, bench_seed, save_result, grid_executor):
     result = benchmark.pedantic(
-        lambda: run_capture_ablation(seed=bench_seed), rounds=1, iterations=1
+        lambda: run_capture_ablation(seed=bench_seed, executor=grid_executor), rounds=1, iterations=1
     )
     table = result.render()
     print("\n" + table)
@@ -28,9 +28,9 @@ def test_capture_ablation(benchmark, bench_seed, save_result):
     assert shapes["incremental_overhead_not_worse"]
 
 
-def test_failure_rates(benchmark, bench_seed, save_result):
+def test_failure_rates(benchmark, bench_seed, save_result, grid_executor):
     result = benchmark.pedantic(
-        lambda: run_failure_rates(seed=bench_seed), rounds=1, iterations=1
+        lambda: run_failure_rates(seed=bench_seed, executor=grid_executor), rounds=1, iterations=1
     )
     table = result.render()
     print("\n" + table)
@@ -42,9 +42,9 @@ def test_failure_rates(benchmark, bench_seed, save_result):
     assert shapes["domino_catastrophic"]
 
 
-def test_interval_sweep_vs_young(benchmark, bench_seed, save_result):
+def test_interval_sweep_vs_young(benchmark, bench_seed, save_result, grid_executor):
     result = benchmark.pedantic(
-        lambda: run_interval_sweep(seed=bench_seed), rounds=1, iterations=1
+        lambda: run_interval_sweep(seed=bench_seed, executor=grid_executor), rounds=1, iterations=1
     )
     table = result.render()
     print("\n" + table)

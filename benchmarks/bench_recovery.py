@@ -13,9 +13,9 @@ but never reaches the coordinated bound.
 from repro.experiments import run_domino, run_storage_overhead
 
 
-def test_domino(benchmark, bench_seed, save_result):
+def test_domino(benchmark, bench_seed, save_result, grid_executor):
     result = benchmark.pedantic(
-        lambda: run_domino(seed=bench_seed), rounds=1, iterations=1
+        lambda: run_domino(seed=bench_seed, executor=grid_executor), rounds=1, iterations=1
     )
     table = result.render()
     print("\n" + table)
@@ -27,9 +27,9 @@ def test_domino(benchmark, bench_seed, save_result):
     assert shapes["independent_domino_occurs"]
 
 
-def test_storage_overhead(benchmark, bench_seed, save_result):
+def test_storage_overhead(benchmark, bench_seed, save_result, grid_executor):
     result = benchmark.pedantic(
-        lambda: run_storage_overhead(seed=bench_seed), rounds=1, iterations=1
+        lambda: run_storage_overhead(seed=bench_seed, executor=grid_executor), rounds=1, iterations=1
     )
     table = result.render()
     print("\n" + table)

@@ -11,9 +11,9 @@ undisturbed application result exactly.
 from repro.experiments import run_resilience
 
 
-def test_resilience(benchmark, bench_seed, save_result):
+def test_resilience(benchmark, bench_seed, save_result, grid_executor):
     result = benchmark.pedantic(
-        lambda: run_resilience(seed=bench_seed), rounds=1, iterations=1
+        lambda: run_resilience(seed=bench_seed, executor=grid_executor), rounds=1, iterations=1
     )
     table = result.render()
     print("\n" + table)

@@ -10,9 +10,9 @@ advantage is largest when storage is slow.
 from repro.experiments import run_bandwidth_sweep, run_writer_sweep
 
 
-def test_writer_sweep(benchmark, bench_seed, save_result):
+def test_writer_sweep(benchmark, bench_seed, save_result, grid_executor):
     result = benchmark.pedantic(
-        lambda: run_writer_sweep(node_counts=(2, 4, 8), seed=bench_seed),
+        lambda: run_writer_sweep(node_counts=(2, 4, 8), seed=bench_seed, executor=grid_executor),
         rounds=1,
         iterations=1,
     )
@@ -25,9 +25,9 @@ def test_writer_sweep(benchmark, bench_seed, save_result):
     assert shapes["superlinear_in_volume"]
 
 
-def test_bandwidth_sweep(benchmark, bench_seed, save_result):
+def test_bandwidth_sweep(benchmark, bench_seed, save_result, grid_executor):
     result = benchmark.pedantic(
-        lambda: run_bandwidth_sweep(seed=bench_seed),
+        lambda: run_bandwidth_sweep(seed=bench_seed, executor=grid_executor),
         rounds=1,
         iterations=1,
     )

@@ -10,10 +10,10 @@ Paper shapes asserted here:
 from repro.experiments import run_table1, table1_workloads
 
 
-def test_table1(benchmark, bench_scale, bench_seed, save_result):
+def test_table1(benchmark, bench_scale, bench_seed, save_result, grid_executor):
     result = benchmark.pedantic(
         lambda: run_table1(
-            workloads=table1_workloads(bench_scale), seed=bench_seed
+            workloads=table1_workloads(bench_scale), seed=bench_seed, executor=grid_executor
         ),
         rounds=1,
         iterations=1,
@@ -29,6 +29,9 @@ def test_table1(benchmark, bench_scale, bench_seed, save_result):
     assert shapes["nbms_beats_indep_m_majority"], summary
 
     # the minority where Indep wins must include the loosely-coupled apps
-    rows = {res.label: row for res, row in zip(result.results, result.rows())}
+    rows = {
+        res.label: row
+        for res, row in zip(result.data["results"], result.data["rows"])
+    }
     for label in ("tsp-12", "nqueens-12"):
         assert rows[label]["indep"] <= rows[label]["coord_nb"] * 1.05, label

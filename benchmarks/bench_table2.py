@@ -10,19 +10,19 @@ significant").
 from repro.experiments import run_table23, table23_workloads
 
 
-def test_table2(benchmark, bench_scale, bench_seed, save_result):
+def test_table2(benchmark, bench_scale, bench_seed, save_result, grid_executor):
     result = benchmark.pedantic(
         lambda: run_table23(
-            workloads=table23_workloads(bench_scale), seed=bench_seed
+            workloads=table23_workloads(bench_scale), seed=bench_seed, executor=grid_executor
         ),
         rounds=1,
         iterations=1,
     )
-    table = result.render_table2()
+    table = result.render("table2")
     print("\n" + table)
     save_result("table2", table)
 
-    for res in result.results:
+    for res in result.data["results"]:
         for scheme, report in res.reports.items():
             assert report.sim_time >= res.normal_time, (res.label, scheme)
             # every run took and committed its three rounds
@@ -31,6 +31,6 @@ def test_table2(benchmark, bench_scale, bench_seed, save_result):
                 scheme,
             )
 
-    cmps = result.coordinated_beats_independent()
+    cmps = result.data["comparisons"]
     assert cmps["nb_vs_indep"].a_wins >= cmps["nb_vs_indep"].b_wins
     assert cmps["nbms_vs_indep_m"].a_wins > cmps["nbms_vs_indep_m"].b_wins

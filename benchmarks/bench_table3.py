@@ -10,15 +10,15 @@ Shapes asserted:
 from repro.experiments import run_table23, table23_workloads
 
 
-def test_table3(benchmark, bench_scale, bench_seed, save_result):
+def test_table3(benchmark, bench_scale, bench_seed, save_result, grid_executor):
     result = benchmark.pedantic(
         lambda: run_table23(
-            workloads=table23_workloads(bench_scale), seed=bench_seed
+            workloads=table23_workloads(bench_scale), seed=bench_seed, executor=grid_executor
         ),
         rounds=1,
         iterations=1,
     )
-    table = result.render_table3()
+    table = result.render("table3")
     summary = result.summary()
     print("\n" + table + "\n\n" + summary)
     save_result("table3", table, summary)

@@ -9,9 +9,9 @@ still receives every byte via the background trickle.
 from repro.experiments.twolevel import run_two_level
 
 
-def test_two_level(benchmark, bench_seed, save_result):
+def test_two_level(benchmark, bench_seed, save_result, grid_executor):
     result = benchmark.pedantic(
-        lambda: run_two_level(seed=bench_seed), rounds=1, iterations=1
+        lambda: run_two_level(seed=bench_seed, executor=grid_executor), rounds=1, iterations=1
     )
     table = result.render()
     print("\n" + table)

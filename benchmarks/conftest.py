@@ -10,12 +10,19 @@ Environment:
   (default ``1.0``; e.g. ``0.2`` for a quick smoke pass — checkpoint
   volumes stay full-size, run lengths shrink).
 * ``REPRO_BENCH_SEED`` — master seed (default 0).
+* ``REPRO_BENCH_JOBS`` — worker processes for the shared grid executor
+  (default: all CPU cores; ``1`` forces serial execution).
+* ``REPRO_BENCH_CACHE`` — set to ``1`` to let the session's executor
+  use the on-disk result cache (off by default: benchmarks measure
+  execution time, and cache hits would make a second run meaningless).
 """
 
 import os
 import pathlib
 
 import pytest
+
+from repro.experiments import GridExecutor
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
@@ -28,6 +35,17 @@ def bench_scale() -> float:
 @pytest.fixture(scope="session")
 def bench_seed() -> int:
     return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def grid_executor() -> GridExecutor:
+    """One executor for the whole benchmark session: cells shared between
+    experiments (baselines, the table2/table3 grid) run exactly once."""
+    jobs = os.environ.get("REPRO_BENCH_JOBS")
+    return GridExecutor(
+        jobs=int(jobs) if jobs else None,
+        use_cache=os.environ.get("REPRO_BENCH_CACHE") == "1",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,7 @@ from .metrics import (
     reduction_factor,
 )
 from .report import build_report
+from .result import TableResult, TableView
 from .tables import fmt_percent, fmt_seconds, render_table
 from .timeline import render_timeline
 
@@ -24,4 +25,6 @@ __all__ = [
     "fmt_percent",
     "render_timeline",
     "build_report",
+    "TableResult",
+    "TableView",
 ]

@@ -55,6 +55,28 @@ __all__ = [
 ]
 
 
+def _plain(value: Any) -> Any:
+    """Normalise *value* into plain JSON-serialisable Python types.
+
+    NumPy scalars become their Python equivalents, tuples become lists
+    and mapping keys become strings — so a serialised report is stable
+    JSON regardless of which numeric types the application produced.
+    """
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if type(value).__module__.startswith("numpy"):
+        if getattr(value, "ndim", 0) > 0:  # arrays: element lists
+            return _plain(value.tolist())
+        return _plain(value.item() if hasattr(value, "item") else value)
+    return value
+
+
+def _int_keyed(mapping: Dict[str, Any]) -> Dict[int, Any]:
+    return {int(k): v for k, v in mapping.items()}
+
+
 @dataclass
 class RecoveryEvent:
     """What one crash + rollback cost."""
@@ -79,6 +101,28 @@ class RecoveryEvent:
     #: unlogged independent, replayable logs for logged independent) —
     #: always True for sound schemes; recorded so tests can assert it.
     line_consistent: bool = True
+
+    # -- serialization (the experiment grid's on-disk result cache) ---------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _plain(_dc.asdict(self))
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RecoveryEvent":
+        return cls(
+            crash_time=float(d["crash_time"]),
+            line_indices=_int_keyed(d["line_indices"]),
+            rollback_checkpoints=_int_keyed(d["rollback_checkpoints"]),
+            lost_time=_int_keyed(d["lost_time"]),
+            replayed_messages=int(d["replayed_messages"]),
+            duration=float(d["duration"]),
+            domino_extent=float(d["domino_extent"]),
+            failed_ranks=tuple(d.get("failed_ranks", ())),
+            disks_lost=tuple(d.get("disks_lost", ())),
+            quarantined=int(d.get("quarantined", 0)),
+            restore_retries=int(d.get("restore_retries", 0)),
+            line_consistent=bool(d.get("line_consistent", True)),
+        )
 
 
 @dataclass
@@ -116,6 +160,50 @@ class RunReport:
     @property
     def overhead_vs(self) -> Any:  # pragma: no cover - convenience stub
         raise AttributeError("use repro.analysis.metrics.overhead()")
+
+    # -- serialization (the experiment grid's on-disk result cache) ---------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON dict round-trippable through :meth:`from_dict`."""
+        d = _plain(_dc.asdict(self))
+        d["recoveries"] = [ev.to_dict() for ev in self.recoveries]
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RunReport":
+        """Rebuild a report (type-normalised: every number is plain
+        Python, so a cached report compares and renders identically to a
+        fresh one)."""
+        return cls(
+            app=str(d["app"]),
+            scheme=str(d["scheme"]),
+            n_nodes=int(d["n_nodes"]),
+            seed=int(d["seed"]),
+            sim_time=float(d["sim_time"]),
+            result=d["result"],
+            checkpoints_taken=int(d["checkpoints_taken"]),
+            checkpoints_committed=int(d["checkpoints_committed"]),
+            blocked_time=float(d["blocked_time"]),
+            storage_bytes_written=float(d["storage_bytes_written"]),
+            storage_peak_bytes=int(d["storage_peak_bytes"]),
+            storage_peak_checkpoints=int(d["storage_peak_checkpoints"]),
+            storage_final_bytes=int(d["storage_final_bytes"]),
+            control_messages=int(d["control_messages"]),
+            control_bytes=int(d["control_bytes"]),
+            app_messages=int(d["app_messages"]),
+            app_bytes=int(d["app_bytes"]),
+            counters={str(k): v for k, v in d.get("counters", {}).items()},
+            recoveries=[
+                RecoveryEvent.from_dict(ev) for ev in d.get("recoveries", [])
+            ],
+            storage_write_faults=int(d.get("storage_write_faults", 0)),
+            storage_read_faults=int(d.get("storage_read_faults", 0)),
+            storage_write_retries=int(d.get("storage_write_retries", 0)),
+            storage_read_retries=int(d.get("storage_read_retries", 0)),
+            rounds_aborted=int(d.get("rounds_aborted", 0)),
+            ckpt_writes_failed=int(d.get("ckpt_writes_failed", 0)),
+            checkpoints_quarantined=int(d.get("checkpoints_quarantined", 0)),
+        )
 
 
 class Ctx:

@@ -1,58 +1,114 @@
 """Experiment harness: one module per table/figure plus ablations & sweeps.
 
-See DESIGN.md §4 for the per-experiment index. Each ``run_*`` function
-returns a result object with ``render()`` (the table as text) and
-``shape_holds()`` (the paper's qualitative claims as booleans).
+See DESIGN.md §4 for the per-experiment index. Each experiment is a
+declarative :class:`~repro.experiments.grid.ExperimentSpec` (``*_spec``
+factories) executed by the :class:`~repro.experiments.executor.GridExecutor`
+(deduplication, parallel fan-out, on-disk result cache); each ``run_*``
+convenience wrapper runs one spec and returns a
+:class:`~repro.analysis.result.TableResult` with ``render()`` (the
+table(s) as text) and ``shape_holds()`` (the paper's qualitative claims
+as booleans).
 """
 
-from .ablations import run_staggering_ablation, run_sync_cost
-from .capture import run_capture_ablation
-from .domino import run_domino, run_storage_overhead
-from .faults import run_failure_rates, run_interval_sweep, young_interval
+from .ablations import run_staggering_ablation, run_sync_cost, staggering_spec, sync_cost_spec
+from .capture import capture_spec, run_capture_ablation
+from .domino import domino_spec, run_domino, run_storage_overhead, storage_overhead_spec
+from .executor import ExecutorStats, GridExecutor, run_cell, run_spec
+from .faults import (
+    failure_rates_spec,
+    interval_sweep_spec,
+    run_failure_rates,
+    run_interval_sweep,
+    young_interval,
+)
+from .grid import (
+    Cell,
+    ExperimentSpec,
+    GridResults,
+    SchemeSpec,
+    WorkloadSpec,
+    cell_key,
+    interval_times,
+)
 from .harness import (
     SCHEMES_TABLE1,
     SCHEMES_TABLE23,
     WorkloadResult,
     make_scheme,
     run_workload,
+    scheme_spec,
 )
-from .resilience import ResilienceResult, run_resilience
-from .sweeps import run_bandwidth_sweep, run_writer_sweep
-from .table1 import Table1Result, run_table1
-from .twolevel import run_two_level
-from .table23 import Table23Result, run_table23
+from .resilience import RESILIENCE_SCHEMES, resilience_spec, run_resilience
+from .sweeps import (
+    bandwidth_sweep_spec,
+    run_bandwidth_sweep,
+    run_writer_sweep,
+    writer_sweep_spec,
+)
+from .table1 import run_table1, table1_spec
+from .table23 import run_table23, table23_spec
+from .twolevel import run_two_level, two_level_spec
 from .workloads import (
     Workload,
     quick_workloads,
+    scaled_iters,
     table1_workloads,
     table23_workloads,
 )
 
 __all__ = [
+    # grid + execution core
+    "Cell",
+    "ExperimentSpec",
+    "GridResults",
+    "SchemeSpec",
+    "WorkloadSpec",
+    "cell_key",
+    "interval_times",
+    "GridExecutor",
+    "ExecutorStats",
+    "run_cell",
+    "run_spec",
+    # workload catalogues
     "Workload",
     "table1_workloads",
     "table23_workloads",
     "quick_workloads",
+    "scaled_iters",
+    # shared harness
     "make_scheme",
+    "scheme_spec",
     "run_workload",
     "WorkloadResult",
     "SCHEMES_TABLE1",
     "SCHEMES_TABLE23",
+    "RESILIENCE_SCHEMES",
+    # experiments: specs + convenience wrappers
+    "table1_spec",
     "run_table1",
-    "Table1Result",
+    "table23_spec",
     "run_table23",
-    "Table23Result",
+    "staggering_spec",
     "run_staggering_ablation",
+    "sync_cost_spec",
     "run_sync_cost",
+    "writer_sweep_spec",
     "run_writer_sweep",
+    "bandwidth_sweep_spec",
     "run_bandwidth_sweep",
+    "domino_spec",
     "run_domino",
+    "storage_overhead_spec",
     "run_storage_overhead",
+    "capture_spec",
     "run_capture_ablation",
+    "failure_rates_spec",
     "run_failure_rates",
+    "interval_sweep_spec",
     "run_interval_sweep",
     "young_interval",
+    "two_level_spec",
     "run_two_level",
+    "resilience_spec",
     "run_resilience",
-    "ResilienceResult",
 ]

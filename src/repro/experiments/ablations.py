@@ -13,49 +13,84 @@ and wire time) versus checkpoint-saving time, per workload.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from ..analysis import fmt_seconds, render_table
-from ..chklib import CheckpointRuntime
+from ..analysis import TableResult, TableView, fmt_seconds
 from ..machine import MachineParams
-from .harness import make_scheme, run_workload
-from .workloads import Workload, table23_workloads
+from .executor import GridExecutor, run_spec
+from .grid import Cell, ExperimentSpec, GridResults, WorkloadSpec, interval_times
+from .harness import WorkloadResult, scheme_spec
+from .workloads import table23_workloads
 
 __all__ = [
-    "StaggeringAblation",
+    "staggering_spec",
     "run_staggering_ablation",
     "SyncCostRow",
+    "sync_cost_spec",
     "run_sync_cost",
 ]
 
 _VARIANTS = ("coord_nb", "coord_nbs", "coord_nbm", "coord_nbms")
 
 
-@dataclass
-class StaggeringAblation:
-    """Per-checkpoint overhead of the four coordinated variants."""
+def staggering_spec(
+    workloads: Optional[List[WorkloadSpec]] = None,
+    seed: int = 0,
+    machine: Optional[MachineParams] = None,
+    rounds: int = 2,
+    scale: float = 1.0,
+) -> ExperimentSpec:
+    """A1: the four coordinated variants on the same workloads."""
+    workloads = (
+        workloads if workloads is not None else table23_workloads(scale)[:4]
+    )
+    machine = machine or MachineParams.xplorer8()
+    baselines = tuple(
+        Cell(workload=w, machine=machine, seed=seed) for w in workloads
+    )
 
-    results: List
+    def cells_for(results: GridResults):
+        grid = []
+        for w, base in zip(workloads, baselines):
+            interval, times = interval_times(results[base].sim_time, rounds)
+            row = {
+                v: Cell(
+                    workload=w,
+                    scheme=scheme_spec(v, times, interval),
+                    machine=machine,
+                    seed=seed,
+                )
+                for v in _VARIANTS
+            }
+            grid.append((w, base, interval, row))
+        return grid
 
-    def render(self) -> str:
-        headers = ["application"] + [v.upper() for v in _VARIANTS]
-        body = [
-            [res.label] + [res.per_checkpoint(v) for v in _VARIANTS]
-            for res in self.results
-        ]
-        return render_table(
-            headers,
-            body,
+    def plan(results: GridResults):
+        return [c for _, _, _, row in cells_for(results) for c in row.values()]
+
+    def reduce(results: GridResults) -> TableResult:
+        wrs: List[WorkloadResult] = []
+        for w, base, interval, row in cells_for(results):
+            wrs.append(
+                WorkloadResult(
+                    label=w.label,
+                    normal=results[base],
+                    interval=interval,
+                    rounds=rounds,
+                    reports={v: results[c] for v, c in row.items()},
+                )
+            )
+        rows = [{v: wr.per_checkpoint(v) for v in _VARIANTS} for wr in wrs]
+        view = TableView(
+            name="ablation-staggering",
             title="A1: staggering ablation, overhead per checkpoint (s)",
+            headers=["application"] + [v.upper() for v in _VARIANTS],
+            rows=[
+                [wr.label] + [wr.per_checkpoint(v) for v in _VARIANTS]
+                for wr in wrs
+            ],
             fmt=fmt_seconds,
         )
-
-    def shape_holds(self) -> Dict[str, bool]:
-        """Staggering alone must not help; with memory ckpt it must."""
-        rows = [
-            {v: res.per_checkpoint(v) for v in _VARIANTS}
-            for res in self.results
-        ]
         nbs_never_best = all(
             row["coord_nbs"] >= min(row.values()) for row in rows
         )
@@ -65,25 +100,50 @@ class StaggeringAblation:
         stagger_helps_memory = sum(
             1 for row in rows if row["coord_nbms"] <= row["coord_nbm"]
         )
-        return {
-            "nbs_never_best": nbs_never_best,
-            "nbms_best_majority": nbms_wins > len(rows) / 2,
-            "stagger_helps_with_memory": stagger_helps_memory > len(rows) / 2,
-        }
+        return TableResult(
+            name="ablation-staggering",
+            views=[view],
+            shapes={
+                # staggering alone must not help; with memory ckpt it must.
+                "nbs_never_best": nbs_never_best,
+                "nbms_best_majority": nbms_wins > len(rows) / 2,
+                "stagger_helps_with_memory": stagger_helps_memory
+                > len(rows) / 2,
+            },
+            summary_lines=[
+                f"NBMS best in {nbms_wins}/{len(rows)} workloads; "
+                f"NBS never best: {nbs_never_best}",
+            ],
+            data={"results": wrs, "rows": rows, "variants": _VARIANTS},
+        )
+
+    return ExperimentSpec(
+        name="ablation-staggering",
+        title="A1 — staggering ablation",
+        baselines=baselines,
+        plan=plan,
+        reduce=reduce,
+    )
 
 
 def run_staggering_ablation(
-    workloads: Optional[List[Workload]] = None,
+    workloads: Optional[List[WorkloadSpec]] = None,
     seed: int = 0,
     machine: Optional[MachineParams] = None,
     rounds: int = 2,
-) -> StaggeringAblation:
-    workloads = workloads if workloads is not None else table23_workloads()[:4]
-    results = [
-        run_workload(w, _VARIANTS, rounds=rounds, seed=seed, machine=machine)
-        for w in workloads
-    ]
-    return StaggeringAblation(results=results)
+    scale: float = 1.0,
+    executor: Optional[GridExecutor] = None,
+) -> TableResult:
+    return run_spec(
+        staggering_spec(
+            workloads=workloads,
+            seed=seed,
+            machine=machine,
+            rounds=rounds,
+            scale=scale,
+        ),
+        executor=executor,
+    )
 
 
 @dataclass
@@ -105,74 +165,126 @@ class SyncCostRow:
         return min(1.0, self.control_wire_s / self.overhead_s)
 
 
-@dataclass
-class SyncCostResult:
-    rows: List[SyncCostRow]
-
-    def render(self) -> str:
-        headers = [
-            "application",
-            "overhead(s)",
-            "saving-blocked(s)",
-            "ctl msgs",
-            "ctl bytes",
-            "ctl wire(s)",
-            "sync share",
-        ]
-        body = [
-            [
-                r.label,
-                fmt_seconds(r.overhead_s),
-                fmt_seconds(r.blocked_time_s),
-                r.control_messages,
-                r.control_bytes,
-                f"{r.control_wire_s:.4f}",
-                f"{100 * r.sync_fraction:.2f} %",
-            ]
-            for r in self.rows
-        ]
-        return render_table(
-            headers, body, title="A2: synchronisation cost vs saving cost"
-        )
-
-    def shape_holds(self) -> Dict[str, bool]:
-        return {
-            # the paper: "the cost of synchronisation is actually
-            # insignificant" — protocol wire time is a tiny share.
-            "sync_cost_negligible": all(r.sync_fraction < 0.05 for r in self.rows),
-            "saving_dominates": all(
-                r.blocked_time_s > 10 * r.control_wire_s for r in self.rows
-            ),
-        }
-
-
-def run_sync_cost(
-    workloads: Optional[List[Workload]] = None,
+def sync_cost_spec(
+    workloads: Optional[List[WorkloadSpec]] = None,
     seed: int = 0,
     machine: Optional[MachineParams] = None,
     rounds: int = 3,
-) -> SyncCostResult:
-    workloads = workloads if workloads is not None else table23_workloads()[:4]
+    scale: float = 1.0,
+) -> ExperimentSpec:
+    """A2: the Coord_NB overhead decomposed into sync vs saving cost."""
+    workloads = (
+        workloads if workloads is not None else table23_workloads(scale)[:4]
+    )
     machine = machine or MachineParams.xplorer8()
-    rows = []
-    for workload in workloads:
-        res = run_workload(
-            workload, ("coord_nb",), rounds=rounds, seed=seed, machine=machine
-        )
-        report = res.reports["coord_nb"]
-        link = machine.link
-        wire = sum(
-            link.latency + size / link.bandwidth
-            for size in [report.control_bytes / max(1, report.control_messages)]
-        ) * report.control_messages
-        rows.append(
-            SyncCostRow(
-                label=res.label,
-                overhead_s=res.overhead_seconds("coord_nb"),
-                blocked_time_s=report.blocked_time,
-                control_messages=report.control_messages,
-                control_bytes=report.control_bytes,
-                control_wire_s=wire,
+    baselines = tuple(
+        Cell(workload=w, machine=machine, seed=seed) for w in workloads
+    )
+
+    def cells_for(results: GridResults):
+        grid = []
+        for w, base in zip(workloads, baselines):
+            interval, times = interval_times(results[base].sim_time, rounds)
+            cell = Cell(
+                workload=w,
+                scheme=scheme_spec("coord_nb", times, interval),
+                machine=machine,
+                seed=seed,
             )
+            grid.append((w, base, cell))
+        return grid
+
+    def plan(results: GridResults):
+        return [cell for _, _, cell in cells_for(results)]
+
+    def reduce(results: GridResults) -> TableResult:
+        link = machine.link
+        rows: List[SyncCostRow] = []
+        for w, base, cell in cells_for(results):
+            report = results[cell]
+            per_msg = report.control_bytes / max(1, report.control_messages)
+            wire = (
+                link.latency + per_msg / link.bandwidth
+            ) * report.control_messages
+            rows.append(
+                SyncCostRow(
+                    label=w.label,
+                    overhead_s=report.sim_time - results[base].sim_time,
+                    blocked_time_s=report.blocked_time,
+                    control_messages=report.control_messages,
+                    control_bytes=report.control_bytes,
+                    control_wire_s=wire,
+                )
+            )
+        view = TableView(
+            name="ablation-sync",
+            title="A2: synchronisation cost vs saving cost",
+            headers=[
+                "application",
+                "overhead(s)",
+                "saving-blocked(s)",
+                "ctl msgs",
+                "ctl bytes",
+                "ctl wire(s)",
+                "sync share",
+            ],
+            rows=[
+                [
+                    r.label,
+                    fmt_seconds(r.overhead_s),
+                    fmt_seconds(r.blocked_time_s),
+                    r.control_messages,
+                    r.control_bytes,
+                    f"{r.control_wire_s:.4f}",
+                    f"{100 * r.sync_fraction:.2f} %",
+                ]
+                for r in rows
+            ],
         )
-    return SyncCostResult(rows=rows)
+        return TableResult(
+            name="ablation-sync",
+            views=[view],
+            shapes={
+                # the paper: "the cost of synchronisation is actually
+                # insignificant" — protocol wire time is a tiny share.
+                "sync_cost_negligible": all(
+                    r.sync_fraction < 0.05 for r in rows
+                ),
+                "saving_dominates": all(
+                    r.blocked_time_s > 10 * r.control_wire_s for r in rows
+                ),
+            },
+            summary_lines=[
+                "max sync share: "
+                f"{100 * max(r.sync_fraction for r in rows):.2f} %",
+            ],
+            data={"rows": rows},
+        )
+
+    return ExperimentSpec(
+        name="ablation-sync",
+        title="A2 — synchronisation cost",
+        baselines=baselines,
+        plan=plan,
+        reduce=reduce,
+    )
+
+
+def run_sync_cost(
+    workloads: Optional[List[WorkloadSpec]] = None,
+    seed: int = 0,
+    machine: Optional[MachineParams] = None,
+    rounds: int = 3,
+    scale: float = 1.0,
+    executor: Optional[GridExecutor] = None,
+) -> TableResult:
+    return run_spec(
+        sync_cost_spec(
+            workloads=workloads,
+            seed=seed,
+            machine=machine,
+            rounds=rounds,
+            scale=scale,
+        ),
+        executor=executor,
+    )

@@ -18,15 +18,16 @@ interference window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from ..analysis import fmt_seconds, render_table
+from ..analysis import TableResult, TableView, fmt_seconds
 from ..machine import MachineParams
-from .harness import run_workload
-from .workloads import Workload, table23_workloads
+from .executor import GridExecutor, run_spec
+from .grid import Cell, ExperimentSpec, GridResults, WorkloadSpec, interval_times
+from .harness import WorkloadResult, scheme_spec
+from .workloads import table23_workloads
 
-__all__ = ["CaptureAblation", "run_capture_ablation"]
+__all__ = ["capture_spec", "run_capture_ablation"]
 
 _SCHEMES = ("coord_nbms", "coord_nbcs", "coord_nbms_inc", "coord_nbcs_inc")
 _LABELS = {
@@ -37,75 +38,140 @@ _LABELS = {
 }
 
 
-@dataclass
-class CaptureAblation:
-    results: List
-
-    def render(self) -> str:
-        headers = ["application"] + [_LABELS[s] for s in _SCHEMES] + [
-            "bytes full (MB)",
-            "bytes incr (MB)",
-        ]
-        body = []
-        for res in self.results:
-            row = [res.label] + [res.per_checkpoint(s) for s in _SCHEMES]
-            row.append(
-                f"{res.reports['coord_nbms'].storage_bytes_written / 1e6:.2f}"
-            )
-            row.append(
-                f"{res.reports['coord_nbms_inc'].storage_bytes_written / 1e6:.2f}"
-            )
-            body.append(row)
-        return render_table(
-            headers,
-            body,
-            title="E1: capture mode x incremental (overhead per ckpt, s)",
-            fmt=fmt_seconds,
-        )
-
-    def shape_holds(self) -> Dict[str, bool]:
-        rows = {
-            res.label: {s: res.per_checkpoint(s) for s in _SCHEMES}
-            for res in self.results
-        }
-        bytes_ratio = {
-            res.label: (
-                res.reports["coord_nbms_inc"].storage_bytes_written
-                / max(1.0, res.reports["coord_nbms"].storage_bytes_written)
-            )
-            for res in self.results
-        }
-        ising = [k for k in rows if k.startswith("ising")]
-        sor = [k for k in rows if k.startswith("sor")]
-        return {
-            # incremental never increases the shipped volume
-            "incremental_writes_less": all(v <= 1.01 for v in bytes_ratio.values()),
-            # and shines on mostly-read-only state (ISING couplings)
-            "incremental_big_win_on_ising": all(
-                bytes_ratio[k] < 0.5 for k in ising
-            ),
-            # SOR dirties every page: the saving there is just the pad
-            "incremental_small_win_on_sor": all(
-                bytes_ratio[k] > bytes_ratio[i] for k in sor for i in ising
-            ),
-            # incremental overhead never worse than full for the same capture
-            "incremental_overhead_not_worse": all(
-                r["coord_nbms_inc"] <= r["coord_nbms"] * 1.05 for r in rows.values()
-            ),
-        }
-
-
-def run_capture_ablation(
-    workloads: Optional[List[Workload]] = None,
+def capture_spec(
+    workloads: Optional[List[WorkloadSpec]] = None,
     seed: int = 0,
     machine: Optional[MachineParams] = None,
     rounds: int = 3,
-) -> CaptureAblation:
+    scale: float = 1.0,
+) -> ExperimentSpec:
+    """E1: capture mode x incremental, against the paper's best scheme."""
     if workloads is None:
         wanted = ("ising-288", "sor-320", "nqueens-12")
-        workloads = [w for w in table23_workloads() if w.label in wanted]
-    results = [
-        run_workload(w, _SCHEMES, rounds=rounds, seed=seed, machine=machine)
-        for w in workloads
-    ]
-    return CaptureAblation(results=results)
+        workloads = [w for w in table23_workloads(scale) if w.label in wanted]
+    machine = machine or MachineParams.xplorer8()
+    baselines = tuple(
+        Cell(workload=w, machine=machine, seed=seed) for w in workloads
+    )
+
+    def cells_for(results: GridResults):
+        grid = []
+        for w, base in zip(workloads, baselines):
+            interval, times = interval_times(results[base].sim_time, rounds)
+            row = {
+                s: Cell(
+                    workload=w,
+                    scheme=scheme_spec(s, times, interval),
+                    machine=machine,
+                    seed=seed,
+                )
+                for s in _SCHEMES
+            }
+            grid.append((w, base, interval, row))
+        return grid
+
+    def plan(results: GridResults):
+        return [c for _, _, _, row in cells_for(results) for c in row.values()]
+
+    def reduce(results: GridResults) -> TableResult:
+        wrs: List[WorkloadResult] = []
+        for w, base, interval, row in cells_for(results):
+            wrs.append(
+                WorkloadResult(
+                    label=w.label,
+                    normal=results[base],
+                    interval=interval,
+                    rounds=rounds,
+                    reports={s: results[c] for s, c in row.items()},
+                )
+            )
+        body = []
+        for wr in wrs:
+            row = [wr.label] + [wr.per_checkpoint(s) for s in _SCHEMES]
+            row.append(
+                f"{wr.reports['coord_nbms'].storage_bytes_written / 1e6:.2f}"
+            )
+            row.append(
+                f"{wr.reports['coord_nbms_inc'].storage_bytes_written / 1e6:.2f}"
+            )
+            body.append(row)
+        view = TableView(
+            name="capture",
+            title="E1: capture mode x incremental (overhead per ckpt, s)",
+            headers=["application"]
+            + [_LABELS[s] for s in _SCHEMES]
+            + ["bytes full (MB)", "bytes incr (MB)"],
+            rows=body,
+            fmt=fmt_seconds,
+        )
+        rows = {
+            wr.label: {s: wr.per_checkpoint(s) for s in _SCHEMES} for wr in wrs
+        }
+        bytes_ratio = {
+            wr.label: (
+                wr.reports["coord_nbms_inc"].storage_bytes_written
+                / max(1.0, wr.reports["coord_nbms"].storage_bytes_written)
+            )
+            for wr in wrs
+        }
+        ising = [k for k in rows if k.startswith("ising")]
+        sor = [k for k in rows if k.startswith("sor")]
+        return TableResult(
+            name="capture",
+            views=[view],
+            shapes={
+                # incremental never increases the shipped volume
+                "incremental_writes_less": all(
+                    v <= 1.01 for v in bytes_ratio.values()
+                ),
+                # and shines on mostly-read-only state (ISING couplings)
+                "incremental_big_win_on_ising": all(
+                    bytes_ratio[k] < 0.5 for k in ising
+                ),
+                # SOR dirties every page: the saving there is just the pad
+                "incremental_small_win_on_sor": all(
+                    bytes_ratio[k] > bytes_ratio[i] for k in sor for i in ising
+                ),
+                # incremental overhead never worse than full for the same
+                # capture mode
+                "incremental_overhead_not_worse": all(
+                    r["coord_nbms_inc"] <= r["coord_nbms"] * 1.05
+                    for r in rows.values()
+                ),
+            },
+            summary_lines=[
+                "incremental/full byte ratio: "
+                + ", ".join(
+                    f"{k}={v:.2f}" for k, v in sorted(bytes_ratio.items())
+                ),
+            ],
+            data={"results": wrs, "rows": rows, "bytes_ratio": bytes_ratio},
+        )
+
+    return ExperimentSpec(
+        name="capture",
+        title="E1 — capture mode x incremental ablation",
+        baselines=baselines,
+        plan=plan,
+        reduce=reduce,
+    )
+
+
+def run_capture_ablation(
+    workloads: Optional[List[WorkloadSpec]] = None,
+    seed: int = 0,
+    machine: Optional[MachineParams] = None,
+    rounds: int = 3,
+    scale: float = 1.0,
+    executor: Optional[GridExecutor] = None,
+) -> TableResult:
+    return run_spec(
+        capture_spec(
+            workloads=workloads,
+            seed=seed,
+            machine=machine,
+            rounds=rounds,
+            scale=scale,
+        ),
+        executor=executor,
+    )

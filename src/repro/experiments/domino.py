@@ -17,12 +17,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..analysis import render_table
-from ..chklib import CheckpointRuntime, CoordinatedScheme, FaultPlan, IndependentScheme
+from ..analysis import TableResult, TableView
+from ..fault.model import FaultModel
 from ..machine import MachineParams
-from .workloads import Workload, table23_workloads
+from .executor import GridExecutor, run_spec
+from .grid import Cell, ExperimentSpec, GridResults, SchemeSpec, WorkloadSpec, interval_times
+from .workloads import table23_workloads
 
-__all__ = ["DominoResult", "run_domino", "StorageOverheadResult", "run_storage_overhead"]
+__all__ = [
+    "DominoRow",
+    "domino_spec",
+    "run_domino",
+    "StorageRow",
+    "storage_overhead_spec",
+    "run_storage_overhead",
+]
 
 
 @dataclass
@@ -36,51 +45,6 @@ class DominoRow:
     recovered_exactly: bool
 
 
-@dataclass
-class DominoResult:
-    rows: List[DominoRow]
-
-    def render(self) -> str:
-        headers = [
-            "application",
-            "scheme",
-            "ckpts",
-            "rollback (ckpts)",
-            "domino extent",
-            "lost time (s)",
-            "exact",
-        ]
-        body = [
-            [
-                r.label,
-                r.scheme,
-                r.checkpoints_before_crash,
-                f"{r.rollback_checkpoints:.2f}",
-                f"{r.domino_extent:.2f}",
-                f"{r.lost_time_mean:.1f}",
-                "yes" if r.recovered_exactly else "NO",
-            ]
-            for r in self.rows
-        ]
-        return render_table(headers, body, title="R1: rollback behaviour at a crash")
-
-    def shape_holds(self) -> Dict[str, bool]:
-        coord = [r for r in self.rows if r.scheme.startswith("coord")]
-        indep_skewed = [r for r in self.rows if r.scheme == "indep_m(skew)"]
-        return {
-            "all_recoveries_exact": all(r.recovered_exactly for r in self.rows),
-            # coordinated: predictable, bounded rollback (≤ 1 interval)
-            "coordinated_bounded_rollback": all(
-                r.rollback_checkpoints <= 1.0 and r.domino_extent == 0.0
-                for r in coord
-            ),
-            # skewed independent without logging dominos somewhere
-            "independent_domino_occurs": any(
-                r.domino_extent == 1.0 for r in indep_skewed
-            ),
-        }
-
-
 def _result_scalar(report) -> object:
     r = report.result
     for key in ("sum", "magnetisation", "distsum", "pos_sum", "x_sum",
@@ -90,60 +54,165 @@ def _result_scalar(report) -> object:
     raise AssertionError(f"no scalar in {r}")
 
 
-def run_domino(
-    workloads: Optional[List[Workload]] = None,
+def _default_recovery_workloads(scale: float) -> List[WorkloadSpec]:
+    return [
+        w for w in table23_workloads(scale) if w.label in ("sor-320", "ising-288")
+    ]
+
+
+def domino_spec(
+    workloads: Optional[List[WorkloadSpec]] = None,
     seed: int = 0,
     machine: Optional[MachineParams] = None,
     rounds: int = 3,
-) -> DominoResult:
+    scale: float = 1.0,
+) -> ExperimentSpec:
+    """R1: rollback behaviour when a crash hits late in the run."""
     workloads = (
         workloads
         if workloads is not None
-        else [w for w in table23_workloads() if w.label in ("sor-320", "ising-288")]
+        else _default_recovery_workloads(scale)
     )
     machine = machine or MachineParams.xplorer8()
-    rows: List[DominoRow] = []
-    for workload in workloads:
-        normal = CheckpointRuntime(workload.make(), machine=machine, seed=seed).run()
-        t = normal.sim_time
-        interval = t / (rounds + 1.5)
-        times = [interval * (i + 1) for i in range(rounds)]
-        crash = FaultPlan.single(0.9 * t)
-        expected = _result_scalar(normal)
-        for scheme_name, scheme in (
-            ("coord_nbms", CoordinatedScheme.NBMS(times)),
-            (
-                "indep_m(aligned)",
-                IndependentScheme.IndepM(times, skew=interval / 500),
-            ),
-            (
-                "indep_m(skew)",
-                IndependentScheme.IndepM(times, skew=interval / 2),
-            ),
-        ):
-            report = CheckpointRuntime(
-                workload.make(),
-                scheme=scheme,
-                machine=machine,
-                seed=seed,
-                fault_plan=crash,
-            ).run()
-            rec = report.recoveries[0]
-            n = report.n_nodes
-            rows.append(
-                DominoRow(
-                    label=workload.label,
-                    scheme=scheme_name,
-                    checkpoints_before_crash=rounds,
-                    rollback_checkpoints=(
-                        sum(rec.rollback_checkpoints.values()) / n
-                    ),
-                    domino_extent=rec.domino_extent,
-                    lost_time_mean=sum(rec.lost_time.values()) / n,
-                    recovered_exactly=_result_scalar(report) == expected,
-                )
+    baselines = tuple(
+        Cell(workload=w, machine=machine, seed=seed) for w in workloads
+    )
+
+    def cells_for(results: GridResults):
+        grid = []
+        for w, base in zip(workloads, baselines):
+            t = results[base].sim_time
+            interval, times = interval_times(t, rounds)
+            crash = FaultModel.machine_crash(0.9 * t)
+            variants = (
+                ("coord_nbms", SchemeSpec.of("coord_nbms", times)),
+                (
+                    "indep_m(aligned)",
+                    SchemeSpec.of("indep_m", times, skew=interval / 500),
+                ),
+                (
+                    "indep_m(skew)",
+                    SchemeSpec.of("indep_m", times, skew=interval / 2),
+                ),
             )
-    return DominoResult(rows=rows)
+            row = [
+                (
+                    name,
+                    Cell(
+                        workload=w,
+                        scheme=spec,
+                        machine=machine,
+                        seed=seed,
+                        fault=crash,
+                    ),
+                )
+                for name, spec in variants
+            ]
+            grid.append((w, base, row))
+        return grid
+
+    def plan(results: GridResults):
+        return [c for _, _, row in cells_for(results) for _, c in row]
+
+    def reduce(results: GridResults) -> TableResult:
+        rows: List[DominoRow] = []
+        for w, base, row in cells_for(results):
+            expected = _result_scalar(results[base])
+            for scheme_name, cell in row:
+                report = results[cell]
+                rec = report.recoveries[0]
+                n = report.n_nodes
+                rows.append(
+                    DominoRow(
+                        label=w.label,
+                        scheme=scheme_name,
+                        checkpoints_before_crash=rounds,
+                        rollback_checkpoints=(
+                            sum(rec.rollback_checkpoints.values()) / n
+                        ),
+                        domino_extent=rec.domino_extent,
+                        lost_time_mean=sum(rec.lost_time.values()) / n,
+                        recovered_exactly=_result_scalar(report) == expected,
+                    )
+                )
+        view = TableView(
+            name="domino",
+            title="R1: rollback behaviour at a crash",
+            headers=[
+                "application",
+                "scheme",
+                "ckpts",
+                "rollback (ckpts)",
+                "domino extent",
+                "lost time (s)",
+                "exact",
+            ],
+            rows=[
+                [
+                    r.label,
+                    r.scheme,
+                    r.checkpoints_before_crash,
+                    f"{r.rollback_checkpoints:.2f}",
+                    f"{r.domino_extent:.2f}",
+                    f"{r.lost_time_mean:.1f}",
+                    "yes" if r.recovered_exactly else "NO",
+                ]
+                for r in rows
+            ],
+        )
+        coord = [r for r in rows if r.scheme.startswith("coord")]
+        indep_skewed = [r for r in rows if r.scheme == "indep_m(skew)"]
+        return TableResult(
+            name="domino",
+            views=[view],
+            shapes={
+                "all_recoveries_exact": all(
+                    r.recovered_exactly for r in rows
+                ),
+                # coordinated: predictable, bounded rollback (≤ 1 interval)
+                "coordinated_bounded_rollback": all(
+                    r.rollback_checkpoints <= 1.0 and r.domino_extent == 0.0
+                    for r in coord
+                ),
+                # skewed independent without logging dominos somewhere
+                "independent_domino_occurs": any(
+                    r.domino_extent == 1.0 for r in indep_skewed
+                ),
+            },
+            summary_lines=[
+                f"{len(rows)} crash recoveries, all exact: "
+                f"{all(r.recovered_exactly for r in rows)}",
+            ],
+            data={"rows": rows},
+        )
+
+    return ExperimentSpec(
+        name="domino",
+        title="R1 — rollback behaviour at a crash",
+        baselines=baselines,
+        plan=plan,
+        reduce=reduce,
+    )
+
+
+def run_domino(
+    workloads: Optional[List[WorkloadSpec]] = None,
+    seed: int = 0,
+    machine: Optional[MachineParams] = None,
+    rounds: int = 3,
+    scale: float = 1.0,
+    executor: Optional[GridExecutor] = None,
+) -> TableResult:
+    return run_spec(
+        domino_spec(
+            workloads=workloads,
+            seed=seed,
+            machine=machine,
+            rounds=rounds,
+            scale=scale,
+        ),
+        executor=executor,
+    )
 
 
 @dataclass
@@ -156,110 +225,169 @@ class StorageRow:
     bytes_written: float
 
 
-@dataclass
-class StorageOverheadResult:
-    rows: List[StorageRow]
+_STORAGE_VARIANTS = ("coord_nbms", "indep_m", "indep_m+gc", "indep_m+log+gc")
 
-    def render(self) -> str:
-        headers = [
-            "application",
-            "scheme",
-            "peak ckpts",
-            "peak MB",
-            "final MB",
-            "written MB",
-        ]
-        body = [
-            [
-                r.label,
-                r.scheme,
-                r.peak_checkpoints,
-                f"{r.peak_bytes / 1e6:.2f}",
-                f"{r.final_bytes / 1e6:.2f}",
-                f"{r.bytes_written / 1e6:.2f}",
+
+def storage_overhead_spec(
+    workloads: Optional[List[WorkloadSpec]] = None,
+    seed: int = 0,
+    machine: Optional[MachineParams] = None,
+    rounds: int = 4,
+    scale: float = 1.0,
+) -> ExperimentSpec:
+    """R2: peak stable-storage footprint per scheme."""
+    workloads = (
+        workloads
+        if workloads is not None
+        else _default_recovery_workloads(scale)
+    )
+    machine = machine or MachineParams.xplorer8()
+    baselines = tuple(
+        Cell(workload=w, machine=machine, seed=seed) for w in workloads
+    )
+
+    def cells_for(results: GridResults):
+        grid = []
+        for w, base in zip(workloads, baselines):
+            interval, times = interval_times(results[base].sim_time, rounds)
+            skew = 0.08 * interval
+            variants = (
+                ("coord_nbms", SchemeSpec.of("coord_nbms", times)),
+                ("indep_m", SchemeSpec.of("indep_m", times, skew=skew)),
+                (
+                    "indep_m+gc",
+                    SchemeSpec.of("indep_m", times, skew=skew, gc=True),
+                ),
+                (
+                    "indep_m+log+gc",
+                    SchemeSpec.of(
+                        "indep_m", times, skew=skew, logging=True, gc=True
+                    ),
+                ),
+            )
+            row = [
+                (
+                    name,
+                    Cell(workload=w, scheme=spec, machine=machine, seed=seed),
+                )
+                for name, spec in variants
             ]
-            for r in self.rows
-        ]
-        return render_table(headers, body, title="R2: stable-storage overhead")
+            grid.append((w, row))
+        return grid
 
-    def shape_holds(self) -> Dict[str, bool]:
+    def plan(results: GridResults):
+        return [c for _, row in cells_for(results) for _, c in row]
+
+    def reduce(results: GridResults) -> TableResult:
+        rows: List[StorageRow] = []
+        for w, row in cells_for(results):
+            for scheme_name, cell in row:
+                report = results[cell]
+                rows.append(
+                    StorageRow(
+                        label=w.label,
+                        scheme=scheme_name,
+                        peak_checkpoints=report.storage_peak_checkpoints,
+                        peak_bytes=report.storage_peak_bytes,
+                        final_bytes=report.storage_final_bytes,
+                        bytes_written=report.storage_bytes_written,
+                    )
+                )
+        view = TableView(
+            name="storage-overhead",
+            title="R2: stable-storage overhead",
+            headers=[
+                "application",
+                "scheme",
+                "peak ckpts",
+                "peak MB",
+                "final MB",
+                "written MB",
+            ],
+            rows=[
+                [
+                    r.label,
+                    r.scheme,
+                    r.peak_checkpoints,
+                    f"{r.peak_bytes / 1e6:.2f}",
+                    f"{r.final_bytes / 1e6:.2f}",
+                    f"{r.bytes_written / 1e6:.2f}",
+                ]
+                for r in rows
+            ],
+        )
         by_scheme: Dict[str, List[StorageRow]] = {}
-        for r in self.rows:
+        for r in rows:
             by_scheme.setdefault(r.scheme, []).append(r)
         coord = by_scheme.get("coord_nbms", [])
         indep = by_scheme.get("indep_m", [])
         indep_gc = by_scheme.get("indep_m+gc", [])
         log_gc = by_scheme.get("indep_m+log+gc", [])
         n = 8
-        return {
-            # coordinated holds at most two checkpoints per process
-            "coordinated_bounded": all(
-                r.peak_checkpoints <= 2 * n for r in coord
-            ),
-            # uncollected independent chains grow with every round
-            "independent_accumulates": all(
-                ri.peak_checkpoints > rc.peak_checkpoints
-                for ri, rc in zip(indep, coord)
-            ),
-            # the paper's claim: without message logging, GC cannot advance
-            # past the (domino-prone) transitless line — several
-            # checkpoints stay in stable storage anyway.
-            "gc_without_logs_ineffective": all(
-                rg.peak_checkpoints >= rc.peak_checkpoints
-                and rg.peak_bytes >= rc.peak_bytes
-                for rg, rc in zip(indep_gc, coord)
-            ),
-            # extension finding: logging-based (orphan-tolerant) recovery
-            # lets GC keep essentially one checkpoint per process — the
-            # modern fix the paper's citations anticipate.
-            "logging_gc_collects": all(
-                rl.peak_checkpoints < ri.peak_checkpoints
-                for rl, ri in zip(log_gc, indep)
-            ),
-        }
+        return TableResult(
+            name="storage-overhead",
+            views=[view],
+            shapes={
+                # coordinated holds at most two checkpoints per process
+                "coordinated_bounded": all(
+                    r.peak_checkpoints <= 2 * n for r in coord
+                ),
+                # uncollected independent chains grow with every round
+                "independent_accumulates": all(
+                    ri.peak_checkpoints > rc.peak_checkpoints
+                    for ri, rc in zip(indep, coord)
+                ),
+                # the paper's claim: without message logging, GC cannot
+                # advance past the (domino-prone) transitless line —
+                # several checkpoints stay in stable storage anyway.
+                "gc_without_logs_ineffective": all(
+                    rg.peak_checkpoints >= rc.peak_checkpoints
+                    and rg.peak_bytes >= rc.peak_bytes
+                    for rg, rc in zip(indep_gc, coord)
+                ),
+                # extension finding: logging-based (orphan-tolerant)
+                # recovery lets GC keep essentially one checkpoint per
+                # process — the modern fix the paper's citations
+                # anticipate.
+                "logging_gc_collects": all(
+                    rl.peak_checkpoints < ri.peak_checkpoints
+                    for rl, ri in zip(log_gc, indep)
+                ),
+            },
+            summary_lines=[
+                "peak checkpoints by scheme: "
+                + ", ".join(
+                    f"{s}={max((r.peak_checkpoints for r in by_scheme.get(s, [])), default=0)}"
+                    for s in _STORAGE_VARIANTS
+                ),
+            ],
+            data={"rows": rows, "by_scheme": by_scheme},
+        )
+
+    return ExperimentSpec(
+        name="storage-overhead",
+        title="R2 — stable-storage overhead",
+        baselines=baselines,
+        plan=plan,
+        reduce=reduce,
+    )
 
 
 def run_storage_overhead(
-    workloads: Optional[List[Workload]] = None,
+    workloads: Optional[List[WorkloadSpec]] = None,
     seed: int = 0,
     machine: Optional[MachineParams] = None,
     rounds: int = 4,
-) -> StorageOverheadResult:
-    workloads = (
-        workloads
-        if workloads is not None
-        else [w for w in table23_workloads() if w.label in ("sor-320", "ising-288")]
+    scale: float = 1.0,
+    executor: Optional[GridExecutor] = None,
+) -> TableResult:
+    return run_spec(
+        storage_overhead_spec(
+            workloads=workloads,
+            seed=seed,
+            machine=machine,
+            rounds=rounds,
+            scale=scale,
+        ),
+        executor=executor,
     )
-    machine = machine or MachineParams.xplorer8()
-    rows: List[StorageRow] = []
-    for workload in workloads:
-        normal = CheckpointRuntime(workload.make(), machine=machine, seed=seed).run()
-        interval = normal.sim_time / (rounds + 1.5)
-        times = [interval * (i + 1) for i in range(rounds)]
-        skew = 0.08 * interval
-        for scheme_name, scheme in (
-            ("coord_nbms", CoordinatedScheme.NBMS(times)),
-            ("indep_m", IndependentScheme.IndepM(times, skew=skew)),
-            (
-                "indep_m+gc",
-                IndependentScheme.IndepM(times, skew=skew, gc=True),
-            ),
-            (
-                "indep_m+log+gc",
-                IndependentScheme.IndepM(times, skew=skew, logging=True, gc=True),
-            ),
-        ):
-            report = CheckpointRuntime(
-                workload.make(), scheme=scheme, machine=machine, seed=seed
-            ).run()
-            rows.append(
-                StorageRow(
-                    label=workload.label,
-                    scheme=scheme_name,
-                    peak_checkpoints=report.storage_peak_checkpoints,
-                    peak_bytes=report.storage_peak_bytes,
-                    final_bytes=report.storage_final_bytes,
-                    bytes_written=report.storage_bytes_written,
-                )
-            )
-    return StorageOverheadResult(rows=rows)

@@ -1,0 +1,298 @@
+"""The grid execution core: dedupe, parallel fan-out, on-disk cache.
+
+:class:`GridExecutor` runs :class:`~repro.experiments.grid.ExperimentSpec`s
+in two waves — baselines first, then the cells each spec's ``plan`` step
+derives from the baseline measurements — with three orthogonal
+optimisations over the old one-loop-per-module execution:
+
+* **deduplication** — identical cells across (and within) specs run
+  once.  Every experiment used to re-run the same uncheckpointed
+  baselines; now ``table23``, the ablations, domino, capture and
+  two-level all share one baseline run per workload;
+* **parallelism** — unique cells fan out over a
+  ``ProcessPoolExecutor`` (``jobs`` workers; every cell is an
+  independent deterministic simulation carrying its own seed).  Results
+  are keyed by content, and reduction happens after all cells of a wave
+  finished, so serial and parallel execution produce byte-identical
+  tables;
+* **memoisation** — results persist in a content-keyed on-disk cache:
+  ``sha256(canonical cell JSON + code fingerprint)`` names a JSON file
+  holding the serialized :class:`~repro.chklib.runtime.RunReport`.  The
+  code fingerprint hashes every ``.py`` file of the :mod:`repro`
+  package, so editing any simulation code invalidates the whole cache
+  rather than ever serving stale measurements.
+
+Every report — fresh or cached, serial or parallel — is round-tripped
+through ``RunReport.to_dict()/from_dict()``, so numeric types (and hence
+rendered tables) never depend on which path produced a result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.result import TableResult
+from ..chklib.runtime import CheckpointRuntime, RunReport
+from .grid import Cell, ExperimentSpec, GridResults, cell_key, cell_to_jsonable
+
+__all__ = [
+    "GridExecutor",
+    "ExecutorStats",
+    "run_cell",
+    "run_spec",
+    "code_fingerprint",
+    "default_cache_dir",
+]
+
+_CACHE_VERSION = 1
+_FINGERPRINT: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-grid``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-grid"
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``.py`` file under the installed :mod:`repro` package.
+
+    Part of every cache key: any code change invalidates all cached
+    results (coarse, but never stale).
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(path.relative_to(root).as_posix().encode("utf-8"))
+            h.update(b"\0")
+            h.update(path.read_bytes())
+        _FINGERPRINT = h.hexdigest()[:24]
+    return _FINGERPRINT
+
+
+def run_cell(cell: Cell) -> RunReport:
+    """Execute one grid cell (one deterministic simulation)."""
+    return CheckpointRuntime(
+        cell.workload.build(),
+        scheme=cell.scheme.build() if cell.scheme is not None else None,
+        machine=cell.machine,
+        seed=cell.seed,
+        fault_model=cell.fault,
+    ).run()
+
+
+# -- worker-process side ------------------------------------------------------
+
+
+def _worker_init(verify: bool) -> None:  # pragma: no cover - subprocess
+    if verify:
+        from ..verify import set_runtime_verification
+
+        set_runtime_verification(True)
+
+
+def _run_cell_task(cell: Cell) -> Tuple[dict, float]:
+    """Worker entry: run one cell, return (report dict, exec seconds)."""
+    import time
+
+    t0 = time.perf_counter()  # verify: allow[wall-clock] — executor timing
+    report = run_cell(cell)
+    dt = time.perf_counter() - t0  # verify: allow[wall-clock] — executor timing
+    return report.to_dict(), dt
+
+
+def run_spec(
+    spec: ExperimentSpec, executor: Optional["GridExecutor"] = None
+) -> TableResult:
+    """Run one spec to its reduced result.  Without an explicit
+    *executor* this is the plain serial, uncached path — what the
+    ``run_*`` convenience wrappers and unit tests use."""
+    ex = executor if executor is not None else GridExecutor(jobs=1, use_cache=False)
+    return ex.run_specs([spec])[spec.name]
+
+
+# -- the executor -------------------------------------------------------------
+
+
+@dataclass
+class ExecutorStats:
+    """What one executor instance did (the determinism tests assert on
+    ``executed == 0`` for a warm cache)."""
+
+    requested: int = 0  #: cells asked for, duplicates included
+    deduped: int = 0  #: duplicate cells coalesced away
+    executed: int = 0  #: simulations actually run by this executor
+    cache_hits: int = 0  #: results served from the on-disk cache
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "requested": self.requested,
+            "deduped": self.deduped,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.requested} cells requested, {self.deduped} deduplicated, "
+            f"{self.cache_hits} from cache, {self.executed} executed"
+        )
+
+
+class GridExecutor:
+    """Runs experiment specs over a deduplicated, cached, parallel grid."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[os.PathLike] = None,
+        use_cache: bool = True,
+        verify: bool = False,
+    ) -> None:
+        self.jobs = max(1, int(jobs if jobs is not None else (os.cpu_count() or 1)))
+        self.use_cache = use_cache
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.verify = verify
+        self.stats = ExecutorStats()
+        self.results = GridResults()
+        #: per-cell execution seconds (0.0 for cache hits), by cell key.
+        self.cell_seconds: Dict[str, float] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def run_specs(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> Dict[str, TableResult]:
+        """Run every spec's grid (two waves, deduplicated across specs)
+        and reduce each to its :class:`TableResult`."""
+        self.run_cells([c for spec in specs for c in spec.baselines])
+        planned = {spec.name: list(spec.plan(self.results)) for spec in specs}
+        self.run_cells([c for cells in planned.values() for c in cells])
+        return {spec.name: spec.reduce(self.results) for spec in specs}
+
+    def run_cells(self, cells: Iterable[Cell]) -> GridResults:
+        """Execute *cells* (deduplicated, cache-checked, fanned out)."""
+        todo: List[Tuple[str, Cell]] = []
+        seen: Dict[str, bool] = {}
+        for cell in cells:
+            key = cell_key(cell)
+            self.stats.requested += 1
+            if key in seen or self.results.get(cell) is not None:
+                self.stats.deduped += 1
+                continue
+            seen[key] = True
+            if self.use_cache:
+                cached = self._cache_read(key)
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    self.cell_seconds[key] = 0.0
+                    self.results.put(key, cached)
+                    continue
+            todo.append((key, cell))
+        if not todo:
+            return self.results
+        if self.jobs == 1:
+            for key, cell in todo:
+                report_dict, dt = _run_cell_task(cell)
+                self._absorb(key, cell, report_dict, dt)
+        else:
+            self._run_parallel(todo)
+        return self.results
+
+    def spec_seconds(self, spec: ExperimentSpec) -> float:
+        """Execution seconds attributable to *spec*: the summed runtimes
+        of its cells (shared cells count toward every spec using them;
+        cache hits count as zero)."""
+        total = 0.0
+        for cell in spec.all_cells(self.results):
+            total += self.cell_seconds.get(cell_key(cell), 0.0)
+        return total
+
+    # -- internals ----------------------------------------------------------
+
+    def _absorb(self, key: str, cell: Cell, report_dict: dict, dt: float) -> None:
+        # uniform round-trip: fresh results go through the same dict
+        # normalisation as cached ones, so tables never depend on the path.
+        report = RunReport.from_dict(report_dict)
+        self.stats.executed += 1
+        self.cell_seconds[key] = dt
+        self.results.put(key, report)
+        if self.use_cache:
+            self._cache_write(key, cell, report_dict)
+
+    def _run_parallel(self, todo: List[Tuple[str, Cell]]) -> None:
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(todo)),
+            initializer=_worker_init,
+            initargs=(self.verify,),
+        ) as pool:
+            futures = {
+                pool.submit(_run_cell_task, cell): (key, cell)
+                for key, cell in todo
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                for fut in done:
+                    key, cell = futures[fut]
+                    exc = fut.exception()
+                    if exc is not None:
+                        for p in pending:
+                            p.cancel()
+                        raise exc
+                    report_dict, dt = fut.result()
+                    self._absorb(key, cell, report_dict, dt)
+
+    # -- the on-disk cache --------------------------------------------------
+
+    def _cache_path(self, key: str) -> Path:
+        full = hashlib.sha256(
+            (key + ":" + code_fingerprint()).encode("utf-8")
+        ).hexdigest()
+        return self.cache_dir / full[:2] / f"{full}.json"
+
+    def _cache_read(self, key: str) -> Optional[RunReport]:
+        path = self._cache_path(key)
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if entry.get("version") != _CACHE_VERSION:
+            return None
+        try:
+            return RunReport.from_dict(entry["report"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _cache_write(self, key: str, cell: Cell, report_dict: dict) -> None:
+        path = self._cache_path(key)
+        entry = {
+            "version": _CACHE_VERSION,
+            "fingerprint": code_fingerprint(),
+            "cell": cell_to_jsonable(cell),
+            "report": report_dict,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except OSError:  # caching is best-effort; never fail the run
+            pass

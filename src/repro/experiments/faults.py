@@ -20,27 +20,25 @@ the failure case. This experiment closes the loop:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..analysis import fmt_seconds, render_table
-from ..apps import SOR
-from ..chklib import (
-    CheckpointRuntime,
-    CoordinatedScheme,
-    FaultPlan,
-    IndependentScheme,
-)
+from ..analysis import TableResult, TableView, fmt_seconds
+from ..fault.model import FaultModel
 from ..fault.plans import crash_times as _shared_crash_times
 from ..machine import MachineParams
+from .executor import GridExecutor, run_spec
+from .grid import Cell, ExperimentSpec, GridResults, SchemeSpec, WorkloadSpec
+from .workloads import scaled_iters
 
 __all__ = [
-    "FailureRateResult",
+    "failure_rates_spec",
     "run_failure_rates",
-    "IntervalSweepResult",
+    "interval_sweep_spec",
     "run_interval_sweep",
     "young_interval",
 ]
+
+_F1_SCHEMES = ("coord_nbms", "indep_m_log", "indep_m_nolog")
 
 
 def young_interval(per_checkpoint_overhead: float, mtbf: float) -> float:
@@ -55,51 +53,140 @@ def _crash_times(mtbf: float, horizon: float, seed: int, stream: str) -> List[fl
     return _shared_crash_times(mtbf, horizon, seed=seed, stream=stream)
 
 
-def _default_app():
-    return SOR(n=128, iters=480, flops_per_cell=40.0)
+def _default_workload(scale: float) -> WorkloadSpec:
+    return WorkloadSpec.of(
+        "sor-128",
+        "sor",
+        n=128,
+        iters=scaled_iters(480, scale),
+        flops_per_cell=40.0,
+    )
 
 
-@dataclass
-class FailureRateResult:
-    mtbf_factors: List[float]  #: MTBF as multiples of the failure-free time
-    normal_time: float
-    completion: Dict[str, Dict[float, float]]  #: scheme -> factor -> time
+def _f1_scheme(name: str, times, skew: float) -> SchemeSpec:
+    if name == "coord_nbms":
+        return SchemeSpec.of("coord_nbms", times)
+    return SchemeSpec.of(name, times, skew=skew)
 
-    def render(self) -> str:
-        schemes = sorted(self.completion)
-        headers = ["MTBF / T"] + schemes
-        body = []
-        for f in self.mtbf_factors:
-            row = [f"{f:.1f}" if f != float("inf") else "inf"]
-            for s in schemes:
-                row.append(self.completion[s][f] / self.normal_time)
-            body.append(row)
-        return render_table(
-            headers,
-            body,
+
+def failure_rates_spec(
+    mtbf_factors: Sequence[float] = (float("inf"), 1.0, 0.5, 0.33),
+    seed: int = 0,
+    machine: Optional[MachineParams] = None,
+    rounds: int = 4,
+    trials: int = 4,
+    workload: Optional[WorkloadSpec] = None,
+    scale: float = 1.0,
+) -> ExperimentSpec:
+    """F1: mean completion time over *trials* independent (deterministic)
+    crash sequences per failure rate; all schemes face identical crashes
+    within a trial."""
+    machine = machine or MachineParams.xplorer8()
+    workload = workload or _default_workload(scale)
+    factors = sorted(mtbf_factors, reverse=True)
+    baseline = Cell(workload=workload, machine=machine, seed=seed)
+
+    def cells_for(results: GridResults):
+        T = results[baseline].sim_time
+        interval = T / (rounds + 1.5)
+        times = tuple(interval * (i + 1) for i in range(rounds))
+        skew = 0.1 * interval
+        grid = {}
+        for scheme_name in _F1_SCHEMES:
+            for factor in factors:
+                n_trials = 1 if factor == float("inf") else trials
+                for trial in range(n_trials):
+                    if factor == float("inf"):
+                        fault = None
+                    else:
+                        fault = FaultModel(
+                            machine_crash_times=tuple(
+                                _crash_times(
+                                    factor * T,
+                                    40 * T,
+                                    seed,
+                                    f"f1@{factor}#{trial}",
+                                )
+                            )
+                        )
+                    grid[(scheme_name, factor, trial)] = Cell(
+                        workload=workload,
+                        scheme=_f1_scheme(scheme_name, times, skew),
+                        machine=machine,
+                        seed=seed,
+                        fault=fault,
+                    )
+        return grid
+
+    def plan(results: GridResults):
+        return list(cells_for(results).values())
+
+    def reduce(results: GridResults) -> TableResult:
+        T = results[baseline].sim_time
+        grid = cells_for(results)
+        completion: Dict[str, Dict[float, float]] = {}
+        for scheme_name in _F1_SCHEMES:
+            completion[scheme_name] = {}
+            for factor in factors:
+                n_trials = 1 if factor == float("inf") else trials
+                total = sum(
+                    results[grid[(scheme_name, factor, trial)]].sim_time
+                    for trial in range(n_trials)
+                )
+                completion[scheme_name][factor] = total / n_trials
+        schemes = sorted(completion)
+        view = TableView(
+            name="failure-rates",
             title="F1: mean completion time (x failure-free) vs failure rate",
+            headers=["MTBF / T"] + schemes,
+            rows=[
+                [f"{f:.1f}" if f != float("inf") else "inf"]
+                + [completion[s][f] / T for s in schemes]
+                for f in factors
+            ],
             fmt=lambda v: f"{v:.2f}x" if isinstance(v, float) else str(v),
         )
+        worst = min(f for f in factors if f != float("inf"))
+        at_worst = {s: completion[s][worst] for s in completion}
+        return TableResult(
+            name="failure-rates",
+            views=[view],
+            shapes={
+                # more failures -> more time, for every scheme (factors
+                # sorted descending: later entries mean higher failure
+                # rates)
+                "monotone_in_failure_rate": all(
+                    completion[s][b] >= completion[s][a] * 0.999
+                    for s in completion
+                    for a, b in zip(factors, factors[1:])
+                ),
+                # recovery keeps the degradation graceful for checkpointing
+                # schemes even at MTBF = T/2 ...
+                "coordinated_graceful": at_worst["coord_nbms"] < 4.0 * T,
+                # ... while the domino case re-runs from scratch per crash
+                "domino_catastrophic": at_worst["indep_m_nolog"]
+                > 1.3 * at_worst["coord_nbms"],
+            },
+            summary_lines=[
+                f"at MTBF = {worst:.2f}xT: "
+                + ", ".join(
+                    f"{s}={at_worst[s] / T:.2f}x" for s in schemes
+                ),
+            ],
+            data={
+                "mtbf_factors": factors,
+                "normal_time": T,
+                "completion": completion,
+            },
+        )
 
-    def shape_holds(self) -> Dict[str, bool]:
-        worst = min(f for f in self.mtbf_factors if f != float("inf"))
-        at_worst = {s: self.completion[s][worst] for s in self.completion}
-        return {
-            # more failures -> more time, for every scheme (factors sorted
-            # descending: later entries mean higher failure rates)
-            "monotone_in_failure_rate": all(
-                self.completion[s][b] >= self.completion[s][a] * 0.999
-                for s in self.completion
-                for a, b in zip(self.mtbf_factors, self.mtbf_factors[1:])
-            ),
-            # recovery keeps the degradation graceful for checkpointing
-            # schemes even at MTBF = T/2 ...
-            "coordinated_graceful": at_worst["coord_nbms"]
-            < 4.0 * self.normal_time,
-            # ... while the domino case re-runs from scratch per crash
-            "domino_catastrophic": at_worst["indep_m_nolog"]
-            > 1.3 * at_worst["coord_nbms"],
-        }
+    return ExperimentSpec(
+        name="failure-rates",
+        title="F1 — completion time vs failure rate",
+        baselines=(baseline,),
+        plan=plan,
+        reduce=reduce,
+    )
 
 
 def run_failure_rates(
@@ -108,99 +195,140 @@ def run_failure_rates(
     machine: Optional[MachineParams] = None,
     rounds: int = 4,
     trials: int = 4,
-) -> FailureRateResult:
-    """Mean completion time over *trials* independent (deterministic)
-    crash sequences per failure rate; all schemes face identical crashes
-    within a trial."""
-    machine = machine or MachineParams.xplorer8()
-    normal = CheckpointRuntime(_default_app(), machine=machine, seed=seed).run()
-    T = normal.sim_time
-    interval = T / (rounds + 1.5)
-    times = [interval * (i + 1) for i in range(rounds)]
-    skew = 0.1 * interval
-    completion: Dict[str, Dict[float, float]] = {}
-    factors = sorted(mtbf_factors, reverse=True)
-    for scheme_name in ("coord_nbms", "indep_m_log", "indep_m_nolog"):
-        completion[scheme_name] = {}
-        for factor in factors:
-            total = 0.0
-            n_trials = 1 if factor == float("inf") else trials
-            for trial in range(n_trials):
-                if factor == float("inf"):
-                    plan = None
-                else:
-                    plan = FaultPlan(
-                        crash_times=tuple(
-                            _crash_times(
-                                factor * T, 40 * T, seed, f"f1@{factor}#{trial}"
-                            )
-                        )
-                    )
-                if scheme_name == "coord_nbms":
-                    scheme = CoordinatedScheme.NBMS(times)
-                elif scheme_name == "indep_m_log":
-                    scheme = IndependentScheme.IndepM(
-                        times, skew=skew, logging=True
-                    )
-                else:
-                    scheme = IndependentScheme.IndepM(times, skew=skew)
-                report = CheckpointRuntime(
-                    _default_app(),
-                    scheme=scheme,
-                    machine=machine,
-                    seed=seed,
-                    fault_plan=plan,
-                ).run()
-                total += report.sim_time
-            completion[scheme_name][factor] = total / n_trials
-    return FailureRateResult(
-        mtbf_factors=factors, normal_time=T, completion=completion
+    scale: float = 1.0,
+    executor: Optional[GridExecutor] = None,
+) -> TableResult:
+    return run_spec(
+        failure_rates_spec(
+            mtbf_factors=mtbf_factors,
+            seed=seed,
+            machine=machine,
+            rounds=rounds,
+            trials=trials,
+            scale=scale,
+        ),
+        executor=executor,
     )
 
 
-@dataclass
-class IntervalSweepResult:
-    intervals: List[float]
-    completion: Dict[float, float]
-    mtbf: float
-    delta: float  #: measured per-checkpoint overhead at the mid interval
-    normal_time: float
+def interval_sweep_spec(
+    interval_fractions: Sequence[float] = (0.04, 0.08, 0.15, 0.3, 0.6),
+    mtbf_factor: float = 1.0,
+    seed: int = 0,
+    machine: Optional[MachineParams] = None,
+    workload: Optional[WorkloadSpec] = None,
+    scale: float = 1.0,
+) -> ExperimentSpec:
+    """F2: completion time vs checkpoint interval, against Young's
+    estimate."""
+    machine = machine or MachineParams.xplorer8()
+    workload = workload or _default_workload(scale)
+    fractions = list(interval_fractions)
+    baseline = Cell(workload=workload, machine=machine, seed=seed)
 
-    @property
-    def measured_optimum(self) -> float:
-        return min(self.intervals, key=lambda i: self.completion[i])
-
-    @property
-    def young_estimate(self) -> float:
-        return young_interval(self.delta, self.mtbf)
-
-    def render(self) -> str:
-        headers = ["interval (s)", "completion (s)", "vs normal"]
-        body = [
-            [f"{i:.0f}", fmt_seconds(self.completion[i]),
-             f"{self.completion[i] / self.normal_time:.2f}x"]
-            for i in self.intervals
-        ]
-        table = render_table(
-            headers, body, title="F2: completion time vs checkpoint interval"
+    def cells_for(results: GridResults):
+        T = results[baseline].sim_time
+        mtbf = mtbf_factor * T
+        fault = FaultModel(
+            machine_crash_times=tuple(_crash_times(mtbf, 30 * T, seed, "sweep"))
         )
-        footer = (
-            f"\nmeasured optimum ~{self.measured_optimum:.0f} s; "
-            f"Young's estimate sqrt(2*{self.delta:.2f}*{self.mtbf:.0f}) = "
-            f"{self.young_estimate:.0f} s"
-        )
-        return table + footer
-
-    def shape_holds(self) -> Dict[str, bool]:
-        xs = [self.completion[i] for i in self.intervals]
-        best = self.measured_optimum
-        return {
-            # U-shape: the extremes are worse than the optimum
-            "u_shape": xs[0] > min(xs) and xs[-1] > min(xs),
-            # Young's estimate lands within the sweep's resolution
-            # (between half and double the measured optimum)
-            "young_within_2x": 0.5 * best <= self.young_estimate <= 2.0 * best,
+        intervals = [f * T for f in fractions]
+        sweep = {
+            interval: Cell(
+                workload=workload,
+                scheme=SchemeSpec.of(
+                    "coord_nbms",
+                    tuple(
+                        interval * (i + 1)
+                        for i in range(int(30 * T / interval))
+                    ),
+                ),
+                machine=machine,
+                seed=seed,
+                fault=fault,
+            )
+            for interval in intervals
         }
+        # failure-free run at the mid interval, to measure the
+        # per-checkpoint overhead delta Young's formula needs.
+        mid = intervals[len(intervals) // 2]
+        k = max(1, int(T / mid) - 1)
+        ff = Cell(
+            workload=workload,
+            scheme=SchemeSpec.of(
+                "coord_nbms", tuple(mid * (i + 1) for i in range(k))
+            ),
+            machine=machine,
+            seed=seed,
+        )
+        return T, mtbf, intervals, sweep, (mid, k, ff)
+
+    def plan(results: GridResults):
+        _, _, _, sweep, (_, _, ff) = cells_for(results)
+        return list(sweep.values()) + [ff]
+
+    def reduce(results: GridResults) -> TableResult:
+        T, mtbf, intervals, sweep, (mid, k, ff) = cells_for(results)
+        completion = {
+            interval: results[cell].sim_time
+            for interval, cell in sweep.items()
+        }
+        delta = max(1e-6, (results[ff].sim_time - T) / k)
+        measured_optimum = min(intervals, key=lambda i: completion[i])
+        young = young_interval(delta, mtbf)
+        view = TableView(
+            name="interval-sweep",
+            title="F2: completion time vs checkpoint interval",
+            headers=["interval (s)", "completion (s)", "vs normal"],
+            rows=[
+                [
+                    f"{i:.0f}",
+                    fmt_seconds(completion[i]),
+                    f"{completion[i] / T:.2f}x",
+                ]
+                for i in intervals
+            ],
+            footer=(
+                f"measured optimum ~{measured_optimum:.0f} s; "
+                f"Young's estimate sqrt(2*{delta:.2f}*{mtbf:.0f}) = "
+                f"{young:.0f} s"
+            ),
+        )
+        xs = [completion[i] for i in intervals]
+        return TableResult(
+            name="interval-sweep",
+            views=[view],
+            shapes={
+                # U-shape: the extremes are worse than the optimum
+                "u_shape": xs[0] > min(xs) and xs[-1] > min(xs),
+                # Young's estimate lands within the sweep's resolution
+                # (between half and double the measured optimum)
+                "young_within_2x": (
+                    0.5 * measured_optimum <= young <= 2.0 * measured_optimum
+                ),
+            },
+            summary_lines=[
+                f"measured optimum ~{measured_optimum:.0f} s vs Young "
+                f"{young:.0f} s",
+            ],
+            data={
+                "intervals": intervals,
+                "completion": completion,
+                "mtbf": mtbf,
+                "delta": delta,
+                "normal_time": T,
+                "measured_optimum": measured_optimum,
+                "young_estimate": young,
+            },
+        )
+
+    return ExperimentSpec(
+        name="interval-sweep",
+        title="F2 — interval sweep vs Young's formula",
+        baselines=(baseline,),
+        plan=plan,
+        reduce=reduce,
+    )
 
 
 def run_interval_sweep(
@@ -208,40 +336,16 @@ def run_interval_sweep(
     mtbf_factor: float = 1.0,
     seed: int = 0,
     machine: Optional[MachineParams] = None,
-) -> IntervalSweepResult:
-    machine = machine or MachineParams.xplorer8()
-    normal = CheckpointRuntime(_default_app(), machine=machine, seed=seed).run()
-    T = normal.sim_time
-    mtbf = mtbf_factor * T
-    plan = FaultPlan(
-        crash_times=tuple(_crash_times(mtbf, 30 * T, seed, "sweep"))
-    )
-    completion: Dict[float, float] = {}
-    intervals = [f * T for f in interval_fractions]
-    for interval in intervals:
-        times = [interval * (i + 1) for i in range(int(30 * T / interval))]
-        report = CheckpointRuntime(
-            _default_app(),
-            scheme=CoordinatedScheme.NBMS(times),
-            machine=machine,
+    scale: float = 1.0,
+    executor: Optional[GridExecutor] = None,
+) -> TableResult:
+    return run_spec(
+        interval_sweep_spec(
+            interval_fractions=interval_fractions,
+            mtbf_factor=mtbf_factor,
             seed=seed,
-            fault_plan=plan,
-        ).run()
-        completion[interval] = report.sim_time
-    # measure delta (per-checkpoint overhead) failure-free at the mid point
-    mid = intervals[len(intervals) // 2]
-    k = max(1, int(T / mid) - 1)
-    ff = CheckpointRuntime(
-        _default_app(),
-        scheme=CoordinatedScheme.NBMS([mid * (i + 1) for i in range(k)]),
-        machine=machine,
-        seed=seed,
-    ).run()
-    delta = max(1e-6, (ff.sim_time - T) / k)
-    return IntervalSweepResult(
-        intervals=intervals,
-        completion=completion,
-        mtbf=mtbf,
-        delta=delta,
-        normal_time=T,
+            machine=machine,
+            scale=scale,
+        ),
+        executor=executor,
     )

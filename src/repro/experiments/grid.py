@@ -1,0 +1,310 @@
+"""The declarative experiment grid: cells, specs and result lookup.
+
+The paper's results are a grid — workloads x schemes, one simulation per
+cell — and every cell is deterministic and independent (seeded RNG, no
+shared state between :class:`~repro.chklib.runtime.CheckpointRuntime`
+runs).  This module describes that grid as *data* instead of inline
+loops:
+
+* :class:`WorkloadSpec` — an application by registry name + constructor
+  parameters (not a factory closure), so a cell can be pickled to a
+  worker process and content-hashed for the on-disk result cache;
+* :class:`SchemeSpec` — a checkpointing scheme by base name + resolved
+  checkpoint times + option flags (skew, logging, gc, incremental,
+  two-level);
+* :class:`Cell` — one simulation: workload, scheme (``None`` = the
+  uncheckpointed baseline), machine parameters, optional fault model and
+  seed.  :func:`cell_key` derives a canonical content hash used for
+  deduplication and caching;
+* :class:`ExperimentSpec` — one experiment: its *baseline* cells (wave
+  1), a pure ``plan`` step that turns baseline measurements into the
+  dependent scheme cells (checkpoint times, skews and crash schedules
+  are fractions of the baseline duration — wave 2), and a pure
+  ``reduce`` step that distils all cell reports into a
+  :class:`~repro.analysis.result.TableResult`.
+
+Execution lives in :mod:`repro.experiments.executor`; nothing here runs
+a simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.result import TableResult
+from ..chklib import CoordinatedScheme, IndependentScheme
+from ..chklib.runtime import RunReport
+from ..chklib.schemes.base import Scheme
+from ..fault.model import FaultModel
+from ..machine import MachineParams
+
+__all__ = [
+    "WorkloadSpec",
+    "SchemeSpec",
+    "Cell",
+    "ExperimentSpec",
+    "GridResults",
+    "cell_key",
+    "cell_to_jsonable",
+    "APP_REGISTRY",
+]
+
+
+def _app_registry() -> Dict[str, Any]:
+    from ..apps import ASP, SOR, Gauss, Ising, NBody, NQueens, TSP
+
+    return {
+        "ising": Ising,
+        "sor": SOR,
+        "gauss": Gauss,
+        "asp": ASP,
+        "nbody": NBody,
+        "tsp": TSP,
+        "nqueens": NQueens,
+    }
+
+
+#: registry key -> Application class (resolved lazily to avoid cycles).
+APP_REGISTRY: Dict[str, Any] = {}
+
+
+def _resolve_app(kind: str):
+    if not APP_REGISTRY:
+        APP_REGISTRY.update(_app_registry())
+    try:
+        return APP_REGISTRY[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown application kind {kind!r} "
+            f"(registered: {sorted(APP_REGISTRY)})"
+        ) from None
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One table row's application, declaratively: registry name + params.
+
+    Unlike the factory-closure :class:`~repro.experiments.workloads.Workload`,
+    a spec is plain data — picklable across process boundaries and stable
+    under content hashing.
+    """
+
+    label: str
+    app: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    #: override of the fixed process-image bytes (tests use tiny images).
+    image_bytes: Optional[int] = None
+
+    @staticmethod
+    def of(label: str, app: str, image_bytes: Optional[int] = None, **params) -> "WorkloadSpec":
+        return WorkloadSpec(
+            label=label,
+            app=app,
+            params=tuple(sorted(params.items())),
+            image_bytes=image_bytes,
+        )
+
+    def build(self):
+        """Instantiate a fresh Application for one simulation run."""
+        app = _resolve_app(self.app)(**dict(self.params))
+        if self.image_bytes is not None:
+            app.image_bytes = int(self.image_bytes)
+        return app
+
+    # compat with the factory-based Workload interface
+    def make(self):
+        return self.build()
+
+
+#: scheme aliases: name -> (base, fixed option overrides). ``skew`` is the
+#: one option resolved at plan time (a fraction of the checkpoint
+#: interval), so aliases only pin the boolean flags.
+SCHEME_ALIASES: Dict[str, Tuple[str, Dict[str, Any]]] = {
+    "coord_nb": ("coord_nb", {}),
+    "coord_nbm": ("coord_nbm", {}),
+    "coord_nbms": ("coord_nbms", {}),
+    "coord_nbs": ("coord_nbs", {}),
+    "coord_nbc": ("coord_nbc", {}),
+    "coord_nbcs": ("coord_nbcs", {}),
+    "indep": ("indep", {}),
+    "indep_m": ("indep_m", {}),
+    "indep_c": ("indep_c", {}),
+    "indep_log": ("indep", {"logging": True}),
+    "indep_m_log": ("indep_m", {"logging": True}),
+    "indep_m_nolog": ("indep_m", {}),
+    "coord_nb_inc": ("coord_nb", {"incremental": True}),
+    "coord_nbms_inc": ("coord_nbms", {"incremental": True}),
+    "coord_nbcs_inc": ("coord_nbcs", {"incremental": True}),
+    "coord_nb_2l": ("coord_nb", {"two_level": True}),
+    "coord_nbms_2l": ("coord_nbms", {"two_level": True}),
+}
+
+_COORD_FACTORIES = {
+    "coord_nb": CoordinatedScheme.NB,
+    "coord_nbm": CoordinatedScheme.NBM,
+    "coord_nbms": CoordinatedScheme.NBMS,
+    "coord_nbs": CoordinatedScheme.NBS,
+    "coord_nbc": CoordinatedScheme.NBC,
+    "coord_nbcs": CoordinatedScheme.NBCS,
+}
+
+_INDEP_FACTORIES = {
+    "indep": IndependentScheme.Indep,
+    "indep_m": IndependentScheme.IndepM,
+    "indep_c": IndependentScheme.IndepC,
+}
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """A checkpointing scheme as data: base name, times, option flags."""
+
+    name: str  #: base registry name (``coord_nb`` ... ``indep_c``)
+    times: Tuple[float, ...] = ()
+    skew: float = 0.0  #: independent timers only
+    logging: bool = False  #: independent: sender-based message logging
+    gc: bool = False  #: independent: garbage-collect obsolete checkpoints
+    incremental: bool = False  #: coordinated: dirty-page increments
+    two_level: bool = False  #: coordinated: local-disk first, trickle up
+
+    @staticmethod
+    def of(alias: str, times: Sequence[float], **options) -> "SchemeSpec":
+        """Build a spec from a scheme *alias* (e.g. ``indep_m_log``)."""
+        try:
+            base, fixed = SCHEME_ALIASES[alias]
+        except KeyError:
+            raise ValueError(f"unknown scheme {alias!r}") from None
+        merged = {**fixed, **options}
+        return SchemeSpec(
+            name=base, times=tuple(float(t) for t in times), **merged
+        )
+
+    def build(self) -> Scheme:
+        """Instantiate the scheme for one simulation run."""
+        if self.name in _COORD_FACTORIES:
+            kw: Dict[str, Any] = {}
+            if self.incremental:
+                kw["incremental"] = True
+            if self.two_level:
+                kw["two_level"] = True
+            return _COORD_FACTORIES[self.name](list(self.times), **kw)
+        if self.name in _INDEP_FACTORIES:
+            kw = {"skew": self.skew}
+            if self.logging:
+                kw["logging"] = True
+            if self.gc:
+                kw["gc"] = True
+            return _INDEP_FACTORIES[self.name](list(self.times), **kw)
+        raise ValueError(f"unknown scheme base {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid cell: a single deterministic simulation run."""
+
+    workload: WorkloadSpec
+    scheme: Optional[SchemeSpec] = None  #: None = uncheckpointed baseline
+    machine: MachineParams = field(default_factory=MachineParams.xplorer8)
+    seed: int = 0
+    fault: Optional[FaultModel] = None
+
+
+def _jsonable(value: Any) -> Any:
+    """Canonical JSON-compatible form of cell contents (recursive)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if type(value).__module__.startswith("numpy"):
+        return _jsonable(value.item() if hasattr(value, "item") else value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"cell contents must be plain data, got {type(value).__name__}: {value!r}"
+    )
+
+
+def cell_to_jsonable(cell: Cell) -> Dict[str, Any]:
+    """The cell as canonical plain data (the cache-key payload)."""
+    return {"v": 1, **_jsonable(cell)}
+
+
+def cell_key(cell: Cell) -> str:
+    """Stable content hash of one cell's parameters."""
+    payload = json.dumps(
+        cell_to_jsonable(cell), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class GridResults:
+    """Cell -> report lookup handed to ``plan`` and ``reduce`` steps."""
+
+    def __init__(self, reports: Optional[Dict[str, RunReport]] = None) -> None:
+        self._reports: Dict[str, RunReport] = dict(reports or {})
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    def __contains__(self, cell: Cell) -> bool:
+        return cell_key(cell) in self._reports
+
+    def __getitem__(self, cell: Cell) -> RunReport:
+        key = cell_key(cell)
+        try:
+            return self._reports[key]
+        except KeyError:
+            raise KeyError(
+                f"no result for cell {cell.workload.label!r} / "
+                f"{cell.scheme.name if cell.scheme else 'baseline'} "
+                f"(key {key[:12]}...) — was it listed in the spec?"
+            ) from None
+
+    def get(self, cell: Cell) -> Optional[RunReport]:
+        return self._reports.get(cell_key(cell))
+
+    def put(self, key: str, report: RunReport) -> None:
+        self._reports[key] = report
+
+
+@dataclass
+class ExperimentSpec:
+    """One experiment: baseline cells, a plan step and a reduce step.
+
+    ``plan`` and ``reduce`` must be pure functions of the results they
+    are given — every checkpoint time, skew or crash schedule they
+    compute is derived from baseline measurements (not wall clocks or
+    fresh randomness), so serial and parallel execution produce
+    byte-identical tables.
+    """
+
+    name: str
+    title: str
+    #: wave-1 cells — fully concrete up front (usually scheme=None).
+    baselines: Tuple[Cell, ...]
+    #: wave 2: baseline results -> dependent cells (times from T_normal).
+    plan: Callable[[GridResults], Sequence[Cell]]
+    #: final: all cell results -> one TableResult.
+    reduce: Callable[[GridResults], TableResult]
+
+    def all_cells(self, results: GridResults) -> List[Cell]:
+        return list(self.baselines) + list(self.plan(results))
+
+
+def interval_times(
+    normal_time: float, rounds: int, divisor: float = 1.5
+) -> Tuple[float, Tuple[float, ...]]:
+    """The shared checkpoint schedule rule: ``rounds`` checkpoints every
+    ``T / (rounds + divisor)`` seconds — enough tail for the last round's
+    background writes and commit to finish.  Returns (interval, times)."""
+    interval = normal_time / (rounds + divisor)
+    return interval, tuple(interval * (i + 1) for i in range(rounds))

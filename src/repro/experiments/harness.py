@@ -1,18 +1,34 @@
-"""Shared experiment machinery: scheme factories and workload execution."""
+"""Shared experiment machinery: scheme construction and workload execution.
+
+The declarative grid (:mod:`repro.experiments.grid`) is the primary way
+experiments run; this module holds the pieces shared between the grid
+specs and direct imperative use:
+
+* :func:`scheme_spec` — the measured schemes as declarative
+  :class:`~repro.experiments.grid.SchemeSpec`s (independent timers get
+  their skew as a fixed fraction of the checkpoint interval);
+* :func:`make_scheme` — the same factory returning a live scheme object
+  (examples and unit tests drive :class:`CheckpointRuntime` directly);
+* :func:`run_workload` / :class:`WorkloadResult` — one table row
+  measured inline, without the grid (unit tests of the runtime).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
-from ..chklib import CheckpointRuntime, CoordinatedScheme, IndependentScheme
+from ..chklib import CheckpointRuntime
 from ..chklib.runtime import RunReport
 from ..chklib.schemes.base import Scheme
 from ..machine import MachineParams
+from .grid import SCHEME_ALIASES, SchemeSpec
 
 __all__ = [
     "SCHEMES_TABLE1",
     "SCHEMES_TABLE23",
+    "INDEP_SKEW_FRACTION",
+    "scheme_spec",
     "make_scheme",
     "run_workload",
     "WorkloadResult",
@@ -28,39 +44,22 @@ SCHEMES_TABLE23 = ("coord_nb", "indep", "coord_nbms", "indep_m")
 INDEP_SKEW_FRACTION = 0.25
 
 
+def scheme_spec(name: str, times: Sequence[float], interval: float) -> SchemeSpec:
+    """One of the measured schemes (plus ablation/extension variants) as
+    a declarative spec.  Independent variants get the standard timer skew
+    (:data:`INDEP_SKEW_FRACTION` of *interval*); coordinated variants
+    carry no skew."""
+    if name not in SCHEME_ALIASES:
+        raise ValueError(f"unknown scheme {name!r}")
+    base, _ = SCHEME_ALIASES[name]
+    if base.startswith("indep"):
+        return SchemeSpec.of(name, times, skew=INDEP_SKEW_FRACTION * interval)
+    return SchemeSpec.of(name, times)
+
+
 def make_scheme(name: str, times: Sequence[float], interval: float) -> Scheme:
-    """Instantiate one of the five measured schemes (plus ablations)."""
-    skew = INDEP_SKEW_FRACTION * interval
-    if name == "coord_nb":
-        return CoordinatedScheme.NB(times)
-    if name == "coord_nbm":
-        return CoordinatedScheme.NBM(times)
-    if name == "coord_nbms":
-        return CoordinatedScheme.NBMS(times)
-    if name == "coord_nbs":
-        return CoordinatedScheme.NBS(times)
-    if name == "indep":
-        return IndependentScheme.Indep(times, skew=skew)
-    if name == "indep_m":
-        return IndependentScheme.IndepM(times, skew=skew)
-    if name == "indep_log":
-        return IndependentScheme.Indep(times, skew=skew, logging=True)
-    if name == "indep_m_log":
-        return IndependentScheme.IndepM(times, skew=skew, logging=True)
-    # extension variants (copy-on-write capture, incremental writes)
-    if name == "coord_nbc":
-        return CoordinatedScheme.NBC(times)
-    if name == "coord_nbcs":
-        return CoordinatedScheme.NBCS(times)
-    if name == "indep_c":
-        return IndependentScheme.IndepC(times, skew=skew)
-    if name == "coord_nb_inc":
-        return CoordinatedScheme.NB(times, incremental=True)
-    if name == "coord_nbms_inc":
-        return CoordinatedScheme.NBMS(times, incremental=True)
-    if name == "coord_nbcs_inc":
-        return CoordinatedScheme.NBCS(times, incremental=True)
-    raise ValueError(f"unknown scheme {name!r}")
+    """Instantiate one of the measured schemes (see :func:`scheme_spec`)."""
+    return scheme_spec(name, times, interval).build()
 
 
 @dataclass
@@ -95,7 +94,8 @@ def run_workload(
     machine: Optional[MachineParams] = None,
     interval_divisor: float = 1.5,
 ) -> WorkloadResult:
-    """Run a workload uncheckpointed, then once per scheme.
+    """Run a workload uncheckpointed, then once per scheme (inline, no
+    grid — the unit-test path).
 
     The checkpoint interval is ``T_normal / (rounds + interval_divisor)``:
     `rounds` checkpoints fire inside the run with enough tail left for the

@@ -24,16 +24,17 @@ and fall back to an older line).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
-from ..analysis import render_table
-from ..apps import SOR
-from ..chklib import CheckpointRuntime, CoordinatedScheme, IndependentScheme, RunReport
+from ..analysis import TableResult, TableView
+from ..chklib import RunReport
 from ..fault import FaultModel, RetryPolicy, StorageFaultSpec
 from ..machine import MachineParams
+from .executor import GridExecutor, run_spec
+from .grid import Cell, ExperimentSpec, GridResults, SchemeSpec, WorkloadSpec
+from .workloads import scaled_iters
 
-__all__ = ["ResilienceResult", "run_resilience", "RESILIENCE_SCHEMES"]
+__all__ = ["resilience_spec", "run_resilience", "RESILIENCE_SCHEMES"]
 
 #: the five headline schemes of the sweep (paper naming).
 RESILIENCE_SCHEMES = (
@@ -45,52 +46,112 @@ RESILIENCE_SCHEMES = (
 )
 
 
-def _default_app():
-    app = SOR(n=26, iters=10, flops_per_cell=3000.0)
-    app.image_bytes = 32 * 1024
-    return app
-
-
-def _make_scheme(name: str, times: Sequence[float], skew: float):
-    if name == "coord_nb":
-        return CoordinatedScheme.NB(times)
-    if name == "coord_nbm":
-        return CoordinatedScheme.NBM(times)
-    if name == "coord_nbms":
-        return CoordinatedScheme.NBMS(times)
-    if name == "indep_m_log":
-        return IndependentScheme.IndepM(times, skew=skew, logging=True)
-    if name == "indep_m_nolog":
-        return IndependentScheme.IndepM(times, skew=skew)
-    raise ValueError(f"unknown scheme {name!r}")
+def _default_workload(scale: float) -> WorkloadSpec:
+    return WorkloadSpec.of(
+        "sor-26",
+        "sor",
+        image_bytes=32 * 1024,
+        n=26,
+        iters=scaled_iters(10, scale),
+        flops_per_cell=3000.0,
+    )
 
 
 def _result_key(report: RunReport) -> Any:
     return report.result["sum"]
 
 
-@dataclass
-class ResilienceResult:
-    fault_rates: List[float]
-    normal_time: float
-    expected: Any  #: the undisturbed application result
-    #: scheme -> fault rate -> report (probabilistic sweep, crash at 0.8 T)
-    sweep: Dict[str, Dict[float, RunReport]]
-    #: scheme -> report with one scheduled unretryable write failure
-    write_failure: Dict[str, RunReport]
-    #: scheme -> report with one committed checkpoint silently corrupted
-    corruption: Dict[str, RunReport]
+def resilience_spec(
+    fault_rates: Sequence[float] = (0.0, 0.02, 0.10),
+    seed: int = 0,
+    machine: Optional[MachineParams] = None,
+    workload: Optional[WorkloadSpec] = None,
+    scale: float = 1.0,
+) -> ExperimentSpec:
+    """The full resilience sweep (deterministic per *seed*)."""
+    machine = machine or MachineParams(n_nodes=4)
+    workload = workload or _default_workload(scale)
+    rates = sorted(fault_rates)
+    baseline = Cell(workload=workload, machine=machine, seed=seed)
 
-    # -- views ----------------------------------------------------------------
+    def cells_for(results: GridResults):
+        T = results[baseline].sim_time
+        times = (T / 4, T / 2)
+        skew = T / 50
 
-    def _all_reports(self) -> List[RunReport]:
+        def scheme(name: str) -> SchemeSpec:
+            if name.startswith("indep"):
+                return SchemeSpec.of(name, times, skew=skew)
+            return SchemeSpec.of(name, times)
+
+        def cell(name: str, model: FaultModel) -> Cell:
+            return Cell(
+                workload=workload,
+                scheme=scheme(name),
+                machine=machine,
+                seed=seed,
+                fault=model,
+            )
+
+        sweep = {
+            (name, p): cell(
+                name,
+                FaultModel(
+                    machine_crash_times=(0.8 * T,),
+                    storage=StorageFaultSpec(
+                        write_fail_p=p, read_fail_p=p, corrupt_p=p / 2
+                    ),
+                ),
+            )
+            for name in RESILIENCE_SCHEMES
+            for p in rates
+        }
+        # targeted: the second storage write fails with no retry budget —
+        # the cleanest way to force an abort (coordinated) / a drop
+        # (independent)
+        write_failure = {
+            name: cell(
+                name,
+                FaultModel(
+                    machine_crash_times=(0.8 * T,),
+                    storage=StorageFaultSpec(fail_writes_at=(2,)),
+                    retry=RetryPolicy(max_retries=0),
+                ),
+            )
+            for name in RESILIENCE_SCHEMES
+        }
+        # targeted: rank 1's second checkpoint rots after commit; the
+        # crash then forces quarantine + fallback to an older line
+        corruption = {
+            name: cell(
+                name,
+                FaultModel(
+                    machine_crash_times=(0.9 * T,),
+                    storage=StorageFaultSpec(corrupt_ckpts=((1, 2),)),
+                ),
+            )
+            for name in RESILIENCE_SCHEMES
+        }
+        return sweep, write_failure, corruption
+
+    def plan(results: GridResults):
+        sweep, write_failure, corruption = cells_for(results)
         return (
-            [r for per in self.sweep.values() for r in per.values()]
-            + list(self.write_failure.values())
-            + list(self.corruption.values())
+            list(sweep.values())
+            + list(write_failure.values())
+            + list(corruption.values())
         )
 
-    def render(self) -> str:
+    def reduce(results: GridResults) -> TableResult:
+        T = results[baseline].sim_time
+        expected = _result_key(results[baseline])
+        sweep_cells, wf_cells, corr_cells = cells_for(results)
+        sweep: Dict[str, Dict[float, RunReport]] = {}
+        for (name, p), c in sweep_cells.items():
+            sweep.setdefault(name, {})[p] = results[c]
+        write_failure = {n: results[c] for n, c in wf_cells.items()}
+        corruption = {n: results[c] for n, c in corr_cells.items()}
+
         headers = [
             "scheme",
             "fault rate",
@@ -108,7 +169,7 @@ class ResilienceResult:
             return [
                 name,
                 label,
-                f"{rep.sim_time / self.normal_time:.2f}x",
+                f"{rep.sim_time / T:.2f}x",
                 f"{rep.storage_write_faults}/{rep.storage_read_faults}",
                 f"{rep.storage_write_retries}/{rep.storage_read_retries}",
                 str(rep.rounds_aborted),
@@ -117,44 +178,57 @@ class ResilienceResult:
                 f"{len(rep.recoveries)}{'' if sound else ' UNSOUND'}",
             ]
 
-        body = []
-        for name in RESILIENCE_SCHEMES:
-            for p in self.fault_rates:
-                body.append(row(name, f"p={p:g}", self.sweep[name][p]))
-        table = render_table(
-            headers,
-            body,
+        view_sweep = TableView(
+            name="resilience",
             title="R3: resilience under faulty stable storage (crash at 0.8 T)",
+            headers=headers,
+            rows=[
+                row(name, f"p={p:g}", sweep[name][p])
+                for name in RESILIENCE_SCHEMES
+                for p in rates
+            ],
         )
-        body2 = [
-            row(name, "write-fail", self.write_failure[name])
-            for name in RESILIENCE_SCHEMES
-        ] + [
-            row(name, "corrupt", self.corruption[name])
-            for name in RESILIENCE_SCHEMES
-        ]
-        table2 = render_table(
-            headers,
-            body2,
+        view_targeted = TableView(
+            name="resilience-targeted",
             title="R3b: targeted faults (scheduled write failure / corruption)",
+            headers=headers,
+            rows=[
+                row(name, "write-fail", write_failure[name])
+                for name in RESILIENCE_SCHEMES
+            ]
+            + [
+                row(name, "corrupt", corruption[name])
+                for name in RESILIENCE_SCHEMES
+            ],
         )
-        return table + "\n\n" + table2
 
-    def shape_holds(self) -> Dict[str, bool]:
-        reports = self._all_reports()
-        clean = [self.sweep[s][0.0] for s in RESILIENCE_SCHEMES]
-        high = max(self.fault_rates)
-        hot = [self.sweep[s][high] for s in RESILIENCE_SCHEMES]
-        coord = [self.write_failure[s] for s in RESILIENCE_SCHEMES if s.startswith("coord")]
-        indep = [self.write_failure[s] for s in RESILIENCE_SCHEMES if s.startswith("indep")]
-        return {
+        reports = (
+            [r for per in sweep.values() for r in per.values()]
+            + list(write_failure.values())
+            + list(corruption.values())
+        )
+        clean = [sweep[s][0.0] for s in RESILIENCE_SCHEMES] if 0.0 in rates else []
+        high = max(rates)
+        hot = [sweep[s][high] for s in RESILIENCE_SCHEMES]
+        coord = [
+            write_failure[s]
+            for s in RESILIENCE_SCHEMES
+            if s.startswith("coord")
+        ]
+        indep = [
+            write_failure[s]
+            for s in RESILIENCE_SCHEMES
+            if s.startswith("indep")
+        ]
+        shapes = {
             # retries/aborts/quarantine degrade time, never correctness
             "all_results_exact": all(
-                _result_key(r) == self.expected for r in reports
+                _result_key(r) == expected for r in reports
             ),
             # every recovery happened and restored a sound line
             "all_recoveries_sound": all(
-                r.recoveries and all(ev.line_consistent for ev in r.recoveries)
+                r.recoveries
+                and all(ev.line_consistent for ev in r.recoveries)
                 for r in reports
             ),
             # the machinery is free when storage behaves
@@ -174,7 +248,10 @@ class ResilienceResult:
             )
             > 0,
             # ... and retries absorbed (most of) them
-            "retries_absorb_faults": sum(r.storage_write_retries for r in hot) > 0,
+            "retries_absorb_faults": sum(
+                r.storage_write_retries for r in hot
+            )
+            > 0,
             # an unretryable write failure aborts the coordinated round ...
             "coordinated_aborts_cleanly": all(
                 r.rounds_aborted >= 1 for r in coord
@@ -186,75 +263,49 @@ class ResilienceResult:
             ),
             # silent corruption is caught and quarantined at recovery
             "corruption_quarantined": all(
-                r.checkpoints_quarantined >= 1
-                for r in self.corruption.values()
+                r.checkpoints_quarantined >= 1 for r in corruption.values()
             ),
         }
+        return TableResult(
+            name="resilience",
+            views=[view_sweep, view_targeted],
+            shapes=shapes,
+            summary_lines=[
+                f"{len(reports)} faulted runs, all exact: "
+                f"{shapes['all_results_exact']}",
+            ],
+            data={
+                "fault_rates": rates,
+                "normal_time": T,
+                "expected": expected,
+                "sweep": sweep,
+                "write_failure": write_failure,
+                "corruption": corruption,
+            },
+        )
+
+    return ExperimentSpec(
+        name="resilience",
+        title="R3 — resilience under faulty stable storage",
+        baselines=(baseline,),
+        plan=plan,
+        reduce=reduce,
+    )
 
 
 def run_resilience(
     fault_rates: Sequence[float] = (0.0, 0.02, 0.10),
     seed: int = 0,
     machine: Optional[MachineParams] = None,
-) -> ResilienceResult:
-    """The full resilience sweep (deterministic per *seed*)."""
-    machine = machine or MachineParams(n_nodes=4)
-    normal = CheckpointRuntime(_default_app(), machine=machine, seed=seed).run()
-    T = normal.sim_time
-    times = [T / 4, T / 2]
-    skew = T / 50
-
-    def run_one(name: str, model: FaultModel) -> RunReport:
-        return CheckpointRuntime(
-            _default_app(),
-            scheme=_make_scheme(name, times, skew),
-            machine=machine,
+    scale: float = 1.0,
+    executor: Optional[GridExecutor] = None,
+) -> TableResult:
+    return run_spec(
+        resilience_spec(
+            fault_rates=fault_rates,
             seed=seed,
-            fault_model=model,
-        ).run()
-
-    sweep: Dict[str, Dict[float, RunReport]] = {}
-    for name in RESILIENCE_SCHEMES:
-        sweep[name] = {}
-        for p in fault_rates:
-            model = FaultModel(
-                machine_crash_times=(0.8 * T,),
-                storage=StorageFaultSpec(
-                    write_fail_p=p, read_fail_p=p, corrupt_p=p / 2
-                ),
-            )
-            sweep[name][p] = run_one(name, model)
-
-    # targeted: the second storage write fails with no retry budget — the
-    # cleanest way to force an abort (coordinated) / a drop (independent)
-    write_failure = {
-        name: run_one(
-            name,
-            FaultModel(
-                machine_crash_times=(0.8 * T,),
-                storage=StorageFaultSpec(fail_writes_at=(2,)),
-                retry=RetryPolicy(max_retries=0),
-            ),
-        )
-        for name in RESILIENCE_SCHEMES
-    }
-    # targeted: rank 1's second checkpoint rots after commit; the crash
-    # then forces quarantine + fallback to an older line
-    corruption = {
-        name: run_one(
-            name,
-            FaultModel(
-                machine_crash_times=(0.9 * T,),
-                storage=StorageFaultSpec(corrupt_ckpts=((1, 2),)),
-            ),
-        )
-        for name in RESILIENCE_SCHEMES
-    }
-    return ResilienceResult(
-        fault_rates=sorted(fault_rates),
-        normal_time=T,
-        expected=_result_key(normal),
-        sweep=sweep,
-        write_failure=write_failure,
-        corruption=corruption,
+            machine=machine,
+            scale=scale,
+        ),
+        executor=executor,
     )

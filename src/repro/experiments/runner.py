@@ -13,7 +13,16 @@ Usage::
     python -m repro.experiments.runner storage-overhead
     python -m repro.experiments.runner resilience
     python -m repro.experiments.runner smoke
-    python -m repro.experiments.runner all
+    python -m repro.experiments.runner all [--jobs N]
+
+Every experiment is a declarative :class:`~repro.experiments.grid.ExperimentSpec`;
+the runner hands the selected specs to one shared
+:class:`~repro.experiments.executor.GridExecutor`, which deduplicates
+identical cells across experiments, fans unique cells out over ``--jobs``
+worker processes and memoises results in a content-keyed on-disk cache
+(``--cache-dir``, ``--no-cache``).  Tables go to stdout; all diagnostics
+(executor statistics, wall time, ``--timings`` notices) go to stderr, so
+stdout is byte-identical regardless of job count or cache state.
 
 Any invocation accepts ``--verify``: every simulation run is then audited
 post-hoc by the trace invariant engine (:mod:`repro.verify`), and the
@@ -25,22 +34,61 @@ every scheme (plus a crash) with the audit always on.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from .ablations import run_staggering_ablation, run_sync_cost
-from .capture import run_capture_ablation
-from .domino import run_domino, run_storage_overhead
-from .faults import run_failure_rates, run_interval_sweep
-from .resilience import run_resilience
-from .sweeps import run_bandwidth_sweep, run_writer_sweep
-from .table1 import run_table1
-from .table23 import run_table23
-from .twolevel import run_two_level
+from .ablations import staggering_spec, sync_cost_spec
+from .capture import capture_spec
+from .domino import domino_spec, storage_overhead_spec
+from .executor import GridExecutor, default_cache_dir
+from .faults import failure_rates_spec, interval_sweep_spec
+from .grid import ExperimentSpec
+from .resilience import resilience_spec
+from .sweeps import bandwidth_sweep_spec, writer_sweep_spec
+from .table1 import table1_spec
+from .table23 import table23_spec
+from .twolevel import two_level_spec
 from .workloads import table1_workloads, table23_workloads
 
 __all__ = ["main"]
+
+#: CLI name -> (spec name, report title, view restriction, print summary?).
+#: ``table2`` and ``table3`` are two views of the single shared ``table23``
+#: grid result — the executor runs that spec once for both.
+_EXPERIMENTS = {
+    "table1": ("table1", "Table 1 — overhead per checkpoint", None, True),
+    "table2": ("table23", "Table 2 — execution times", "table2", False),
+    "table3": ("table23", "Table 3 — overhead percentages", "table3", True),
+    "ablation-staggering": (
+        "ablation-staggering", "A1 — staggering ablation", None, False,
+    ),
+    "ablation-sync": (
+        "ablation-sync", "A2 — synchronisation vs saving cost", None, False,
+    ),
+    "sweep-writers": ("sweep-writers", "S1 — writer sweep", None, False),
+    "sweep-storage": (
+        "sweep-storage", "S2 — storage-bandwidth sweep", None, False,
+    ),
+    "domino": ("domino", "R1 — rollback behaviour", None, False),
+    "storage-overhead": (
+        "storage-overhead", "R2 — stable-storage overhead", None, False,
+    ),
+    "capture": ("capture", "E1 — capture modes and incremental", None, False),
+    "failure-rates": (
+        "failure-rates", "E2/F1 — completion vs failure rate", None, False,
+    ),
+    "interval-sweep": (
+        "interval-sweep", "E2/F2 — interval sweep vs Young", None, False,
+    ),
+    "two-level": ("two-level", "E3 — two-level stable storage", None, False),
+    "resilience": (
+        "resilience", "R3 — resilience under faulty stable storage", None, False,
+    ),
+}
+
+_ALL_ORDER = list(_EXPERIMENTS)
 
 
 def _emit(title: str, body: str, summary: str = "") -> None:
@@ -59,30 +107,45 @@ def _shape_report(shapes: dict) -> str:
     return "\n".join(lines)
 
 
+def _build_spec(spec_name: str, seed: int, scale: float) -> ExperimentSpec:
+    """One experiment spec, with ``--quick``'s scale plumbed everywhere."""
+    if spec_name == "table1":
+        return table1_spec(workloads=table1_workloads(scale), seed=seed)
+    if spec_name == "table23":
+        return table23_spec(workloads=table23_workloads(scale), seed=seed)
+    if spec_name == "ablation-staggering":
+        return staggering_spec(
+            workloads=table23_workloads(scale)[:4], seed=seed
+        )
+    if spec_name == "ablation-sync":
+        return sync_cost_spec(workloads=table23_workloads(scale)[:4], seed=seed)
+    if spec_name == "sweep-writers":
+        return writer_sweep_spec(seed=seed, scale=scale)
+    if spec_name == "sweep-storage":
+        return bandwidth_sweep_spec(seed=seed, scale=scale)
+    if spec_name == "domino":
+        return domino_spec(seed=seed, scale=scale)
+    if spec_name == "storage-overhead":
+        return storage_overhead_spec(seed=seed, scale=scale)
+    if spec_name == "capture":
+        return capture_spec(seed=seed, scale=scale)
+    if spec_name == "failure-rates":
+        return failure_rates_spec(seed=seed, scale=scale)
+    if spec_name == "interval-sweep":
+        return interval_sweep_spec(seed=seed, scale=scale)
+    if spec_name == "two-level":
+        return two_level_spec(seed=seed, scale=scale)
+    if spec_name == "resilience":
+        return resilience_spec(seed=seed, scale=scale)
+    raise ValueError(f"unknown spec {spec_name!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner", description=__doc__
     )
     parser.add_argument(
-        "experiment",
-        choices=[
-            "table1",
-            "table2",
-            "table3",
-            "ablation-staggering",
-            "ablation-sync",
-            "sweep-writers",
-            "sweep-storage",
-            "domino",
-            "storage-overhead",
-            "capture",
-            "failure-rates",
-            "interval-sweep",
-            "two-level",
-            "resilience",
-            "smoke",
-            "all",
-        ],
+        "experiment", choices=list(_EXPERIMENTS) + ["smoke", "all"]
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -94,6 +157,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quick",
         action="store_true",
         help="shrink iteration counts ~5x (faster, same checkpoint volumes)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the grid (default: all CPU cores)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=f"result cache location (default: {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--timings",
+        metavar="PATH",
+        default=None,
+        help="write per-experiment execution seconds + executor stats as JSON",
     )
     parser.add_argument("--verbose", action="store_true")
     parser.add_argument(
@@ -111,136 +198,67 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     scale = 0.2 if args.quick else 1.0
     t0 = time.time()  # verify: allow[wall-clock] — CLI wall-time reporting
-    todo = (
-        [args.experiment]
-        if args.experiment != "all"
-        else [
-            "table1",
-            "table2",
-            "table3",
-            "ablation-staggering",
-            "ablation-sync",
-            "sweep-writers",
-            "sweep-storage",
-            "domino",
-            "storage-overhead",
-            "capture",
-            "failure-rates",
-            "interval-sweep",
-            "two-level",
-            "resilience",
+    todo = [args.experiment] if args.experiment != "all" else list(_ALL_ORDER)
+
+    if todo == ["smoke"]:
+        from ..verify.smoke import run_smoke
+
+        results = run_smoke(seed=args.seed, verbose=args.verbose)
+        lines = [
+            f"  [{'ok' if rep.ok else 'FAIL'}] {name:<16} {rep.summary()}"
+            for name, rep in results
         ]
-    )
+        _emit("smoke", "verification smoke battery:\n" + "\n".join(lines))
+        for _name, rep in results:
+            rep.raise_if_violated()
+        wall = time.time() - t0  # verify: allow[wall-clock] — CLI wall-time reporting
+        print(f"[runner] done in {wall:.1f}s wall", file=sys.stderr)
+        return 0
 
-    table23_result = None
-    report_sections = []
-
-    def _record(title, result):
-        report_sections.append((title, result))
-
+    # one spec per distinct grid (table2 + table3 share "table23")
+    specs: Dict[str, ExperimentSpec] = {}
     for exp in todo:
-        if exp == "table1":
-            res = run_table1(
-                workloads=table1_workloads(scale),
-                seed=args.seed,
-                verbose=args.verbose,
-            )
-            _record("Table 1 — overhead per checkpoint", res)
-            _emit(
-                "table1",
-                res.render(),
-                res.summary() + "\n" + _shape_report(res.shape_holds()),
-            )
-        elif exp in ("table2", "table3"):
-            if table23_result is None:
-                table23_result = run_table23(
-                    workloads=table23_workloads(scale),
-                    seed=args.seed,
-                    verbose=args.verbose,
-                )
-            if exp == "table2":
-                class _T2View:
-                    def __init__(self, inner):
-                        self._inner = inner
-                    def render(self):
-                        return self._inner.render_table2()
-                _record("Table 2 — execution times", _T2View(table23_result))
-                _emit("table2", table23_result.render_table2())
-            else:
-                class _T3View:
-                    def __init__(self, inner):
-                        self._inner = inner
-                    def render(self):
-                        return self._inner.render_table3()
-                    def shape_holds(self):
-                        return self._inner.shape_holds()
-                _record("Table 3 — overhead percentages", _T3View(table23_result))
-                _emit(
-                    "table3",
-                    table23_result.render_table3(),
-                    table23_result.summary()
-                    + "\n"
-                    + _shape_report(table23_result.shape_holds()),
-                )
-        elif exp == "ablation-staggering":
-            res = run_staggering_ablation(
-                workloads=table23_workloads(scale)[:4], seed=args.seed
-            )
-            _record("A1 — staggering ablation", res)
-            _emit(exp, res.render(), _shape_report(res.shape_holds()))
-        elif exp == "ablation-sync":
-            res = run_sync_cost(
-                workloads=table23_workloads(scale)[:4], seed=args.seed
-            )
-            _record("A2 — synchronisation vs saving cost", res)
-            _emit(exp, res.render(), _shape_report(res.shape_holds()))
-        elif exp == "sweep-writers":
-            res = run_writer_sweep(seed=args.seed)
-            _record("S1 — writer sweep", res)
-            _emit(exp, res.render(), _shape_report(res.shape_holds()))
-        elif exp == "sweep-storage":
-            res = run_bandwidth_sweep(seed=args.seed)
-            _record("S2 — storage-bandwidth sweep", res)
-            _emit(exp, res.render(), _shape_report(res.shape_holds()))
-        elif exp == "domino":
-            res = run_domino(seed=args.seed)
-            _record("R1 — rollback behaviour", res)
-            _emit(exp, res.render(), _shape_report(res.shape_holds()))
-        elif exp == "storage-overhead":
-            res = run_storage_overhead(seed=args.seed)
-            _record("R2 — stable-storage overhead", res)
-            _emit(exp, res.render(), _shape_report(res.shape_holds()))
-        elif exp == "capture":
-            res = run_capture_ablation(seed=args.seed)
-            _record("E1 — capture modes and incremental", res)
-            _emit(exp, res.render(), _shape_report(res.shape_holds()))
-        elif exp == "failure-rates":
-            res = run_failure_rates(seed=args.seed)
-            _record("E2/F1 — completion vs failure rate", res)
-            _emit(exp, res.render(), _shape_report(res.shape_holds()))
-        elif exp == "interval-sweep":
-            res = run_interval_sweep(seed=args.seed)
-            _record("E2/F2 — interval sweep vs Young", res)
-            _emit(exp, res.render(), _shape_report(res.shape_holds()))
-        elif exp == "two-level":
-            res = run_two_level(seed=args.seed)
-            _record("E3 — two-level stable storage", res)
-            _emit(exp, res.render(), _shape_report(res.shape_holds()))
-        elif exp == "resilience":
-            res = run_resilience(seed=args.seed)
-            _record("R3 — resilience under faulty stable storage", res)
-            _emit(exp, res.render(), _shape_report(res.shape_holds()))
-        elif exp == "smoke":
-            from ..verify.smoke import run_smoke
+        spec_name = _EXPERIMENTS[exp][0]
+        if spec_name not in specs:
+            specs[spec_name] = _build_spec(spec_name, args.seed, scale)
 
-            results = run_smoke(seed=args.seed, verbose=args.verbose)
-            lines = [
-                f"  [{'ok' if rep.ok else 'FAIL'}] {name:<16} {rep.summary()}"
-                for name, rep in results
-            ]
-            _emit("smoke", "verification smoke battery:\n" + "\n".join(lines))
-            for _name, rep in results:
-                rep.raise_if_violated()
+    executor = GridExecutor(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        verify=args.verify,
+    )
+    results = executor.run_specs(list(specs.values()))
+
+    report_sections = []
+    for exp in todo:
+        spec_name, title, view, with_summary = _EXPERIMENTS[exp]
+        res = results[spec_name]
+        if view is not None and not with_summary:  # table2: just the table
+            report_sections.append((title, res.view(view)))
+            _emit(exp, res.render(view))
+            continue
+        if view is not None:  # table3: one view + the shared shapes/summary
+            from ..analysis import TableResult
+
+            narrowed = TableResult(
+                name=view,
+                views=[res.view(view)],
+                shapes=res.shapes,
+                summary_lines=res.summary_lines,
+            )
+            report_sections.append((title, narrowed))
+            _emit(
+                exp,
+                narrowed.render(),
+                narrowed.summary() + "\n" + _shape_report(narrowed.shapes),
+            )
+            continue
+        report_sections.append((title, res))
+        summary = _shape_report(res.shape_holds())
+        if with_summary and res.summary_lines:
+            summary = res.summary() + "\n" + summary
+        _emit(exp, res.render(), summary)
 
     if args.report and report_sections:
         from ..analysis import build_report
@@ -248,8 +266,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         text = build_report(report_sections, seed=args.seed)
         with open(args.report, "w") as fh:
             fh.write(text)
-        print(f"[runner] report written to {args.report}")
-    print(f"[runner] done in {time.time() - t0:.1f}s wall")  # verify: allow[wall-clock]
+        print(f"[runner] report written to {args.report}", file=sys.stderr)
+
+    if args.timings:
+        timings = {
+            "experiments": {
+                name: round(executor.spec_seconds(spec), 6)
+                for name, spec in specs.items()
+            },
+            "stats": executor.stats.as_dict(),
+            "jobs": executor.jobs,
+            "wall_seconds": round(time.time() - t0, 3),  # verify: allow[wall-clock] — CLI wall-time reporting
+        }
+        with open(args.timings, "w") as fh:
+            json.dump(timings, fh, indent=2, sort_keys=True)
+        print(f"[runner] timings written to {args.timings}", file=sys.stderr)
+
+    print(f"[runner] grid: {executor.stats}", file=sys.stderr)
+    wall = time.time() - t0  # verify: allow[wall-clock] — CLI wall-time reporting
+    print(f"[runner] done in {wall:.1f}s wall", file=sys.stderr)
     return 0
 
 

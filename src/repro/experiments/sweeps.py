@@ -11,57 +11,120 @@ slow; the curves converge as the bottleneck disappears.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..analysis import fmt_seconds, render_table
-from ..apps import SOR, Application
+from ..analysis import TableResult, TableView, fmt_seconds
 from ..machine import MachineParams
-from .harness import run_workload
-from .workloads import Workload
+from .executor import GridExecutor, run_spec
+from .grid import Cell, ExperimentSpec, GridResults, WorkloadSpec, interval_times
+from .harness import scheme_spec
+from .workloads import scaled_iters
 
-__all__ = ["WriterSweep", "run_writer_sweep", "BandwidthSweep", "run_bandwidth_sweep"]
+__all__ = [
+    "writer_sweep_spec",
+    "run_writer_sweep",
+    "bandwidth_sweep_spec",
+    "run_bandwidth_sweep",
+]
 
 
-def _default_app_factory() -> Callable[[], Application]:
-    return lambda: SOR(n=256, iters=200, flops_per_cell=40.0)
-
-
-@dataclass
-class WriterSweep:
-    """Per-checkpoint NB cost as writers scale at *constant per-rank state*
-    (weak scaling: each extra node brings its own checkpoint volume)."""
-
-    node_counts: List[int]
-    per_checkpoint: Dict[int, float]
-
-    def render(self) -> str:
-        headers = ["nodes", "NB overhead/ckpt (s)", "vs fewest", "volume x"]
-        n0 = self.node_counts[0]
-        base = self.per_checkpoint[n0]
-        body = [
-            [
+def writer_sweep_spec(
+    node_counts: Sequence[int] = (2, 4, 8),
+    seed: int = 0,
+    rounds: int = 2,
+    base_grid: int = 128,
+    scale: float = 1.0,
+) -> ExperimentSpec:
+    """S1, weak scaling: the SOR grid grows with the node count so each
+    rank's checkpoint stays the same size; total volume scales linearly in
+    the writer count."""
+    node_counts = list(node_counts)
+    points = []
+    for n in node_counts:
+        grid = int(round(base_grid * (n / node_counts[0]) ** 0.5 / 2)) * 2
+        points.append(
+            (
                 n,
-                fmt_seconds(self.per_checkpoint[n]),
-                f"{self.per_checkpoint[n] / base:.1f}x",
-                f"{n / n0:.1f}x",
-            ]
-            for n in self.node_counts
-        ]
-        return render_table(
-            headers, body, title="S1: Coord_NB cost vs number of writers"
+                WorkloadSpec.of(
+                    f"sor{grid}@{n}",
+                    "sor",
+                    n=grid,
+                    iters=scaled_iters(200, scale),
+                    flops_per_cell=40.0,
+                ),
+                MachineParams.xplorer(n),
+            )
+        )
+    baselines = tuple(
+        Cell(workload=w, machine=m, seed=seed) for _, w, m in points
+    )
+
+    def cells_for(results: GridResults):
+        grid = []
+        for (n, w, m), base in zip(points, baselines):
+            interval, times = interval_times(results[base].sim_time, rounds)
+            cell = Cell(
+                workload=w,
+                scheme=scheme_spec("coord_nb", times, interval),
+                machine=m,
+                seed=seed,
+            )
+            grid.append((n, base, cell))
+        return grid
+
+    def plan(results: GridResults):
+        return [cell for _, _, cell in cells_for(results)]
+
+    def reduce(results: GridResults) -> TableResult:
+        per_ckpt: Dict[int, float] = {}
+        for n, base, cell in cells_for(results):
+            per_ckpt[n] = (
+                results[cell].sim_time - results[base].sim_time
+            ) / rounds
+        n0 = node_counts[0]
+        base_cost = per_ckpt[n0]
+        view = TableView(
+            name="sweep-writers",
+            title="S1: Coord_NB cost vs number of writers",
+            headers=["nodes", "NB overhead/ckpt (s)", "vs fewest", "volume x"],
+            rows=[
+                [
+                    n,
+                    fmt_seconds(per_ckpt[n]),
+                    f"{per_ckpt[n] / base_cost:.1f}x",
+                    f"{n / n0:.1f}x",
+                ]
+                for n in node_counts
+            ],
+        )
+        xs = [per_ckpt[n] for n in node_counts]
+        nl = node_counts[-1]
+        return TableResult(
+            name="sweep-writers",
+            views=[view],
+            shapes={
+                "cost_grows_with_writers": all(
+                    b > a for a, b in zip(xs, xs[1:])
+                ),
+                # superlinear in the checkpoint volume: with k writers the
+                # volume grows k-fold, the cost more (queueing + thrash +
+                # lost quiescence window alignment).
+                "superlinear_in_volume": xs[-1] / xs[0] > (nl / n0),
+            },
+            summary_lines=[
+                f"{n0}->{nl} nodes: cost x{xs[-1] / xs[0]:.1f} "
+                f"for volume x{nl / n0:.1f}",
+            ],
+            data={"node_counts": node_counts, "per_checkpoint": per_ckpt},
         )
 
-    def shape_holds(self) -> Dict[str, bool]:
-        xs = [self.per_checkpoint[n] for n in self.node_counts]
-        n0, nl = self.node_counts[0], self.node_counts[-1]
-        return {
-            "cost_grows_with_writers": all(b > a for a, b in zip(xs, xs[1:])),
-            # superlinear in the checkpoint volume: with k writers the
-            # volume grows k-fold, the cost more (queueing + thrash + lost
-            # quiescence window alignment).
-            "superlinear_in_volume": xs[-1] / xs[0] > (nl / n0),
-        }
+    return ExperimentSpec(
+        name="sweep-writers",
+        title="S1 — writer-count sweep",
+        baselines=baselines,
+        plan=plan,
+        reduce=reduce,
+    )
 
 
 def run_writer_sweep(
@@ -69,84 +132,140 @@ def run_writer_sweep(
     seed: int = 0,
     rounds: int = 2,
     base_grid: int = 128,
-) -> WriterSweep:
-    """Weak-scaling sweep: the SOR grid grows with the node count so each
-    rank's checkpoint stays the same size; total volume scales linearly in
-    the writer count."""
-    per_ckpt = {}
-    for n in node_counts:
-        grid = int(round(base_grid * (n / node_counts[0]) ** 0.5 / 2)) * 2
-        workload = Workload(
-            f"sor{grid}@{n}",
-            lambda grid=grid: SOR(n=grid, iters=200, flops_per_cell=40.0),
-        )
-        res = run_workload(
-            workload,
-            ("coord_nb",),
-            rounds=rounds,
+    scale: float = 1.0,
+    executor: Optional[GridExecutor] = None,
+) -> TableResult:
+    return run_spec(
+        writer_sweep_spec(
+            node_counts=node_counts,
             seed=seed,
-            machine=MachineParams.xplorer(n),
-        )
-        per_ckpt[n] = res.per_checkpoint("coord_nb")
-    return WriterSweep(node_counts=list(node_counts), per_checkpoint=per_ckpt)
+            rounds=rounds,
+            base_grid=base_grid,
+            scale=scale,
+        ),
+        executor=executor,
+    )
 
 
-@dataclass
-class BandwidthSweep:
-    bandwidths: List[float]
-    overhead_pct: Dict[float, Dict[str, float]]
+def bandwidth_sweep_spec(
+    bandwidths: Sequence[float] = (400e3, 800e3, 1.6e6, 3.2e6),
+    seed: int = 0,
+    rounds: int = 2,
+    workload: Optional[WorkloadSpec] = None,
+    scale: float = 1.0,
+) -> ExperimentSpec:
+    """S2: Coord_NB vs Coord_NBMS overhead as storage bandwidth grows."""
+    bandwidths = list(bandwidths)
+    workload = workload or WorkloadSpec.of(
+        "sor-256",
+        "sor",
+        n=256,
+        iters=scaled_iters(200, scale),
+        flops_per_cell=40.0,
+    )
+    machines = [
+        MachineParams.xplorer8().with_storage(bandwidth=bw)
+        for bw in bandwidths
+    ]
+    baselines = tuple(
+        Cell(workload=workload, machine=m, seed=seed) for m in machines
+    )
 
-    def render(self) -> str:
-        headers = ["storage B/W (KB/s)", "NB %", "NBMS %", "NB/NBMS"]
+    def cells_for(results: GridResults):
+        grid = []
+        for bw, m, base in zip(bandwidths, machines, baselines):
+            interval, times = interval_times(results[base].sim_time, rounds)
+            row = {
+                s: Cell(
+                    workload=workload,
+                    scheme=scheme_spec(s, times, interval),
+                    machine=m,
+                    seed=seed,
+                )
+                for s in ("coord_nb", "coord_nbms")
+            }
+            grid.append((bw, base, row))
+        return grid
+
+    def plan(results: GridResults):
+        return [c for _, _, row in cells_for(results) for c in row.values()]
+
+    def reduce(results: GridResults) -> TableResult:
+        overhead_pct: Dict[float, Dict[str, float]] = {}
+        for bw, base, row in cells_for(results):
+            normal = results[base].sim_time
+            overhead_pct[bw] = {
+                s: 100.0 * (results[c].sim_time - normal) / normal
+                for s, c in row.items()
+            }
         body = []
-        for bw in self.bandwidths:
-            row = self.overhead_pct[bw]
-            ratio = row["coord_nb"] / row["coord_nbms"] if row["coord_nbms"] else 0
-            body.append(
-                [f"{bw / 1e3:.0f}", f"{row['coord_nb']:.2f}",
-                 f"{row['coord_nbms']:.2f}", f"{ratio:.1f}x"]
+        for bw in bandwidths:
+            row = overhead_pct[bw]
+            ratio = (
+                row["coord_nb"] / row["coord_nbms"] if row["coord_nbms"] else 0
             )
-        return render_table(
-            headers, body, title="S2: overhead vs stable-storage bandwidth"
+            body.append(
+                [
+                    f"{bw / 1e3:.0f}",
+                    f"{row['coord_nb']:.2f}",
+                    f"{row['coord_nbms']:.2f}",
+                    f"{ratio:.1f}x",
+                ]
+            )
+        view = TableView(
+            name="sweep-storage",
+            title="S2: overhead vs stable-storage bandwidth",
+            headers=["storage B/W (KB/s)", "NB %", "NBMS %", "NB/NBMS"],
+            rows=body,
         )
-
-    def shape_holds(self) -> Dict[str, bool]:
-        slowest = self.overhead_pct[min(self.bandwidths)]
-        fastest = self.overhead_pct[max(self.bandwidths)]
+        slowest = overhead_pct[min(bandwidths)]
+        fastest = overhead_pct[max(bandwidths)]
         gap_slow = slowest["coord_nb"] - slowest["coord_nbms"]
         gap_fast = fastest["coord_nb"] - fastest["coord_nbms"]
-        return {
-            "overhead_falls_with_bandwidth": (
-                fastest["coord_nb"] < slowest["coord_nb"]
-                and fastest["coord_nbms"] < slowest["coord_nbms"]
-            ),
-            # the *absolute* advantage of staggering (percentage points)
-            # shrinks as the storage bottleneck disappears; the
-            # multiplicative ratio is roughly scale-invariant.
-            "staggering_matters_most_when_slow": gap_slow > 2 * gap_fast,
-        }
+        return TableResult(
+            name="sweep-storage",
+            views=[view],
+            shapes={
+                "overhead_falls_with_bandwidth": (
+                    fastest["coord_nb"] < slowest["coord_nb"]
+                    and fastest["coord_nbms"] < slowest["coord_nbms"]
+                ),
+                # the *absolute* advantage of staggering (percentage
+                # points) shrinks as the storage bottleneck disappears; the
+                # multiplicative ratio is roughly scale-invariant.
+                "staggering_matters_most_when_slow": gap_slow > 2 * gap_fast,
+            },
+            summary_lines=[
+                f"NB-NBMS gap: {gap_slow:.2f} pp at slowest, "
+                f"{gap_fast:.2f} pp at fastest",
+            ],
+            data={"bandwidths": bandwidths, "overhead_pct": overhead_pct},
+        )
+
+    return ExperimentSpec(
+        name="sweep-storage",
+        title="S2 — storage-bandwidth sweep",
+        baselines=baselines,
+        plan=plan,
+        reduce=reduce,
+    )
 
 
 def run_bandwidth_sweep(
     bandwidths: Sequence[float] = (400e3, 800e3, 1.6e6, 3.2e6),
     seed: int = 0,
     rounds: int = 2,
-    app_factory: Optional[Callable[[], Application]] = None,
-) -> BandwidthSweep:
-    app_factory = app_factory or _default_app_factory()
-    out: Dict[float, Dict[str, float]] = {}
-    for bw in bandwidths:
-        machine = MachineParams.xplorer8().with_storage(bandwidth=bw)
-        workload = Workload(f"sor@bw{bw:.0f}", app_factory)
-        res = run_workload(
-            workload,
-            ("coord_nb", "coord_nbms"),
-            rounds=rounds,
+    workload: Optional[WorkloadSpec] = None,
+    scale: float = 1.0,
+    executor: Optional[GridExecutor] = None,
+) -> TableResult:
+    return run_spec(
+        bandwidth_sweep_spec(
+            bandwidths=bandwidths,
             seed=seed,
-            machine=machine,
-        )
-        out[bw] = {
-            "coord_nb": res.overhead_percent("coord_nb"),
-            "coord_nbms": res.overhead_percent("coord_nbms"),
-        }
-    return BandwidthSweep(bandwidths=list(bandwidths), overhead_pct=out)
+            rounds=rounds,
+            workload=workload,
+            scale=scale,
+        ),
+        executor=executor,
+    )

@@ -13,98 +13,123 @@ Headline shapes asserted by the benchmark:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from ..analysis import SchemeComparison, fmt_seconds, render_table
+from ..analysis import SchemeComparison, TableResult, TableView, fmt_seconds
 from ..machine import MachineParams
-from .harness import SCHEMES_TABLE1, WorkloadResult, run_workload
-from .workloads import Workload, table1_workloads
+from .executor import GridExecutor, run_spec
+from .grid import Cell, ExperimentSpec, GridResults, WorkloadSpec, interval_times
+from .harness import SCHEMES_TABLE1, WorkloadResult, scheme_spec
+from .workloads import table1_workloads
 
-__all__ = ["Table1Result", "run_table1"]
-
-
-@dataclass
-class Table1Result:
-    """All measurements behind Table 1, plus the paper's summary stats."""
-
-    results: List[WorkloadResult]
-    schemes: tuple = SCHEMES_TABLE1
-
-    # -- table ------------------------------------------------------------
-
-    def rows(self) -> List[Dict[str, float]]:
-        return [
-            {s: res.per_checkpoint(s) for s in self.schemes}
-            for res in self.results
-        ]
-
-    def render(self) -> str:
-        headers = ["application"] + [s.upper() for s in self.schemes]
-        body = [
-            [res.label] + [res.per_checkpoint(s) for s in self.schemes]
-            for res in self.results
-        ]
-        return render_table(
-            headers,
-            body,
-            title="Table 1: overhead per checkpoint (seconds)",
-            fmt=fmt_seconds,
-        )
-
-    # -- headline comparisons ----------------------------------------------
-
-    def indep_vs_nb(self) -> SchemeComparison:
-        """Paper: Indep worse than Coord_NB in 15 of 21 cases."""
-        return SchemeComparison.over(self.rows(), "coord_nb", "indep")
-
-    def indep_m_vs_nbm(self) -> SchemeComparison:
-        """Paper: Indep_M better than Coord_NBM in 12 of 15 cases."""
-        return SchemeComparison.over(self.rows(), "indep_m", "coord_nbm")
-
-    def nbms_vs_indep_m(self) -> SchemeComparison:
-        """Paper: Coord_NBMS performs much better than Indep_M."""
-        return SchemeComparison.over(self.rows(), "coord_nbms", "indep_m")
-
-    def summary(self) -> str:
-        return "\n".join(
-            [
-                f"Coord_NB vs Indep       : {self.indep_vs_nb()}",
-                f"Indep_M  vs Coord_NBM   : {self.indep_m_vs_nbm()}",
-                f"Coord_NBMS vs Indep_M   : {self.nbms_vs_indep_m()}",
-            ]
-        )
-
-    def shape_holds(self) -> Dict[str, bool]:
-        """The three boolean claims this table supports in the paper."""
-        c1 = self.indep_vs_nb()
-        c2 = self.indep_m_vs_nbm()
-        c3 = self.nbms_vs_indep_m()
-        return {
-            "nb_beats_indep_majority": c1.a_wins > c1.b_wins,
-            "indep_m_beats_nbm_majority": c2.a_wins > c2.b_wins,
-            "nbms_beats_indep_m_majority": c3.a_wins > c3.b_wins,
-        }
+__all__ = ["table1_spec", "run_table1"]
 
 
-def run_table1(
-    workloads: Optional[List[Workload]] = None,
+def table1_spec(
+    workloads: Optional[List[WorkloadSpec]] = None,
     seed: int = 0,
     machine: Optional[MachineParams] = None,
     rounds: int = 2,
-    verbose: bool = False,
-) -> Table1Result:
-    """Execute every Table 1 cell (126 runs at full scale)."""
-    workloads = workloads if workloads is not None else table1_workloads()
-    results = []
-    for workload in workloads:
-        res = run_workload(
-            workload, SCHEMES_TABLE1, rounds=rounds, seed=seed, machine=machine
-        )
-        if verbose:  # pragma: no cover - console progress
-            cells = ", ".join(
-                f"{s}={res.per_checkpoint(s):.2f}s" for s in SCHEMES_TABLE1
+    scale: float = 1.0,
+) -> ExperimentSpec:
+    """Every Table 1 cell as a declarative grid (126 runs at full scale)."""
+    workloads = workloads if workloads is not None else table1_workloads(scale)
+    machine = machine or MachineParams.xplorer8()
+    baselines = tuple(
+        Cell(workload=w, machine=machine, seed=seed) for w in workloads
+    )
+
+    def cells_for(results: GridResults):
+        grid = []
+        for w, base in zip(workloads, baselines):
+            interval, times = interval_times(results[base].sim_time, rounds)
+            row = {
+                s: Cell(
+                    workload=w,
+                    scheme=scheme_spec(s, times, interval),
+                    machine=machine,
+                    seed=seed,
+                )
+                for s in SCHEMES_TABLE1
+            }
+            grid.append((w, base, interval, row))
+        return grid
+
+    def plan(results: GridResults):
+        return [c for _, _, _, row in cells_for(results) for c in row.values()]
+
+    def reduce(results: GridResults) -> TableResult:
+        wrs: List[WorkloadResult] = []
+        for w, base, interval, row in cells_for(results):
+            wrs.append(
+                WorkloadResult(
+                    label=w.label,
+                    normal=results[base],
+                    interval=interval,
+                    rounds=rounds,
+                    reports={s: results[c] for s, c in row.items()},
+                )
             )
-            print(f"{res.label:>12}  T={res.normal_time:7.1f}s  {cells}")
-        results.append(res)
-    return Table1Result(results=results)
+        rows = [{s: wr.per_checkpoint(s) for s in SCHEMES_TABLE1} for wr in wrs]
+        view = TableView(
+            name="table1",
+            title="Table 1: overhead per checkpoint (seconds)",
+            headers=["application"] + [s.upper() for s in SCHEMES_TABLE1],
+            rows=[
+                [wr.label] + [wr.per_checkpoint(s) for s in SCHEMES_TABLE1]
+                for wr in wrs
+            ],
+            fmt=fmt_seconds,
+        )
+        c1 = SchemeComparison.over(rows, "coord_nb", "indep")
+        c2 = SchemeComparison.over(rows, "indep_m", "coord_nbm")
+        c3 = SchemeComparison.over(rows, "coord_nbms", "indep_m")
+        return TableResult(
+            name="table1",
+            views=[view],
+            shapes={
+                "nb_beats_indep_majority": c1.a_wins > c1.b_wins,
+                "indep_m_beats_nbm_majority": c2.a_wins > c2.b_wins,
+                "nbms_beats_indep_m_majority": c3.a_wins > c3.b_wins,
+            },
+            summary_lines=[
+                f"Coord_NB vs Indep       : {c1}",
+                f"Indep_M  vs Coord_NBM   : {c2}",
+                f"Coord_NBMS vs Indep_M   : {c3}",
+            ],
+            data={
+                "results": wrs,
+                "rows": rows,
+                "labels": [wr.label for wr in wrs],
+                "schemes": SCHEMES_TABLE1,
+            },
+        )
+
+    return ExperimentSpec(
+        name="table1",
+        title="Table 1 — overhead per checkpoint",
+        baselines=baselines,
+        plan=plan,
+        reduce=reduce,
+    )
+
+
+def run_table1(
+    workloads: Optional[List[WorkloadSpec]] = None,
+    seed: int = 0,
+    machine: Optional[MachineParams] = None,
+    rounds: int = 2,
+    scale: float = 1.0,
+    executor: Optional[GridExecutor] = None,
+) -> TableResult:
+    """Execute every Table 1 cell and reduce to the rendered table."""
+    return run_spec(
+        table1_spec(
+            workloads=workloads,
+            seed=seed,
+            machine=machine,
+            rounds=rounds,
+            scale=scale,
+        ),
+        executor=executor,
+    )

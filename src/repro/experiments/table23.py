@@ -2,7 +2,9 @@
 
 One set of runs feeds both tables (as in the paper): every application is
 run uncheckpointed (NORMAL) and under ``Coord_NB``, ``Indep``,
-``Coord_NBMS`` and ``Indep_M``, with exactly three checkpoints.
+``Coord_NBMS`` and ``Indep_M``, with exactly three checkpoints.  The
+single grid result carries both tables as views (``table2``/``table3``),
+so the runner needs no adapter classes.
 
 * **Table 2** reports the execution times (seconds).
 * **Table 3** reports the checkpoint interval and the overhead as a
@@ -13,147 +15,181 @@ run uncheckpointed (NORMAL) and under ``Coord_NB``, ``Indep``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..analysis import (
     SchemeComparison,
+    TableResult,
+    TableView,
     fmt_percent,
     fmt_seconds,
     reduction_factor,
-    render_table,
 )
 from ..machine import MachineParams
-from .harness import SCHEMES_TABLE23, WorkloadResult, run_workload
-from .workloads import Workload, table23_workloads
+from .executor import GridExecutor, run_spec
+from .grid import Cell, ExperimentSpec, GridResults, WorkloadSpec, interval_times
+from .harness import SCHEMES_TABLE23, WorkloadResult, scheme_spec
+from .workloads import table23_workloads
 
-__all__ = ["Table23Result", "run_table23"]
-
-
-@dataclass
-class Table23Result:
-    """Measurements behind Tables 2 and 3."""
-
-    results: List[WorkloadResult]
-    schemes: tuple = SCHEMES_TABLE23
-
-    # -- Table 2: execution times -------------------------------------------
-
-    def render_table2(self) -> str:
-        headers = ["application", "NORMAL"] + [s.upper() for s in self.schemes]
-        body = [
-            [res.label, res.normal_time]
-            + [res.reports[s].sim_time for s in self.schemes]
-            for res in self.results
-        ]
-        return render_table(
-            headers,
-            body,
-            title="Table 2: execution times (seconds, 3 checkpoints)",
-            fmt=fmt_seconds,
-        )
-
-    # -- Table 3: overhead percentages ------------------------------------------
-
-    def render_table3(self) -> str:
-        headers = ["application", "interval(s)"] + [
-            s.upper() for s in self.schemes
-        ]
-        body = []
-        for res in self.results:
-            row = [res.label, f"{res.interval:.0f}"]
-            row += [fmt_percent(res.overhead_percent(s)) for s in self.schemes]
-            body.append(row)
-        return render_table(
-            headers, body, title="Table 3: performance overhead (percent)"
-        )
-
-    def overhead_rows(self) -> List[Dict[str, float]]:
-        return [
-            {s: res.overhead_percent(s) for s in self.schemes}
-            for res in self.results
-        ]
-
-    # -- headline shapes -----------------------------------------------------------
-
-    def nb_to_nbms_reduction(self) -> Dict[str, float]:
-        """Paper: 'a reduction factor of 4 up to 17 in the overhead'."""
-        return reduction_factor(self.overhead_rows(), "coord_nb", "coord_nbms")
-
-    def coordinated_beats_independent(self) -> Dict[str, SchemeComparison]:
-        return {
-            "nb_vs_indep": SchemeComparison.over(
-                self.overhead_rows(), "coord_nb", "indep"
-            ),
-            "nbms_vs_indep_m": SchemeComparison.over(
-                self.overhead_rows(), "coord_nbms", "indep_m"
-            ),
-        }
-
-    def summary(self) -> str:
-        red = self.nb_to_nbms_reduction()
-        cmps = self.coordinated_beats_independent()
-        lines = [
-            f"NB -> NBMS overhead reduction factor: "
-            f"min {red['min']:.1f}x, max {red['max']:.1f}x, mean {red['mean']:.1f}x",
-            f"Coord_NB   vs Indep   : {cmps['nb_vs_indep']}",
-            f"Coord_NBMS vs Indep_M : {cmps['nbms_vs_indep_m']}",
-        ]
-        return "\n".join(lines)
-
-    def shape_holds(self) -> Dict[str, bool]:
-        red = self.nb_to_nbms_reduction()
-        cmps = self.coordinated_beats_independent()
-        tight = [
-            row
-            for res, row in zip(self.results, self.overhead_rows())
-            if not res.label.startswith(("tsp", "nqueens"))
-        ]
-        loose = [
-            row
-            for res, row in zip(self.results, self.overhead_rows())
-            if res.label.startswith(("tsp", "nqueens"))
-        ]
-        return {
-            # staggering + memory gives a large reduction over plain NB
-            "nbms_reduction_large": red["min"] >= 2.0 and red["max"] >= 6.0,
-            # coordinated wins overall in both pairings
-            "nb_beats_indep_overall": (
-                cmps["nb_vs_indep"].a_wins >= cmps["nb_vs_indep"].b_wins
-            ),
-            "nbms_beats_indep_m_overall": (
-                cmps["nbms_vs_indep_m"].a_wins > cmps["nbms_vs_indep_m"].b_wins
-            ),
-            # loosely-coupled apps have tiny overheads under the best schemes
-            "loose_apps_sub_percent": all(
-                row["coord_nbms"] < 1.0 for row in loose
-            ),
-            # tightly-coupled apps dominate the overhead ranking under NB
-            "tight_apps_heavier": (
-                max(r["coord_nb"] for r in tight)
-                > max((r["coord_nb"] for r in loose), default=0.0)
-            ),
-        }
+__all__ = ["table23_spec", "run_table23"]
 
 
-def run_table23(
-    workloads: Optional[List[Workload]] = None,
+def table23_spec(
+    workloads: Optional[List[WorkloadSpec]] = None,
     seed: int = 0,
     machine: Optional[MachineParams] = None,
     rounds: int = 3,
-    verbose: bool = False,
-) -> Table23Result:
-    """Execute every Table 2/3 cell (45 runs at full scale)."""
-    workloads = workloads if workloads is not None else table23_workloads()
-    results = []
-    for workload in workloads:
-        res = run_workload(
-            workload, SCHEMES_TABLE23, rounds=rounds, seed=seed, machine=machine
-        )
-        if verbose:  # pragma: no cover - console progress
-            cells = ", ".join(
-                f"{s}={res.overhead_percent(s):.2f}%" for s in SCHEMES_TABLE23
+    scale: float = 1.0,
+) -> ExperimentSpec:
+    """The shared Table 2/3 grid (45 runs at full scale)."""
+    workloads = workloads if workloads is not None else table23_workloads(scale)
+    machine = machine or MachineParams.xplorer8()
+    baselines = tuple(
+        Cell(workload=w, machine=machine, seed=seed) for w in workloads
+    )
+
+    def cells_for(results: GridResults):
+        grid = []
+        for w, base in zip(workloads, baselines):
+            interval, times = interval_times(results[base].sim_time, rounds)
+            row = {
+                s: Cell(
+                    workload=w,
+                    scheme=scheme_spec(s, times, interval),
+                    machine=machine,
+                    seed=seed,
+                )
+                for s in SCHEMES_TABLE23
+            }
+            grid.append((w, base, interval, row))
+        return grid
+
+    def plan(results: GridResults):
+        return [c for _, _, _, row in cells_for(results) for c in row.values()]
+
+    def reduce(results: GridResults) -> TableResult:
+        wrs: List[WorkloadResult] = []
+        for w, base, interval, row in cells_for(results):
+            wrs.append(
+                WorkloadResult(
+                    label=w.label,
+                    normal=results[base],
+                    interval=interval,
+                    rounds=rounds,
+                    reports={s: results[c] for s, c in row.items()},
+                )
             )
-            print(f"{res.label:>12}  T={res.normal_time:7.1f}s  {cells}")
-        results.append(res)
-    return Table23Result(results=results)
+        overhead_rows = [
+            {s: wr.overhead_percent(s) for s in SCHEMES_TABLE23} for wr in wrs
+        ]
+        table2 = TableView(
+            name="table2",
+            title="Table 2: execution times (seconds, 3 checkpoints)",
+            headers=["application", "NORMAL"]
+            + [s.upper() for s in SCHEMES_TABLE23],
+            rows=[
+                [wr.label, wr.normal_time]
+                + [wr.reports[s].sim_time for s in SCHEMES_TABLE23]
+                for wr in wrs
+            ],
+            fmt=fmt_seconds,
+        )
+        table3 = TableView(
+            name="table3",
+            title="Table 3: performance overhead (percent)",
+            headers=["application", "interval(s)"]
+            + [s.upper() for s in SCHEMES_TABLE23],
+            rows=[
+                [wr.label, f"{wr.interval:.0f}"]
+                + [fmt_percent(wr.overhead_percent(s)) for s in SCHEMES_TABLE23]
+                for wr in wrs
+            ],
+        )
+        red = reduction_factor(overhead_rows, "coord_nb", "coord_nbms")
+        cmps: Dict[str, SchemeComparison] = {
+            "nb_vs_indep": SchemeComparison.over(
+                overhead_rows, "coord_nb", "indep"
+            ),
+            "nbms_vs_indep_m": SchemeComparison.over(
+                overhead_rows, "coord_nbms", "indep_m"
+            ),
+        }
+        tight = [
+            row
+            for wr, row in zip(wrs, overhead_rows)
+            if not wr.label.startswith(("tsp", "nqueens"))
+        ]
+        loose = [
+            row
+            for wr, row in zip(wrs, overhead_rows)
+            if wr.label.startswith(("tsp", "nqueens"))
+        ]
+        return TableResult(
+            name="table23",
+            views=[table2, table3],
+            shapes={
+                # staggering + memory gives a large reduction over plain NB
+                "nbms_reduction_large": red["min"] >= 2.0 and red["max"] >= 6.0,
+                # coordinated wins overall in both pairings
+                "nb_beats_indep_overall": (
+                    cmps["nb_vs_indep"].a_wins >= cmps["nb_vs_indep"].b_wins
+                ),
+                "nbms_beats_indep_m_overall": (
+                    cmps["nbms_vs_indep_m"].a_wins
+                    > cmps["nbms_vs_indep_m"].b_wins
+                ),
+                # loosely-coupled apps have tiny overheads under the best
+                # schemes
+                "loose_apps_sub_percent": all(
+                    row["coord_nbms"] < 1.0 for row in loose
+                ),
+                # tightly-coupled apps dominate the overhead ranking under NB
+                "tight_apps_heavier": (
+                    max(r["coord_nb"] for r in tight)
+                    > max((r["coord_nb"] for r in loose), default=0.0)
+                ),
+            },
+            summary_lines=[
+                f"NB -> NBMS overhead reduction factor: "
+                f"min {red['min']:.1f}x, max {red['max']:.1f}x, "
+                f"mean {red['mean']:.1f}x",
+                f"Coord_NB   vs Indep   : {cmps['nb_vs_indep']}",
+                f"Coord_NBMS vs Indep_M : {cmps['nbms_vs_indep_m']}",
+            ],
+            data={
+                "results": wrs,
+                "overhead_rows": overhead_rows,
+                "reduction": red,
+                "comparisons": cmps,
+                "schemes": SCHEMES_TABLE23,
+            },
+        )
+
+    return ExperimentSpec(
+        name="table23",
+        title="Tables 2/3 — execution times and overhead percentages",
+        baselines=baselines,
+        plan=plan,
+        reduce=reduce,
+    )
+
+
+def run_table23(
+    workloads: Optional[List[WorkloadSpec]] = None,
+    seed: int = 0,
+    machine: Optional[MachineParams] = None,
+    rounds: int = 3,
+    scale: float = 1.0,
+    executor: Optional[GridExecutor] = None,
+) -> TableResult:
+    """Execute every Table 2/3 cell and reduce to the two table views."""
+    return run_spec(
+        table23_spec(
+            workloads=workloads,
+            seed=seed,
+            machine=machine,
+            rounds=rounds,
+            scale=scale,
+        ),
+        executor=executor,
+    )

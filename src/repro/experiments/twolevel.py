@@ -21,12 +21,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..analysis import fmt_seconds, render_table
-from ..chklib import CheckpointRuntime, CoordinatedScheme, FaultPlan
+from ..analysis import TableResult, TableView, fmt_seconds
+from ..fault.model import FaultModel
 from ..machine import MachineParams
-from .workloads import Workload, table23_workloads
+from .executor import GridExecutor, run_spec
+from .grid import Cell, ExperimentSpec, GridResults, SchemeSpec, WorkloadSpec, interval_times
+from .workloads import table23_workloads
 
-__all__ = ["TwoLevelResult", "run_two_level"]
+__all__ = ["TwoLevelRow", "two_level_spec", "run_two_level"]
+
+_VARIANTS = ("coord_nb", "coord_nb_2l", "coord_nbms", "coord_nbms_2l")
 
 
 @dataclass
@@ -39,35 +43,92 @@ class TwoLevelRow:
     global_bytes: float
 
 
-@dataclass
-class TwoLevelResult:
-    rows: List[TwoLevelRow]
+def two_level_spec(
+    workloads: Optional[List[WorkloadSpec]] = None,
+    seed: int = 0,
+    machine: Optional[MachineParams] = None,
+    rounds: int = 3,
+    scale: float = 1.0,
+) -> ExperimentSpec:
+    """E3: NB and NBMS with and without the two-level storage path."""
+    if workloads is None:
+        wanted = ("ising-288", "sor-320")
+        workloads = [w for w in table23_workloads(scale) if w.label in wanted]
+    machine = machine or MachineParams.xplorer8()
+    baselines = tuple(
+        Cell(workload=w, machine=machine, seed=seed) for w in workloads
+    )
 
-    def render(self) -> str:
-        headers = [
-            "application",
-            "scheme",
-            "overhead",
-            "blocked(s)",
-            "recovery(s)",
-            "global MB",
-        ]
-        body = [
-            [
-                r.label,
-                r.scheme,
-                f"{r.overhead_pct:.2f} %",
-                fmt_seconds(r.blocked_s),
-                f"{r.recovery_s:.3f}",
-                f"{r.global_bytes / 1e6:.2f}",
-            ]
-            for r in self.rows
-        ]
-        return render_table(headers, body, title="E3: two-level stable storage")
+    def cells_for(results: GridResults):
+        grid = []
+        for w, base in zip(workloads, baselines):
+            T = results[base].sim_time
+            _, times = interval_times(T, rounds)
+            crash = FaultModel.machine_crash(0.9 * T)
+            row = []
+            for alias in _VARIANTS:
+                spec = SchemeSpec.of(alias, times)
+                ff = Cell(workload=w, scheme=spec, machine=machine, seed=seed)
+                crashed = Cell(
+                    workload=w,
+                    scheme=spec,
+                    machine=machine,
+                    seed=seed,
+                    fault=crash,
+                )
+                row.append((alias, ff, crashed))
+            grid.append((w, base, row))
+        return grid
 
-    def shape_holds(self) -> Dict[str, bool]:
-        by = {}
-        for r in self.rows:
+    def plan(results: GridResults):
+        return [
+            c
+            for _, _, row in cells_for(results)
+            for _, ff, crashed in row
+            for c in (ff, crashed)
+        ]
+
+    def reduce(results: GridResults) -> TableResult:
+        rows: List[TwoLevelRow] = []
+        for w, base, row in cells_for(results):
+            T = results[base].sim_time
+            for _, ff, crashed in row:
+                report = results[ff]
+                rows.append(
+                    TwoLevelRow(
+                        label=w.label,
+                        scheme=report.scheme,
+                        overhead_pct=100 * (report.sim_time - T) / T,
+                        blocked_s=report.blocked_time,
+                        recovery_s=results[crashed].recoveries[0].duration,
+                        global_bytes=report.storage_bytes_written,
+                    )
+                )
+        view = TableView(
+            name="two-level",
+            title="E3: two-level stable storage",
+            headers=[
+                "application",
+                "scheme",
+                "overhead",
+                "blocked(s)",
+                "recovery(s)",
+                "global MB",
+            ],
+            rows=[
+                [
+                    r.label,
+                    r.scheme,
+                    f"{r.overhead_pct:.2f} %",
+                    fmt_seconds(r.blocked_s),
+                    f"{r.recovery_s:.3f}",
+                    f"{r.global_bytes / 1e6:.2f}",
+                ]
+                for r in rows
+            ],
+        )
+        by: Dict[str, Dict[str, TwoLevelRow]] = {}
+        for r in rows:
             by.setdefault(r.label, {})[r.scheme] = r
         checks = {
             "nb_overhead_collapses": True,
@@ -86,54 +147,40 @@ class TwoLevelResult:
             checks["global_still_receives_everything"] &= (
                 nb2.global_bytes >= 0.95 * nb.global_bytes
             )
-        return checks
+        return TableResult(
+            name="two-level",
+            views=[view],
+            shapes=checks,
+            summary_lines=[
+                f"{len(by)} workloads x {len(_VARIANTS)} variants",
+            ],
+            data={"rows": rows, "by_label": by},
+        )
+
+    return ExperimentSpec(
+        name="two-level",
+        title="E3 — two-level stable storage",
+        baselines=baselines,
+        plan=plan,
+        reduce=reduce,
+    )
 
 
 def run_two_level(
-    workloads: Optional[List[Workload]] = None,
+    workloads: Optional[List[WorkloadSpec]] = None,
     seed: int = 0,
     machine: Optional[MachineParams] = None,
     rounds: int = 3,
-) -> TwoLevelResult:
-    if workloads is None:
-        wanted = ("ising-288", "sor-320")
-        workloads = [w for w in table23_workloads() if w.label in wanted]
-    machine = machine or MachineParams.xplorer8()
-    rows: List[TwoLevelRow] = []
-    for workload in workloads:
-        normal = CheckpointRuntime(workload.make(), machine=machine, seed=seed).run()
-        T = normal.sim_time
-        interval = T / (rounds + 1.5)
-        times = [interval * (i + 1) for i in range(rounds)]
-        for scheme_factory in (
-            lambda: CoordinatedScheme.NB(times),
-            lambda: CoordinatedScheme.NB(times, two_level=True),
-            lambda: CoordinatedScheme.NBMS(times),
-            lambda: CoordinatedScheme.NBMS(times, two_level=True),
-        ):
-            # failure-free overhead
-            report = CheckpointRuntime(
-                workload.make(),
-                scheme=scheme_factory(),
-                machine=machine,
-                seed=seed,
-            ).run()
-            # recovery duration at a crash
-            crashed = CheckpointRuntime(
-                workload.make(),
-                scheme=scheme_factory(),
-                machine=machine,
-                seed=seed,
-                fault_plan=FaultPlan.single(0.9 * T),
-            ).run()
-            rows.append(
-                TwoLevelRow(
-                    label=workload.label,
-                    scheme=report.scheme,
-                    overhead_pct=100 * (report.sim_time - T) / T,
-                    blocked_s=report.blocked_time,
-                    recovery_s=crashed.recoveries[0].duration,
-                    global_bytes=report.storage_bytes_written,
-                )
-            )
-    return TwoLevelResult(rows=rows)
+    scale: float = 1.0,
+    executor: Optional[GridExecutor] = None,
+) -> TableResult:
+    return run_spec(
+        two_level_spec(
+            workloads=workloads,
+            seed=seed,
+            machine=machine,
+            rounds=rounds,
+            scale=scale,
+        ),
+        executor=executor,
+    )

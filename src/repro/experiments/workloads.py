@@ -10,6 +10,12 @@ documented in DESIGN.md.
 Table 1 uses 21 configurations (ISING at 8 lattice sizes, SOR at 6 grid
 sizes, GAUSS and ASP at 2 sizes each, NBODY, TSP, NQUEENS) — the paper's
 table lists 20 rows but reports 21 comparisons; we side with the count.
+
+The catalogues return :class:`~repro.experiments.grid.WorkloadSpec`s —
+declarative (registry name + parameters) so experiment cells can be
+pickled to worker processes and content-hashed for the result cache.
+:class:`Workload` remains for ad-hoc factory closures in tests and
+examples; it cannot participate in the cached grid.
 """
 
 from __future__ import annotations
@@ -17,15 +23,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List
 
-from ..apps import ASP, SOR, Application, Gauss, Ising, NBody, NQueens, TSP
+from ..apps import Application
 from ..core.errors import InvariantViolation
+from .grid import WorkloadSpec
 
-__all__ = ["Workload", "table1_workloads", "table23_workloads", "quick_workloads"]
+__all__ = [
+    "Workload",
+    "WorkloadSpec",
+    "table1_workloads",
+    "table23_workloads",
+    "quick_workloads",
+    "scaled_iters",
+]
 
 
 @dataclass(frozen=True)
 class Workload:
-    """One table row: a label and an application factory."""
+    """An ad-hoc workload: a label and an application factory closure."""
 
     label: str
     factory: Callable[[], Application]
@@ -34,49 +48,50 @@ class Workload:
         return self.factory()
 
 
-def _scaled(iters: int, scale: float, floor: int = 8) -> int:
+def scaled_iters(iters: int, scale: float, floor: int = 8) -> int:
+    """Scale an iteration count (``--quick``), never below *floor*."""
     return max(floor, int(round(iters * scale)))
 
 
-def table1_workloads(scale: float = 1.0) -> List[Workload]:
+_scaled = scaled_iters  # internal alias, kept for brevity below
+
+
+def table1_workloads(scale: float = 1.0) -> List[WorkloadSpec]:
     """The 21 configurations of Table 1. ``scale`` shrinks iteration counts
     (and hence run durations) for quick runs; sizes are kept so checkpoint
     volumes stay representative."""
-    ws: List[Workload] = []
+    ws: List[WorkloadSpec] = []
     ising_sizes = [128, 160, 192, 224, 256, 320, 384, 448]
     ising_iters = [1200, 840, 580, 430, 330, 210, 146, 107]
     for n, iters in zip(ising_sizes, ising_iters):
         ws.append(
-            Workload(
-                f"ising-{n}",
-                lambda n=n, iters=iters: Ising(n=n, iters=_scaled(iters, scale)),
+            WorkloadSpec.of(
+                f"ising-{n}", "ising", n=n, iters=_scaled(iters, scale)
             )
         )
     sor_sizes = [128, 192, 256, 320, 384, 512]
     sor_iters = [1200, 730, 410, 264, 183, 103]
     for n, iters in zip(sor_sizes, sor_iters):
         ws.append(
-            Workload(
+            WorkloadSpec.of(
                 f"sor-{n}",
-                lambda n=n, iters=iters: SOR(
-                    n=n, iters=_scaled(iters, scale), flops_per_cell=40.0
-                ),
+                "sor",
+                n=n,
+                iters=_scaled(iters, scale),
+                flops_per_cell=40.0,
             )
         )
     for n in (384, 512):
-        ws.append(
-            Workload(f"gauss-{n}", lambda n=n: Gauss(n=n, flops_per_cell=32.0))
-        )
+        ws.append(WorkloadSpec.of(f"gauss-{n}", "gauss", n=n, flops_per_cell=32.0))
     for n in (288, 352):
-        ws.append(Workload(f"asp-{n}", lambda n=n: ASP(n=n, flops_per_cell=24.0)))
+        ws.append(WorkloadSpec.of(f"asp-{n}", "asp", n=n, flops_per_cell=24.0))
     ws.append(
-        Workload(
-            "nbody-1536",
-            lambda: NBody(n=1536, iters=_scaled(12, scale, floor=4)),
+        WorkloadSpec.of(
+            "nbody-1536", "nbody", n=1536, iters=_scaled(12, scale, floor=4)
         )
     )
-    ws.append(Workload("tsp-12", lambda: TSP(n_cities=12, flops_per_node=4000.0)))
-    ws.append(Workload("nqueens-12", lambda: NQueens(n=12, flops_per_node=2000.0)))
+    ws.append(WorkloadSpec.of("tsp-12", "tsp", n_cities=12, flops_per_node=4000.0))
+    ws.append(WorkloadSpec.of("nqueens-12", "nqueens", n=12, flops_per_node=2000.0))
     if len(ws) != 21:
         raise InvariantViolation(
             "Table 1 workload list drifted from the paper's 21 rows",
@@ -85,41 +100,32 @@ def table1_workloads(scale: float = 1.0) -> List[Workload]:
     return ws
 
 
-def table23_workloads(scale: float = 1.0) -> List[Workload]:
+def table23_workloads(scale: float = 1.0) -> List[WorkloadSpec]:
     """The 9 rows of Tables 2 and 3 (ISINGx2, SORx2, GAUSS, ASP, NBODY,
     TSP, NQUEENS)."""
     return [
-        Workload(
-            "ising-448",
-            lambda: Ising(n=448, iters=_scaled(110, scale)),
+        WorkloadSpec.of("ising-448", "ising", n=448, iters=_scaled(110, scale)),
+        WorkloadSpec.of("ising-288", "ising", n=288, iters=_scaled(260, scale)),
+        WorkloadSpec.of(
+            "sor-512", "sor", n=512, iters=_scaled(100, scale), flops_per_cell=40.0
         ),
-        Workload(
-            "ising-288",
-            lambda: Ising(n=288, iters=_scaled(260, scale)),
+        WorkloadSpec.of(
+            "sor-320", "sor", n=320, iters=_scaled(250, scale), flops_per_cell=40.0
         ),
-        Workload(
-            "sor-512",
-            lambda: SOR(n=512, iters=_scaled(100, scale), flops_per_cell=40.0),
+        WorkloadSpec.of("gauss-512", "gauss", n=512, flops_per_cell=32.0),
+        WorkloadSpec.of("asp-352", "asp", n=352, flops_per_cell=24.0),
+        WorkloadSpec.of(
+            "nbody-1536", "nbody", n=1536, iters=_scaled(12, scale, floor=4)
         ),
-        Workload(
-            "sor-320",
-            lambda: SOR(n=320, iters=_scaled(250, scale), flops_per_cell=40.0),
-        ),
-        Workload("gauss-512", lambda: Gauss(n=512, flops_per_cell=32.0)),
-        Workload("asp-352", lambda: ASP(n=352, flops_per_cell=24.0)),
-        Workload(
-            "nbody-1536",
-            lambda: NBody(n=1536, iters=_scaled(12, scale, floor=4)),
-        ),
-        Workload("tsp-12", lambda: TSP(n_cities=12, flops_per_node=4000.0)),
-        Workload("nqueens-12", lambda: NQueens(n=12, flops_per_node=2000.0)),
+        WorkloadSpec.of("tsp-12", "tsp", n_cities=12, flops_per_node=4000.0),
+        WorkloadSpec.of("nqueens-12", "nqueens", n=12, flops_per_node=2000.0),
     ]
 
 
-def quick_workloads() -> List[Workload]:
+def quick_workloads() -> List[WorkloadSpec]:
     """A tiny cross-section for smoke tests and examples."""
     return [
-        Workload("sor-96", lambda: SOR(n=96, iters=120, flops_per_cell=40.0)),
-        Workload("ising-96", lambda: Ising(n=96, iters=120)),
-        Workload("nqueens-10", lambda: NQueens(n=10, flops_per_node=2000.0)),
+        WorkloadSpec.of("sor-96", "sor", n=96, iters=120, flops_per_cell=40.0),
+        WorkloadSpec.of("ising-96", "ising", n=96, iters=120),
+        WorkloadSpec.of("nqueens-10", "nqueens", n=10, flops_per_node=2000.0),
     ]

@@ -2,33 +2,28 @@
 
 import pytest
 
-from repro.apps import SOR, NQueens
 from repro.experiments import (
     SCHEMES_TABLE1,
-    Workload,
+    WorkloadSpec,
     make_scheme,
     run_workload,
     table1_workloads,
     table23_workloads,
 )
-from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table1 import run_table1
 from repro.experiments.table23 import run_table23
 from repro.machine import MachineParams
 
-
-def tiny_sor():
-    app = SOR(n=40, iters=60, flops_per_cell=600.0)
-    app.image_bytes = 64 * 1024
-    return app
-
-
-def tiny_nqueens():
-    app = NQueens(n=9, flops_per_node=40000.0)
-    app.image_bytes = 64 * 1024
-    return app
-
-
-TINY = [Workload("sor-tiny", tiny_sor), Workload("nq-tiny", tiny_nqueens)]
+TINY = [
+    WorkloadSpec.of(
+        "sor-tiny", "sor", image_bytes=64 * 1024, n=40, iters=60,
+        flops_per_cell=600.0,
+    ),
+    WorkloadSpec.of(
+        "nq-tiny", "nqueens", image_bytes=64 * 1024, n=9,
+        flops_per_node=40000.0,
+    ),
+]
 MACHINE = MachineParams(n_nodes=4)
 
 
@@ -101,7 +96,7 @@ class TestWorkloadCatalogues:
         assert quick.iters < full.iters
         assert quick.n == full.n  # sizes (checkpoint volumes) unchanged
 
-    def test_factories_make_fresh_instances(self):
+    def test_specs_build_fresh_instances(self):
         w = table1_workloads()[0]
         assert w.make() is not w.make()
 
@@ -112,7 +107,7 @@ class TestTableRunners:
         table = result.render()
         assert "sor-tiny" in table and "nq-tiny" in table
         assert "COORD_NBMS" in table
-        rows = result.rows()
+        rows = result.data["rows"]
         assert len(rows) == 2
         assert all(set(r) == set(SCHEMES_TABLE1) for r in rows)
         # summary lines render
@@ -125,10 +120,10 @@ class TestTableRunners:
 
     def test_table23_on_tiny_workloads(self):
         result = run_table23(workloads=TINY, machine=MACHINE, rounds=2)
-        t2 = result.render_table2()
-        t3 = result.render_table3()
+        t2 = result.render("table2")
+        t3 = result.render("table3")
         assert "NORMAL" in t2
         assert "%" in t3
-        red = result.nb_to_nbms_reduction()
+        red = result.data["reduction"]
         assert red["min"] > 0
         assert "reduction factor" in result.summary()

@@ -3,22 +3,22 @@
 import pytest
 
 import repro.experiments.runner as runner_mod
-from repro.apps import SOR, NQueens
-from repro.experiments import Workload
+from repro.experiments import WorkloadSpec
+
+_FAST = ["--jobs", "1", "--no-cache"]
 
 
 def tiny_workloads(scale=1.0):
-    def sor():
-        app = SOR(n=32, iters=50, flops_per_cell=800.0)
-        app.image_bytes = 32 * 1024
-        return app
-
-    def nq():
-        app = NQueens(n=8, flops_per_node=60000.0)
-        app.image_bytes = 32 * 1024
-        return app
-
-    return [Workload("sor-tiny", sor), Workload("nq-tiny", nq)]
+    return [
+        WorkloadSpec.of(
+            "sor-tiny", "sor", image_bytes=32 * 1024, n=32, iters=50,
+            flops_per_cell=800.0,
+        ),
+        WorkloadSpec.of(
+            "nq-tiny", "nqueens", image_bytes=32 * 1024, n=8,
+            flops_per_node=60000.0,
+        ),
+    ]
 
 
 @pytest.fixture(autouse=True)
@@ -28,7 +28,7 @@ def patch_workloads(monkeypatch):
 
 
 def test_runner_table1(capsys):
-    assert runner_mod.main(["table1"]) == 0
+    assert runner_mod.main(["table1"] + _FAST) == 0
     out = capsys.readouterr().out
     assert "Table 1" in out
     assert "shape checks" in out
@@ -36,17 +36,17 @@ def test_runner_table1(capsys):
 
 
 def test_runner_table2_and_3_share_runs(capsys):
-    assert runner_mod.main(["table2"]) == 0
+    assert runner_mod.main(["table2"] + _FAST) == 0
     out = capsys.readouterr().out
     assert "Table 2" in out
-    assert runner_mod.main(["table3"]) == 0
+    assert runner_mod.main(["table3"] + _FAST) == 0
     out = capsys.readouterr().out
     assert "Table 3" in out
     assert "reduction factor" in out
 
 
 def test_runner_quick_flag(capsys):
-    assert runner_mod.main(["table1", "--quick", "--seed", "3"]) == 0
+    assert runner_mod.main(["table1", "--quick", "--seed", "3"] + _FAST) == 0
     assert "Table 1" in capsys.readouterr().out
 
 
@@ -56,6 +56,13 @@ def test_runner_rejects_unknown_experiment():
 
 
 def test_runner_ablation_staggering(capsys):
-    assert runner_mod.main(["ablation-staggering"]) == 0
+    assert runner_mod.main(["ablation-staggering"] + _FAST) == 0
     out = capsys.readouterr().out
     assert "A1" in out and "COORD_NBS" in out
+
+
+def test_runner_diagnostics_on_stderr_only(capsys):
+    assert runner_mod.main(["table1"] + _FAST) == 0
+    captured = capsys.readouterr()
+    assert "[runner]" not in captured.out
+    assert "[runner] grid:" in captured.err
