@@ -54,7 +54,7 @@ def stable_write(
             delay = retry.delay(attempt)
             attempt += 1
             if delay > 0:
-                yield storage.engine.timeout(delay)
+                yield storage.engine.delay(delay)  # pooled backoff nap
 
 
 def stable_read(
@@ -81,4 +81,4 @@ def stable_read(
             delay = retry.delay(attempt)
             attempt += 1
             if delay > 0:
-                yield storage.engine.timeout(delay)
+                yield storage.engine.delay(delay)  # pooled backoff nap

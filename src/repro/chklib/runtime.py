@@ -33,7 +33,7 @@ from ..core.errors import (
 from ..core.events import Event
 from ..core.process import Process
 from ..core.rng import RngStreams
-from ..core.tracing import Tracer
+from ..core.tracing import make_tracer
 from ..fault.injection import make_injector
 from ..fault.model import FaultModel, FaultPlan, RetryPolicy
 from ..machine.cluster import Cluster
@@ -250,7 +250,9 @@ class CheckpointRuntime:
             raise ValueError("pass either fault_plan or fault_model, not both")
         self.app = app
         self.engine = Engine()
-        self.tracer = Tracer(self.engine, enabled=trace)
+        # trace=False selects the NullTracer: true no-op recording methods,
+        # so untraced sweeps pay nothing per protocol message.
+        self.tracer = make_tracer(self.engine, enabled=trace)
         self.machine_params = machine or MachineParams.xplorer8()
         self.cluster = Cluster(self.engine, self.machine_params, tracer=self.tracer)
         self.n_ranks = self.cluster.n_nodes
@@ -403,7 +405,7 @@ class CheckpointRuntime:
                 delay = retry.delay(attempt)
                 attempt += 1
                 if delay > 0:
-                    yield self.engine.timeout(delay)
+                    yield self.engine.delay(delay)
 
     def _check_line(self, line) -> None:
         """No rank may resume from a checkpoint that is not committed,

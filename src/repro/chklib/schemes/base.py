@@ -85,14 +85,16 @@ class SchemeAgent(CommAgent):
         msg.epoch = self.epoch
         msg.meta["gen"] = self.runtime.generation
         if msg.kind == KIND_APP:
-            self.runtime.tracer.event(
-                "msg.send",
-                src=msg.src,
-                dst=msg.dst,
-                seq=msg.seq,
-                epoch=msg.epoch,
-                gen=self.runtime.generation,
-            )
+            tracer = self.runtime.tracer
+            if tracer.enabled:  # skip the kwargs build when not observing
+                tracer.event(
+                    "msg.send",
+                    src=msg.src,
+                    dst=msg.dst,
+                    seq=msg.seq,
+                    epoch=msg.epoch,
+                    gen=self.runtime.generation,
+                )
             self.scheme.on_app_send(self, msg)
 
     def on_deliver(self, msg: Message) -> bool:
@@ -110,14 +112,16 @@ class SchemeAgent(CommAgent):
                 # after a rollback under piecewise-deterministic re-execution)
                 self.runtime.tracer.add("chk.duplicates_dropped")
                 return False
-            self.runtime.tracer.event(
-                "msg.deliver",
-                src=msg.src,
-                dst=msg.dst,
-                seq=msg.seq,
-                epoch=msg.epoch,
-                gen=self.runtime.generation,
-            )
+            tracer = self.runtime.tracer
+            if tracer.enabled:  # skip the kwargs build when not observing
+                tracer.event(
+                    "msg.deliver",
+                    src=msg.src,
+                    dst=msg.dst,
+                    seq=msg.seq,
+                    epoch=msg.epoch,
+                    gen=self.runtime.generation,
+                )
             self.scheme.on_app_deliver(self, msg)
         return True
 

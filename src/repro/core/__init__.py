@@ -10,6 +10,7 @@ from .errors import (
     Deadlock,
     EventAlreadyTriggered,
     Interrupt,
+    NegativeDelay,
     SimulationError,
     StopProcess,
 )
@@ -17,7 +18,7 @@ from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process
 from .resources import Request, Resource, Store, StoreGet
 from .rng import RngStreams, derive_seed
-from .tracing import Span, Tracer
+from .tracing import NullTracer, Span, Tracer, make_tracer
 
 __all__ = [
     "Engine",
@@ -36,10 +37,13 @@ __all__ = [
     "RngStreams",
     "derive_seed",
     "Tracer",
+    "NullTracer",
+    "make_tracer",
     "Span",
     "SimulationError",
     "Deadlock",
     "Interrupt",
+    "NegativeDelay",
     "StopProcess",
     "EventAlreadyTriggered",
 ]

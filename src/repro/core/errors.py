@@ -12,16 +12,42 @@ __all__ = [
     "SimulationError",
     "Deadlock",
     "Interrupt",
+    "NegativeDelay",
     "StopProcess",
     "StorageFault",
     "EventAlreadyTriggered",
     "InvariantViolation",
     "VerificationError",
+    "ensure_delay",
 ]
 
 
 class SimulationError(Exception):
     """Base class for all simulation-kernel errors."""
+
+
+class NegativeDelay(SimulationError, ValueError):
+    """A scheduling delay was negative (events cannot fire in the past).
+
+    Subclasses :class:`ValueError` for backwards compatibility: callers
+    have always been able to catch a bad ``timeout``/``schedule`` delay
+    as a ``ValueError``. This class is the single source of truth for the
+    error's type and message; the hot scheduling paths
+    (:meth:`Engine.schedule`, :meth:`Engine.delay`, ``Timeout.__init__``)
+    inline the ``delay < 0`` comparison and raise it directly, while cold
+    paths may use :func:`ensure_delay`.
+    """
+
+    def __init__(self, delay: Any) -> None:
+        super().__init__(f"cannot schedule into the past (delay={delay!r})")
+        self.delay = delay
+
+
+def ensure_delay(delay: float) -> float:
+    """Validate a scheduling delay, raising :class:`NegativeDelay`."""
+    if delay < 0:
+        raise NegativeDelay(delay)
+    return delay
 
 
 class Deadlock(SimulationError):

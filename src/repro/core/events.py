@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
-from .errors import EventAlreadyTriggered
+from heapq import heappush
+
+from .errors import EventAlreadyTriggered, NegativeDelay
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import Engine
@@ -87,12 +89,22 @@ class Event:
     # -- triggering -------------------------------------------------------
 
     def succeed(self, value: Any = None, priority: int = 1) -> "Event":
-        """Trigger the event successfully and schedule its callbacks *now*."""
+        """Trigger the event successfully and schedule its callbacks *now*.
+
+        The delay-0 scheduling is inlined (this is the single hottest
+        call in the kernel): default-priority triggers append to the
+        engine's FIFO fast lane, others go through the heap.
+        """
         if self._value is not PENDING:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.engine.schedule(self, delay=0.0, priority=priority)
+        engine = self.engine
+        engine._seq = seq = engine._seq + 1
+        if priority == 1 and engine._fast_lane:
+            engine._lane.append((engine._now, seq, self))
+        else:
+            heappush(engine._heap, (engine._now, priority, seq, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = 1) -> "Event":
@@ -103,7 +115,12 @@ class Event:
             raise TypeError(f"fail() needs an exception, got {exception!r}")
         self._ok = False
         self._value = exception
-        self.engine.schedule(self, delay=0.0, priority=priority)
+        engine = self.engine
+        engine._seq = seq = engine._seq + 1
+        if priority == 1 and engine._fast_lane:
+            engine._lane.append((engine._now, seq, self))
+        else:
+            heappush(engine._heap, (engine._now, priority, seq, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -131,18 +148,31 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    Born triggered; negative delays raise
+    :class:`repro.core.errors.NegativeDelay` (the single validation point
+    shared with :meth:`Engine.schedule`).
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(engine)
-        self.delay = float(delay)
+        # Event.__init__ and the scheduling are inlined — Timeouts are
+        # allocated on the hot path of every wire transfer and nap.
+        self.engine = engine
+        self.callbacks = []
         self._ok = True
         self._value = value
-        engine.schedule(self, delay=self.delay)
+        self.defused = False
+        self.delay = delay = float(delay)
+        if delay < 0:
+            raise NegativeDelay(delay)
+        engine._seq = seq = engine._seq + 1
+        if delay == 0.0 and engine._fast_lane:
+            engine._lane.append((engine._now, seq, self))
+        else:
+            heappush(engine._heap, (engine._now + delay, 1, seq, self))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Timeout delay={self.delay!r}>"

@@ -33,7 +33,14 @@ class Process(Event):
         being resumed right now or has finished).
     """
 
-    __slots__ = ("name", "_generator", "target", "_alive", "_pending_interrupt")
+    __slots__ = (
+        "name",
+        "_generator",
+        "target",
+        "_alive",
+        "_pending_interrupt",
+        "_resume_cb",
+    )
 
     def __init__(
         self,
@@ -49,11 +56,17 @@ class Process(Event):
         self.target: Optional[Event] = None
         self._alive = True
         self._pending_interrupt: Optional[Interrupt] = None
+        #: the one bound-method object used for every callback
+        #: subscription — binding ``self._resume`` allocates, and it
+        #: happens once per yield, so cache it for the process's lifetime
+        #: (this also makes ``callbacks.remove`` in :meth:`interrupt`
+        #: match by identity).
+        self._resume_cb = self._resume
         engine._active_processes += 1
-        # Bootstrap: resume once at the current time.
-        boot = Event(engine)
-        boot.callbacks.append(self._resume)  # type: ignore[union-attr]
-        boot.succeed(None)
+        # Bootstrap: resume once at the current time. The pooled delay(0)
+        # event takes the engine's delay-0 fast lane and is recycled after
+        # the bootstrap fires — no Event allocation per process start.
+        engine.delay(0.0).callbacks.append(self._resume_cb)  # type: ignore[union-attr]
 
     # -- public API ---------------------------------------------------------
 
@@ -80,13 +93,13 @@ class Process(Event):
         # Detach from the current target; it may still fire but must not
         # resume us (we are resumed by the interrupt instead).
         interrupt_event = Event(self.engine)
-        interrupt_event.callbacks.append(self._resume)  # type: ignore[union-attr]
+        interrupt_event.callbacks.append(self._resume_cb)  # type: ignore[union-attr]
         interrupt_event.fail(Interrupt(cause), priority=0)
         interrupt_event.defused = True
         target = self.target
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:  # pragma: no cover - already detached
                 pass
         self.target = None
@@ -94,7 +107,13 @@ class Process(Event):
     # -- engine plumbing ------------------------------------------------------
 
     def _resume(self, event: Event) -> None:
-        """Advance the generator with *event*'s outcome."""
+        """Advance the generator with *event*'s outcome.
+
+        This is the kernel's innermost loop (one iteration per ``yield`` of
+        every process): the yielded object is classified by reading its
+        ``callbacks`` slot directly — ``AttributeError`` (not an event) is
+        the cold path, handled out of line in :meth:`_bad_yield`.
+        """
         self.target = None
         if self._pending_interrupt is not None:
             event = _InterruptSurrogate(self._pending_interrupt)
@@ -117,25 +136,34 @@ class Process(Event):
                 self._finish(False, exc)
                 return
 
-            if not isinstance(next_event, Event):
-                exc2 = SimulationError(
-                    f"process {self.name!r} yielded {next_event!r}; processes "
-                    f"must yield Event instances"
-                )
-                try:
-                    gen.throw(exc2)
-                except BaseException as raised:
-                    self._finish(False, raised)
+            try:
+                callbacks = next_event.callbacks
+            except AttributeError:
+                if not self._bad_yield(next_event):
                     return
-                continue
+                continue  # generator handled the error; resume it as before
 
-            if next_event.callbacks is not None:
+            if callbacks is not None:
                 # Pending or triggered-but-unprocessed: subscribe and stop.
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume_cb)
                 self.target = next_event
                 return
             # Already processed: loop and feed its value straight back in.
             event = next_event
+
+    def _bad_yield(self, obj: Any) -> bool:
+        """Throw the yielded-a-non-event error into the generator (cold
+        path). True if the generator survived and the loop should go on."""
+        exc = SimulationError(
+            f"process {self.name!r} yielded {obj!r}; processes "
+            f"must yield Event instances"
+        )
+        try:
+            self._generator.throw(exc)
+        except BaseException as raised:
+            self._finish(False, raised)
+            return False
+        return True
 
     def _finish(self, ok: bool, value: Any) -> None:
         self._alive = False

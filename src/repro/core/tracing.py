@@ -9,8 +9,12 @@ A :class:`Tracer` is attached to a run and accumulates:
   cuts, writes, message sends/deliveries, recoveries, GC) consumed by the
   trace invariant engine (:mod:`repro.verify.trace_check`).
 
-Recording is cheap (dict/list appends) and can be disabled wholesale, so the
-hot path of big sweeps pays almost nothing.
+Recording is cheap (dict/list appends) and can be disabled wholesale:
+:class:`NullTracer` implements the same interface with true no-op method
+bodies, so the hot path of big sweeps pays only the call. Events and spans
+are additionally indexed per kind/name at record time, so the verify
+engine's :meth:`Tracer.events_named`/:meth:`Tracer.spans_named` lookups
+are O(matches) instead of O(total recorded).
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import Engine
 
-__all__ = ["Tracer", "Span", "TraceEvent"]
+__all__ = ["Tracer", "NullTracer", "make_tracer", "Span", "TraceEvent"]
 
 
 @dataclass(frozen=True)
@@ -71,6 +75,10 @@ class Tracer:
         self.timelines: Dict[str, List[Tuple[float, float]]] = {}
         self.spans: List[Span] = []
         self.events: List[TraceEvent] = []
+        # per-kind/name indexes kept in sync by event()/open_span(), so
+        # events_named()/spans_named() never scan the full record.
+        self._events_by_kind: Dict[str, List[TraceEvent]] = {}
+        self._spans_by_name: Dict[str, List[Span]] = {}
 
     # -- counters ------------------------------------------------------------
 
@@ -89,10 +97,17 @@ class Tracer:
         """Record a structured protocol event at the current time."""
         if not self.enabled:
             return
-        self.events.append(TraceEvent(self.engine.now, kind, fields))
+        ev = TraceEvent(self.engine.now, kind, fields)
+        self.events.append(ev)
+        bucket = self._events_by_kind.get(kind)
+        if bucket is None:
+            self._events_by_kind[kind] = [ev]
+        else:
+            bucket.append(ev)
 
     def events_named(self, kind: str) -> List[TraceEvent]:
-        return [e for e in self.events if e.kind == kind]
+        """All recorded events of *kind*, oldest first (a fresh list)."""
+        return list(self._events_by_kind.get(kind, ()))
 
     # -- timelines -------------------------------------------------------------
 
@@ -105,23 +120,38 @@ class Tracer:
     # -- spans -----------------------------------------------------------------
 
     def open_span(self, name: str, **attrs: object) -> Span:
-        """Open an interval starting now; close with :meth:`close_span`."""
-        span = Span(name=name, start=self.engine.now, attrs=dict(attrs))
+        """Open an interval starting now; close with :meth:`close_span`.
+
+        ``attrs`` is already a fresh dict owned by this call, so it is
+        stored as-is — no defensive copy (and none at all when disabled).
+        """
+        span = Span(name=name, start=self.engine.now, attrs=attrs)
         if self.enabled:
             self.spans.append(span)
+            bucket = self._spans_by_name.get(name)
+            if bucket is None:
+                self._spans_by_name[name] = [span]
+            else:
+                bucket.append(span)
         return span
 
     def close_span(self, span: Span, **attrs: object) -> Span:
         span.end = self.engine.now
-        span.attrs.update(attrs)
+        if attrs:
+            span.attrs.update(attrs)
         return span
 
     def spans_named(self, name: str) -> List[Span]:
-        return [s for s in self.spans if s.name == name]
+        """All recorded spans named *name*, oldest first (a fresh list)."""
+        return list(self._spans_by_name.get(name, ()))
 
     def total_span_time(self, name: str) -> float:
-        """Sum of closed-span durations for *name*."""
-        return sum(s.duration for s in self.spans_named(name) if s.end is not None)
+        """Sum of closed-span durations for *name* (open spans skipped)."""
+        return sum(
+            s.end - s.start
+            for s in self._spans_by_name.get(name, ())
+            if s.end is not None
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -129,3 +159,47 @@ class Tracer:
             f"timelines={len(self.timelines)} spans={len(self.spans)} "
             f"events={len(self.events)}>"
         )
+
+
+class NullTracer(Tracer):
+    """Zero-overhead tracer: every recording method body is a true no-op.
+
+    Selected by :func:`make_tracer` (and
+    :class:`~repro.chklib.runtime.CheckpointRuntime` with ``trace=False``)
+    so untraced sweeps pay nothing per protocol message beyond the call
+    itself — no ``TraceEvent`` construction, no appends, no ``Span``
+    allocation. Read accessors still answer (with empties/zeros), so all
+    reporting code works unchanged.
+    """
+
+    def __init__(self, engine: "Engine") -> None:
+        super().__init__(engine, enabled=False)
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        pass
+
+    def event(self, kind: str, **fields: object) -> None:
+        pass
+
+    def sample(self, timeline: str, value: float) -> None:
+        pass
+
+    def open_span(self, name: str, **attrs: object) -> Span:
+        return _NULL_SPAN
+
+    def close_span(self, span: Span, **attrs: object) -> Span:
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<NullTracer>"
+
+
+#: the shared dummy span handed out by a disabled tracer; closed at birth
+#: so accidental ``duration`` reads stay well-defined (always 0.0).
+_NULL_SPAN = Span(name="<null>", start=0.0, end=0.0)
+
+
+def make_tracer(engine: "Engine", enabled: bool = True) -> Tracer:
+    """The run's tracer: a recording :class:`Tracer`, or the no-op
+    :class:`NullTracer` when tracing is off."""
+    return Tracer(engine) if enabled else NullTracer(engine)

@@ -104,14 +104,56 @@ def _worker_init(verify: bool) -> None:  # pragma: no cover - subprocess
         set_runtime_verification(True)
 
 
-def _run_cell_task(cell: Cell) -> Tuple[dict, float]:
-    """Worker entry: run one cell, return (report dict, exec seconds)."""
+def _run_cell_task(cell: Cell) -> Tuple[dict, float, None]:
+    """Worker entry: run one cell, return (report dict, exec seconds, None)."""
     import time
 
     t0 = time.perf_counter()  # verify: allow[wall-clock] — executor timing
     report = run_cell(cell)
     dt = time.perf_counter() - t0  # verify: allow[wall-clock] — executor timing
-    return report.to_dict(), dt
+    return report.to_dict(), dt, None
+
+
+#: rows per per-cell hotspot table (sorted by tottime, descending).
+_PROFILE_TOP_N = 20
+
+
+def _run_cell_task_profiled(cell: Cell) -> Tuple[dict, float, List[dict]]:
+    """Worker entry for ``--profile``: run one cell under :mod:`cProfile`
+    and return its hotspot table alongside the report.
+
+    The table is plain serializable rows (function, ncalls, tottime,
+    cumtime) so it crosses the process-pool boundary and lands in the
+    ``--timings`` JSON untouched.
+    """
+    import cProfile
+    import pstats
+    import time
+
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()  # verify: allow[wall-clock] — executor timing
+    profiler.enable()
+    report = run_cell(cell)
+    profiler.disable()
+    dt = time.perf_counter() - t0  # verify: allow[wall-clock] — executor timing
+    stats = pstats.Stats(profiler).stats  # type: ignore[attr-defined]
+    rows = sorted(stats.items(), key=lambda kv: kv[1][2], reverse=True)
+    hotspots = [
+        {
+            "function": f"{Path(filename).name}:{lineno}:{funcname}",
+            "ncalls": ncalls,
+            "tottime_s": round(tottime, 6),
+            "cumtime_s": round(cumtime, 6),
+        }
+        for (filename, lineno, funcname), (
+            _cc,
+            ncalls,
+            tottime,
+            cumtime,
+            _callers,
+        ) in rows[:_PROFILE_TOP_N]
+    ]
+    return report.to_dict(), dt, hotspots
 
 
 def run_spec(
@@ -161,15 +203,22 @@ class GridExecutor:
         cache_dir: Optional[os.PathLike] = None,
         use_cache: bool = True,
         verify: bool = False,
+        profile: bool = False,
     ) -> None:
         self.jobs = max(1, int(jobs if jobs is not None else (os.cpu_count() or 1)))
-        self.use_cache = use_cache
+        # Profiling only sees cells that actually execute, so it disables
+        # the result cache (a warm cache would profile nothing).
+        self.use_cache = use_cache and not profile
         self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
         self.verify = verify
+        self.profile = profile
         self.stats = ExecutorStats()
         self.results = GridResults()
         #: per-cell execution seconds (0.0 for cache hits), by cell key.
         self.cell_seconds: Dict[str, float] = {}
+        #: per-cell cProfile hotspot tables (``profile=True`` only), by
+        #: cell key: {"cell": <jsonable cell>, "hotspots": [rows...]}.
+        self.cell_profiles: Dict[str, dict] = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -204,13 +253,30 @@ class GridExecutor:
             todo.append((key, cell))
         if not todo:
             return self.results
+        task = _run_cell_task_profiled if self.profile else _run_cell_task
         if self.jobs == 1:
             for key, cell in todo:
-                report_dict, dt = _run_cell_task(cell)
-                self._absorb(key, cell, report_dict, dt)
+                report_dict, dt, hotspots = task(cell)
+                self._absorb(key, cell, report_dict, dt, hotspots)
         else:
-            self._run_parallel(todo)
+            self._run_parallel(todo, task)
         return self.results
+
+    def profile_summary(self, limit: int = 10) -> List[dict]:
+        """Hotspots aggregated across every profiled cell (tottime sum),
+        for a one-glance "where did the grid spend its time" table."""
+        agg: Dict[str, dict] = {}
+        for entry in self.cell_profiles.values():
+            for row in entry["hotspots"]:
+                slot = agg.setdefault(
+                    row["function"],
+                    {"function": row["function"], "ncalls": 0, "tottime_s": 0.0},
+                )
+                slot["ncalls"] += row["ncalls"]
+                slot["tottime_s"] = round(slot["tottime_s"] + row["tottime_s"], 6)
+        return sorted(agg.values(), key=lambda r: r["tottime_s"], reverse=True)[
+            :limit
+        ]
 
     def spec_seconds(self, spec: ExperimentSpec) -> float:
         """Execution seconds attributable to *spec*: the summed runtimes
@@ -223,25 +289,37 @@ class GridExecutor:
 
     # -- internals ----------------------------------------------------------
 
-    def _absorb(self, key: str, cell: Cell, report_dict: dict, dt: float) -> None:
+    def _absorb(
+        self,
+        key: str,
+        cell: Cell,
+        report_dict: dict,
+        dt: float,
+        hotspots: Optional[List[dict]] = None,
+    ) -> None:
         # uniform round-trip: fresh results go through the same dict
         # normalisation as cached ones, so tables never depend on the path.
         report = RunReport.from_dict(report_dict)
         self.stats.executed += 1
         self.cell_seconds[key] = dt
+        if hotspots is not None:
+            self.cell_profiles[key] = {
+                "cell": cell_to_jsonable(cell),
+                "seconds": round(dt, 6),
+                "hotspots": hotspots,
+            }
         self.results.put(key, report)
         if self.use_cache:
             self._cache_write(key, cell, report_dict)
 
-    def _run_parallel(self, todo: List[Tuple[str, Cell]]) -> None:
+    def _run_parallel(self, todo: List[Tuple[str, Cell]], task) -> None:
         with ProcessPoolExecutor(
             max_workers=min(self.jobs, len(todo)),
             initializer=_worker_init,
             initargs=(self.verify,),
         ) as pool:
             futures = {
-                pool.submit(_run_cell_task, cell): (key, cell)
-                for key, cell in todo
+                pool.submit(task, cell): (key, cell) for key, cell in todo
             }
             pending = set(futures)
             while pending:
@@ -253,8 +331,8 @@ class GridExecutor:
                         for p in pending:
                             p.cancel()
                         raise exc
-                    report_dict, dt = fut.result()
-                    self._absorb(key, cell, report_dict, dt)
+                    report_dict, dt, hotspots = fut.result()
+                    self._absorb(key, cell, report_dict, dt, hotspots)
 
     # -- the on-disk cache --------------------------------------------------
 

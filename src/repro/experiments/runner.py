@@ -182,6 +182,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="write per-experiment execution seconds + executor stats as JSON",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile every executed cell (disables the result cache); "
+        "per-cell hotspot tables land in --timings, a cross-cell "
+        "summary on stderr",
+    )
     parser.add_argument("--verbose", action="store_true")
     parser.add_argument(
         "--report",
@@ -227,6 +234,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         verify=args.verify,
+        profile=args.profile,
     )
     results = executor.run_specs(list(specs.values()))
 
@@ -278,9 +286,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             "jobs": executor.jobs,
             "wall_seconds": round(time.time() - t0, 3),  # verify: allow[wall-clock] — CLI wall-time reporting
         }
+        if args.profile:
+            timings["profiles"] = executor.cell_profiles
+            timings["profile_summary"] = executor.profile_summary()
         with open(args.timings, "w") as fh:
             json.dump(timings, fh, indent=2, sort_keys=True)
         print(f"[runner] timings written to {args.timings}", file=sys.stderr)
+
+    if args.profile and executor.cell_profiles:
+        print(
+            f"[runner] profile: {len(executor.cell_profiles)} cells, "
+            "aggregated hotspots (tottime):",
+            file=sys.stderr,
+        )
+        for row in executor.profile_summary():
+            print(
+                f"    {row['tottime_s']:9.3f}s  {row['ncalls']:>10}  "
+                f"{row['function']}",
+                file=sys.stderr,
+            )
 
     print(f"[runner] grid: {executor.stats}", file=sys.stderr)
     wall = time.time() - t0  # verify: allow[wall-clock] — CLI wall-time reporting

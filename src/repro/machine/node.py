@@ -112,7 +112,7 @@ class Node:
         """Block for a main-memory copy of *nbytes* (checkpoint buffering)."""
         if nbytes < 0:
             raise ValueError(f"negative copy size: {nbytes}")
-        yield self.engine.timeout(nbytes / self.params.mem_copy_bw)
+        yield self.engine.delay(nbytes / self.params.mem_copy_bw)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Node {self.id} bg_streams={self.bg_streams}>"

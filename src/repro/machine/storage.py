@@ -103,7 +103,7 @@ class StableStorage:
             node.bg_stream_started()
         job = None
         try:
-            yield self.engine.timeout(self.params.op_latency)
+            yield self.engine.delay(self.params.op_latency)  # pooled
             if verdict is not None and verdict.fail:
                 partial = nbytes * verdict.fraction
                 if partial > 0:
@@ -152,7 +152,7 @@ class StableStorage:
         )
         job = None
         try:
-            yield self.engine.timeout(self.params.op_latency)
+            yield self.engine.delay(self.params.op_latency)  # pooled
             if verdict is not None and verdict.fail:
                 partial = nbytes * verdict.fraction
                 if partial > 0:

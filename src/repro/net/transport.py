@@ -88,7 +88,8 @@ class Transport:
         try:
             yield req
             pressure = self.cluster.network_pressure()
-            yield self.engine.timeout(self.cluster.message_time(msg.size) * pressure)
+            # pooled delay: one per message, recycled by the engine
+            yield self.engine.delay(self.cluster.message_time(msg.size) * pressure)
         finally:
             req.cancel()
         self._account(msg)

@@ -1,0 +1,144 @@
+"""Interrupt edge cases under the fused resume loop.
+
+These pin the corner semantics that the kernel optimisation must not
+disturb: interrupting a process in the same timestep it finishes, the
+deferred-interrupt path (``target is None``), and the ordering of an
+interrupt racing the interrupted process's own target event.
+"""
+
+import pytest
+
+from repro.core import Engine, Interrupt
+
+
+def test_interrupt_same_timestep_as_finish_is_noop():
+    eng = Engine()
+
+    def victim():
+        yield eng.timeout(1.0)
+        return "finished"
+
+    def attacker(v):
+        yield eng.timeout(1.0)
+        # victim's timeout has the lower seq, so it has already finished
+        # within this same timestep; interrupting is a silent no-op.
+        v.interrupt(cause="too late")
+
+    v = eng.process(victim())
+    eng.process(attacker(v))
+    eng.run()
+    assert v.value == "finished"
+
+
+def test_interrupt_before_bootstrap_fails_process_with_interrupt():
+    # Interrupting a process created this very timestep (its bootstrap
+    # resume has not run) defers the interrupt; it is delivered at the
+    # bootstrap, before the generator reaches its first yield.
+    eng = Engine()
+
+    def victim():
+        yield eng.timeout(10.0)  # pragma: no cover - never reached
+
+    def watcher(p):
+        with pytest.raises(Interrupt):
+            yield p
+
+    p = eng.process(victim())
+    p.interrupt(cause="early")
+    assert p._pending_interrupt is not None
+    eng.process(watcher(p))
+    eng.run()
+    assert not p.is_alive
+    assert eng.now == 0.0
+
+
+def test_self_interrupt_mid_resume_is_deferred_to_next_resume():
+    # While a process is being resumed its target is None; an interrupt
+    # arriving then (here: from its own generator code) is delivered at
+    # the next resume, not immediately.
+    eng = Engine()
+    log = []
+
+    def victim(ref):
+        ref[0].interrupt(cause="self")
+        try:
+            yield eng.timeout(5.0)
+            log.append("timeout")
+        except Interrupt as exc:
+            log.append(("interrupt", eng.now, exc.cause))
+
+    ref = []
+    p = eng.process(victim(ref))
+    ref.append(p)
+    eng.run()
+    assert log == [("interrupt", 5.0, "self")]
+
+
+def test_interrupt_racing_target_in_same_timestep():
+    # At t=5 the victim's first timeout fires (lower seq) and then the
+    # attacker interrupts; the interrupt lands — same timestep, URGENT
+    # priority — at the victim's *second* yield, beating its t=10 target.
+    eng = Engine()
+    log = []
+
+    def victim():
+        try:
+            yield eng.timeout(5.0)
+            log.append("first")
+        except Interrupt:  # pragma: no cover - must not happen
+            log.append("interrupted-early")
+        try:
+            yield eng.timeout(5.0)
+            log.append("second")  # pragma: no cover - must not happen
+        except Interrupt:
+            log.append(("interrupted", eng.now))
+
+    def attacker(v):
+        yield eng.timeout(5.0)
+        v.interrupt()
+
+    v = eng.process(victim())
+    eng.process(attacker(v))
+    eng.run()
+    assert log == ["first", ("interrupted", 5.0)]
+
+
+def test_detached_target_does_not_double_resume_after_interrupt():
+    eng = Engine()
+    resumes = []
+
+    def victim():
+        try:
+            yield eng.timeout(2.0)
+            resumes.append("target")
+        except Interrupt:
+            resumes.append("interrupt")
+        # park well past the original target to catch a stray resume
+        yield eng.timeout(10.0)
+        resumes.append("end")
+
+    def attacker(v):
+        yield eng.timeout(1.0)
+        v.interrupt()
+
+    v = eng.process(victim())
+    eng.process(attacker(v))
+    eng.run()
+    assert resumes == ["interrupt", "end"]
+
+
+def test_interrupt_cause_is_carried_through_deferred_delivery():
+    eng = Engine()
+    seen = []
+
+    def victim(ref):
+        ref[0].interrupt(cause={"code": 7})
+        try:
+            yield eng.timeout(1.0)
+        except Interrupt as exc:
+            seen.append(exc.cause)
+
+    ref = []
+    ref.append(eng.process(victim(ref)))
+    eng.run()
+    assert seen == [{"code": 7}]

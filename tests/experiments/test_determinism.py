@@ -80,3 +80,32 @@ def test_parallel_run_against_serial_cache_is_identical(tmp_path, capsys):
     serial = _run(quick + ["--jobs", "1"], capsys)
     parallel = _run(quick + ["--jobs", "4"], capsys)
     assert serial == parallel
+
+
+def test_two_tier_queue_output_matches_heap_only(monkeypatch, capsys):
+    """The kernel's fast lane must not change a single output byte:
+    the same grid run under ``REPRO_KERNEL_HEAP_ONLY=1`` (legacy
+    heap-only scheduling) renders byte-identical tables."""
+    base = ["table1", "--quick", "--no-cache", "--jobs", "1"]
+    fast = _run(base, capsys)
+    monkeypatch.setenv("REPRO_KERNEL_HEAP_ONLY", "1")
+    heap_only = _run(base, capsys)
+    assert fast == heap_only
+
+
+def test_profile_writes_hotspot_tables_without_touching_stdout(
+    tmp_path, capsys
+):
+    t_path = str(tmp_path / "timings.json")
+    base = ["table1", "--quick", "--no-cache", "--jobs", "1"]
+    profiled = _run(base + ["--profile", "--timings", t_path], capsys)
+    plain = _run(base, capsys)
+    assert profiled == plain
+    with open(t_path) as fh:
+        timings = json.load(fh)
+    assert timings["profiles"] and timings["profile_summary"]
+    entry = next(iter(timings["profiles"].values()))
+    assert entry["hotspots"], entry
+    row = entry["hotspots"][0]
+    assert {"function", "ncalls", "tottime_s", "cumtime_s"} <= set(row)
+    assert timings["stats"]["cache_hits"] == 0  # --profile bypasses cache
