@@ -17,6 +17,17 @@ from .recovery import (
     is_consistent,
     rollback_distances,
 )
+from .policy import (
+    CheckpointPolicy,
+    FailureRateAdaptive,
+    FixedTimes,
+    Periodic,
+    PhaseTriggered,
+    StoragePressure,
+    build_policy,
+    policy_spec,
+)
+from .resume import DurableLine
 from .retry import stable_read, stable_write
 from .runtime import (
     CheckpointRuntime,
@@ -45,6 +56,15 @@ __all__ = [
     "RetryPolicy",
     "RunReport",
     "RecoveryEvent",
+    "DurableLine",
+    "CheckpointPolicy",
+    "FixedTimes",
+    "Periodic",
+    "PhaseTriggered",
+    "FailureRateAdaptive",
+    "StoragePressure",
+    "policy_spec",
+    "build_policy",
     "stable_write",
     "stable_read",
     "Scheme",

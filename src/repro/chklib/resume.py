@@ -1,0 +1,139 @@
+"""Durable recovery lines: a halted run serialised to disk.
+
+A :class:`DurableLine` is the on-disk image of a run halted at a point in
+simulated time: the committed checkpoint store, the scheme's persistent
+protocol state, every RNG stream position, the trace so far and the run's
+accounting counters. :meth:`CheckpointRuntime.restart_from
+<repro.chklib.runtime.CheckpointRuntime.restart_from>` rebuilds a fresh
+simulation from it and continues **bit-for-bit identically** to a run that
+crashed at the same instant and recovered in-process — restarting *is* a
+recovery, just one that crossed a process boundary.
+
+File format (version 1)::
+
+    b"RPRL" | version:u32be | crc32:u32be | pickled payload
+
+The whole frame is written atomically (temp file + ``os.replace``), and
+:meth:`load` validates magic, version and CRC before unpickling — a torn
+or corrupted line raises :class:`~repro.core.errors.ResumeError` instead
+of resurrecting garbage.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import tempfile
+import zlib
+from typing import Any, Dict
+
+from ..core.errors import ResumeError
+
+__all__ = ["DurableLine", "LINE_MAGIC", "LINE_VERSION"]
+
+LINE_MAGIC = b"RPRL"
+LINE_VERSION = 1
+_HEADER = struct.Struct(">II")  # version, crc32
+
+
+class DurableLine:
+    """One serialised recovery line (see module docstring for the format)."""
+
+    def __init__(self, meta: Dict[str, Any], blob: bytes) -> None:
+        #: the payload's ``meta`` dict, kept unpickled for cheap inspection
+        #: (scheme/app names, seed, rank count, halt time).
+        self.meta = meta
+        self._blob = blob
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "DurableLine":
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        return cls(meta=dict(payload["meta"]), blob=blob)
+
+    def payload(self) -> Dict[str, Any]:
+        """The full captured runtime state (unpickled fresh per call, so
+        two restarts from one line never share mutable objects)."""
+        return pickle.loads(self._blob)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self._blob)
+
+    # -- disk round trip -----------------------------------------------------
+
+    def save(self, path: str) -> str:
+        """Atomically write the framed line to *path* (temp + replace: a
+        crash mid-write leaves either the old file or nothing, never a
+        torn frame)."""
+        path = os.fspath(path)
+        frame = (
+            LINE_MAGIC
+            + _HEADER.pack(LINE_VERSION, zlib.crc32(self._blob) & 0xFFFFFFFF)
+            + self._blob
+        )
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(frame)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "DurableLine":
+        """Read and validate a framed line; raises :class:`ResumeError` on
+        any damage (missing, short, bad magic/version, CRC mismatch,
+        unpicklable payload)."""
+        path = os.fspath(path)
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError as exc:
+            raise ResumeError(f"cannot read recovery line {path!r}: {exc}") from exc
+        header_len = len(LINE_MAGIC) + _HEADER.size
+        if len(raw) < header_len:
+            raise ResumeError(
+                f"recovery line {path!r} is truncated "
+                f"({len(raw)}B < {header_len}B header)"
+            )
+        if raw[: len(LINE_MAGIC)] != LINE_MAGIC:
+            raise ResumeError(f"{path!r} is not a recovery line (bad magic)")
+        version, crc = _HEADER.unpack(
+            raw[len(LINE_MAGIC) : header_len]
+        )
+        if version != LINE_VERSION:
+            raise ResumeError(
+                f"recovery line {path!r} has version {version}, "
+                f"expected {LINE_VERSION}"
+            )
+        blob = raw[header_len:]
+        if (zlib.crc32(blob) & 0xFFFFFFFF) != crc:
+            raise ResumeError(
+                f"recovery line {path!r} failed its CRC check "
+                f"(torn or corrupted write)"
+            )
+        try:
+            payload = pickle.loads(blob)
+            meta = dict(payload["meta"])
+        except Exception as exc:
+            raise ResumeError(
+                f"recovery line {path!r} payload does not deserialise: {exc}"
+            ) from exc
+        line = cls(meta=meta, blob=blob)
+        return line
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DurableLine scheme={self.meta.get('scheme')!r} "
+            f"t={self.meta.get('halted_at')} {self.nbytes}B>"
+        )

@@ -18,15 +18,16 @@ original results exactly.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple, Union
 
 import dataclasses as _dc
 
 from ..core.engine import Engine
 from ..core.errors import (
     Interrupt,
-    InvariantViolation,
+    ResumeError,
     SimulationError,
     StorageFault,
 )
@@ -40,7 +41,9 @@ from ..machine.cluster import Cluster
 from ..machine.params import MachineParams
 from ..net.api import Comm
 from ..net.transport import Transport
+from ..fault.model import CrashEvent
 from .recovery import CutPoint
+from .resume import DurableLine
 from .schemes.base import NoCheckpointing, Scheme
 from .storage_mgr import CheckpointRecord, CheckpointStore
 
@@ -52,7 +55,11 @@ __all__ = [
     "FaultPlan",
     "FaultModel",
     "RetryPolicy",
+    "DurableLine",
 ]
+
+#: version stamp of the durable-line payload layout.
+LINE_PAYLOAD_VERSION = 1
 
 
 def _plain(value: Any) -> Any:
@@ -245,11 +252,15 @@ class CheckpointRuntime:
         fault_plan: Optional[FaultPlan] = None,
         fault_model: Optional[FaultModel] = None,
         trace: bool = True,
+        _resume: Optional[Dict[str, Any]] = None,
     ) -> None:
         if fault_plan is not None and fault_model is not None:
             raise ValueError("pass either fault_plan or fault_model, not both")
         self.app = app
-        self.engine = Engine()
+        # a resumed run's clock starts where the halted run's stopped
+        self.engine = Engine(
+            start_time=float(_resume["meta"]["halted_at"]) if _resume else 0.0
+        )
         # trace=False selects the NullTracer: true no-op recording methods,
         # so untraced sweeps pay nothing per protocol message.
         self.tracer = make_tracer(self.engine, enabled=trace)
@@ -294,6 +305,13 @@ class CheckpointRuntime:
         self._done: Event = self.engine.event()
         self._result: Any = None
         self._ran = False
+        #: set by a ``halt_at`` run: the captured image of this run.
+        self.durable_line: Optional[DurableLine] = None
+        self.halted = False
+        #: simulated time this runtime resumed from (None = a fresh run).
+        self._resumed_at: Optional[float] = None
+        if _resume is not None:
+            self._apply_resume(_resume)
 
     # -- public API ---------------------------------------------------------
 
@@ -308,24 +326,206 @@ class CheckpointRuntime:
             return self.fault_model.retry
         return RetryPolicy()
 
-    def run(self) -> RunReport:
-        """Execute to completion (including any scheduled crashes)."""
+    def run(self, halt_at: Optional[float] = None) -> RunReport:
+        """Execute to completion (including any scheduled crashes).
+
+        With *halt_at*, the run stops at that simulated time instead and
+        captures a :class:`DurableLine` into :attr:`durable_line` — the
+        on-disk image :meth:`restart_from` continues from. The capture is
+        synchronous and happens at the same structural point a crash would
+        (the interrupt driver), so a restarted run is bit-for-bit the run
+        that crashed there and recovered in-process.
+        """
         if self._ran:
             raise RuntimeError("a CheckpointRuntime instance runs only once")
         self._ran = True
+        if halt_at is not None:
+            halt_at = float(halt_at)
+            if halt_at <= self.engine.now:
+                raise ResumeError(
+                    f"halt_at={halt_at} is not in this run's future "
+                    f"(now={self.engine.now})"
+                )
+            if self.scheme.klass == "none":
+                raise ResumeError(
+                    "cannot capture a durable recovery line without a "
+                    "checkpointing scheme (nothing to restart from)"
+                )
         self.scheme.install(self)
-        if self.fault_model is not None and self.fault_model.has_crashes:
-            self.engine.process(self._crash_injector(), name="fault-injector")
-        self._start_generation({r: None for r in range(self.n_ranks)})
+        items = self._interrupt_schedule(halt_at)
+        if self._resumed_at is not None:
+            # restart IS a recovery: roll every rank back to the captured
+            # recovery line, then keep serving the remaining interrupts.
+            self.engine.process(self._resume_driver(items), name="resume-driver")
+        else:
+            if items:
+                self.engine.process(
+                    self._interrupt_driver(items), name="fault-injector"
+                )
+            self._start_generation({r: None for r in range(self.n_ranks)})
         self.engine.run(until=self._done)
         report = self._report()
         # post-run audit: replay the recorded event stream through the
         # trace invariant engine when --verify (or the tests) asked for it.
+        # A halted run is exempt: its trace legitimately ends mid-protocol
+        # (open rounds finish in the resumed run, which is audited whole).
         from ..verify.trace_check import check_runtime, runtime_verification_enabled
 
-        if runtime_verification_enabled() and self.tracer.enabled:
+        if runtime_verification_enabled() and self.tracer.enabled and not self.halted:
             check_runtime(self).raise_if_violated()
         return report
+
+    # -- durable recovery lines ------------------------------------------------
+
+    @classmethod
+    def restart_from(
+        cls,
+        line: Union[DurableLine, str, "os.PathLike[str]"],
+        app: Any = None,
+        machine: Optional[MachineParams] = None,
+        trace: Optional[bool] = None,
+    ) -> "CheckpointRuntime":
+        """A fresh runtime continuing a halted run from its durable line.
+
+        *line* is a :class:`DurableLine` or a path to one on disk. The
+        pickled application/machine are used unless overridden (an
+        override must describe the same run — mismatches raise
+        :class:`ResumeError`). Call :meth:`run` on the result to continue;
+        the continuation is bitwise-identical to an in-process recovery at
+        the halt time.
+        """
+        if not isinstance(line, DurableLine):
+            line = DurableLine.load(line)
+        payload = line.payload()
+        meta = payload["meta"]
+        return cls(
+            app if app is not None else payload["app"],
+            scheme=payload["scheme"],
+            machine=machine if machine is not None else payload["machine"],
+            seed=int(meta["seed"]),
+            fault_model=payload["fault_model"],
+            trace=bool(meta["trace"]) if trace is None else trace,
+            _resume=payload,
+        )
+
+    def export_line(self) -> DurableLine:
+        """Serialise this run's recoverable state as a durable line.
+
+        Captures only *stable* state: the checkpoint store, the scheme's
+        persistent protocol fields, RNG stream positions, the trace and the
+        accounting counters. Volatile per-rank protocol state (in-flight
+        rounds, mailboxes, volatile logs) is deliberately absent — recovery
+        wipes it in-process too, so the restart reconstructs exactly what a
+        crash survivor would see.
+        """
+        meta = {
+            "version": LINE_PAYLOAD_VERSION,
+            "app": getattr(self.app, "name", type(self.app).__name__),
+            "scheme": self.scheme.name,
+            "klass": self.scheme.klass,
+            "n_ranks": self.n_ranks,
+            "seed": self.seed,
+            "halted_at": self.engine.now,
+            "trace": self.tracer.enabled,
+            # side-effect-free summary for inspection/tooling (recovery
+            # itself re-derives the line via scheme.recovery_line()).
+            "committed_indices": {
+                r: max(
+                    (
+                        rec.index
+                        for rec in self.store.chain(r)
+                        if rec.committed and not rec.quarantined
+                    ),
+                    default=0,
+                )
+                for r in range(self.n_ranks)
+            },
+        }
+        payload: Dict[str, Any] = {
+            "meta": meta,
+            "app": self.app,
+            "scheme": self.scheme,
+            "machine": self.machine_params,
+            "fault_model": self.fault_model,
+            "store": self.store,
+            "generation": self.generation,
+            "recoveries": list(self.recoveries),
+            "tracer": self.tracer.export_state(),
+            "rngs": self.rngs.export_state(),
+            "transport": {
+                "messages_sent": self.transport.messages_sent,
+                "bytes_sent": self.transport.bytes_sent,
+                "control_messages": self.transport.control_messages,
+                "control_bytes": self.transport.control_bytes,
+            },
+            "storage": {
+                "bytes_written": self.storage.bytes_written,
+                "bytes_read": self.storage.bytes_read,
+                "write_ops": self.storage.write_ops,
+                "read_ops": self.storage.read_ops,
+                "write_faults": self.storage.write_faults,
+                "read_faults": self.storage.read_faults,
+            },
+            "injector": (
+                self.injector.export_state() if self.injector is not None else None
+            ),
+            "agents": [
+                {
+                    "epoch": a.epoch,
+                    "blocked_time": a.blocked_time,
+                    "cuts_taken": a.cuts_taken,
+                }
+                for a in self.agents
+            ],
+        }
+        return DurableLine.from_payload(payload)
+
+    def _apply_resume(self, payload: Dict[str, Any]) -> None:
+        """Load a durable line's payload into this (freshly built) runtime."""
+        meta = payload["meta"]
+        if int(meta.get("version", -1)) != LINE_PAYLOAD_VERSION:
+            raise ResumeError(
+                f"durable line payload version {meta.get('version')!r} "
+                f"not supported (expected {LINE_PAYLOAD_VERSION})"
+            )
+        app_name = getattr(self.app, "name", type(self.app).__name__)
+        mismatches = []
+        if int(meta["n_ranks"]) != self.n_ranks:
+            mismatches.append(f"n_ranks {meta['n_ranks']} != {self.n_ranks}")
+        if int(meta["seed"]) != self.seed:
+            mismatches.append(f"seed {meta['seed']} != {self.seed}")
+        if str(meta["app"]) != app_name:
+            mismatches.append(f"app {meta['app']!r} != {app_name!r}")
+        if str(meta["scheme"]) != self.scheme.name:
+            mismatches.append(f"scheme {meta['scheme']!r} != {self.scheme.name!r}")
+        if mismatches:
+            raise ResumeError(
+                "durable line does not match this run: " + "; ".join(mismatches)
+            )
+        self.store = payload["store"]
+        self.generation = int(payload["generation"])
+        self.recoveries = list(payload["recoveries"])
+        self.tracer.restore_state(payload["tracer"])
+        self.rngs.restore_state(payload["rngs"])
+        tr = payload["transport"]
+        self.transport.messages_sent = int(tr["messages_sent"])
+        self.transport.bytes_sent = tr["bytes_sent"]
+        self.transport.control_messages = int(tr["control_messages"])
+        self.transport.control_bytes = tr["control_bytes"]
+        st = payload["storage"]
+        self.storage.bytes_written = st["bytes_written"]
+        self.storage.bytes_read = st["bytes_read"]
+        self.storage.write_ops = int(st["write_ops"])
+        self.storage.read_ops = int(st["read_ops"])
+        self.storage.write_faults = int(st["write_faults"])
+        self.storage.read_faults = int(st["read_faults"])
+        if self.injector is not None and payload["injector"] is not None:
+            self.injector.restore_state(payload["injector"])
+        for agent, saved in zip(self.agents, payload["agents"]):
+            agent.epoch = int(saved["epoch"])
+            agent.blocked_time = float(saved["blocked_time"])
+            agent.cuts_taken = int(saved["cuts_taken"])
+        self._resumed_at = float(meta["halted_at"])
 
     def spawn(self, generator, name: str = "") -> Process:
         """Start a generation-scoped helper process (killed on crash)."""
@@ -362,25 +562,64 @@ class CheckpointRuntime:
         self._finished[rank] = result
         if rank == 0:
             self._result = result
-        if len(self._finished) == self.n_ranks:
+        if len(self._finished) == self.n_ranks and not self._done.triggered:
             self._done.succeed()
         return result
 
-    # -- failure injection & recovery -----------------------------------------------
+    # -- failure injection, halting & recovery ---------------------------------------
 
-    def _crash_injector(self):
-        if self.fault_model is None:
-            raise InvariantViolation(
-                "crash injector started without a fault model"
-            )
-        for ev in self.fault_model.crash_events(self.n_ranks):
-            if ev.time > self.engine.now:
-                yield self.engine.timeout(ev.time - self.engine.now)
+    def _interrupt_schedule(
+        self, halt_at: Optional[float]
+    ) -> List[Tuple[float, Optional[CrashEvent]]]:
+        """The merged, time-ordered interrupt plan: scheduled crashes plus
+        (optionally) the halt, which is modelled as one more interrupt.
+        Crashes already injected before a resume point — and crashes the
+        halt preempts — are excluded."""
+        items: List[Tuple[float, Optional[CrashEvent]]] = []
+        if self.fault_model is not None:
+            for ev in self.fault_model.crash_events(self.n_ranks):
+                if self._resumed_at is not None and ev.time <= self._resumed_at:
+                    continue  # fired before the halt we resumed from
+                if halt_at is not None and ev.time >= halt_at:
+                    continue  # this run stops before the crash
+                items.append((ev.time, ev))
+        if halt_at is not None:
+            items.append((halt_at, None))
+        return sorted(items, key=lambda item: item[0])
+
+    def _interrupt_driver(self, items):
+        """One process serving the interrupt plan in order: a crash entry
+        runs rollback + re-execution in place; the halt entry (None)
+        captures the durable line and ends the run."""
+        engine = self.engine
+        for at, ev in items:
+            if at > engine.now:
+                yield engine.timeout(at - engine.now)
             if self.finished:
+                return
+            if ev is None:
+                self._capture_halt()
                 return
             yield from self._recover(
                 failed_ranks=ev.ranks, disks_lost=ev.disks_lost
             )
+
+    def _resume_driver(self, items):
+        """First slice of a restarted run: recover to the captured line
+        (exactly what an in-process crash at the halt time would do), then
+        take over the remaining interrupt plan."""
+        yield from self._recover(failed_ranks=None)
+        yield from self._interrupt_driver(items)
+
+    def _capture_halt(self) -> None:
+        """Synchronously freeze the run into a durable line. The capture
+        happens *before* the halt event is traced, so the image holds
+        exactly the state an in-process crash survivor would observe."""
+        self.durable_line = self.export_line()
+        self.halted = True
+        self.tracer.event("resume.halt", at=self.engine.now)
+        if not self._done.triggered:
+            self._done.succeed()
 
     def _restore_reader(self, rank, rec, source, failures, stats):
         """Read one rank's restore bytes, retrying transient faults; on an

@@ -46,6 +46,7 @@ from ...core.errors import InvariantViolation, SimulationError, StorageFault
 from ...core.events import Event
 from ...net.message import KIND_CONTROL, KIND_MARKER, Message
 from ..incremental import PAGE_SIZE, IncrementalState
+from ..policy import CheckpointPolicy, FixedTimes
 from ..retry import stable_write
 from ..state import Snapshot
 from ..storage_mgr import CheckpointRecord
@@ -132,8 +133,12 @@ class CoordinatedScheme(Scheme):
         incremental: bool = False,
         full_every: int = 4,
         two_level: bool = False,
+        policy: Optional[CheckpointPolicy] = None,
     ) -> None:
         self.times = sorted(float(t) for t in times)
+        #: when to initiate rounds; the explicit ``times`` schedule is the
+        #: legacy default, wrapped in a :class:`FixedTimes` policy.
+        self.policy = policy if policy is not None else FixedTimes(self.times)
         #: how the cut captures state: "blocking" (write in the app's
         #: time), "memcopy" (buffer + checkpointer thread) or "cow"
         #: (write-protect pages, stream in background, faults pay copies).
@@ -150,6 +155,9 @@ class CoordinatedScheme(Scheme):
         self.name = name + ("_2l" if two_level else "")
         self.coordinator_rank = coordinator_rank
         self._next_n = 1
+        #: initiations already fired — a resumed initiator skips this many
+        #: policy shots instead of re-requesting pre-halt rounds.
+        self._initiated = 0
         self._acks: Dict[int, Set[int]] = {}
         #: rounds the coordinator has cancelled (stale acks are ignored).
         self._aborted: Set[int] = set()
@@ -209,34 +217,55 @@ class CoordinatedScheme(Scheme):
             self._write_slot = Resource(
                 runtime.engine, capacity=1, name="stagger-slot"
             )
-        runtime.engine.process(self._initiator(runtime), name="ckpt-initiator")
+        if not self.policy.point_driven:
+            runtime.engine.process(self._initiator(runtime), name="ckpt-initiator")
+
+    def __getstate__(self) -> dict:
+        # the staggering write slot holds an engine reference; install()
+        # recreates it in the restarted runtime.
+        state = dict(self.__dict__)
+        state["_write_slot"] = None
+        return state
 
     def _initiator(self, runtime: "CheckpointRuntime"):
-        """Coordinator-side: kick off a global checkpoint at each scheduled
-        time (skips initiations that a recovery has made stale)."""
+        """Coordinator-side: kick off a global checkpoint at each time the
+        policy decides (skips shots a resumed run already fired)."""
         engine = runtime.engine
-        comm = runtime.comms[self.coordinator_rank]
-        for t in self.times:
+        shot = 0
+        while True:
+            t = self.policy.next_time(runtime, self.coordinator_rank, shot)
+            if t is None:
+                return
+            if shot < self._initiated:
+                shot += 1  # fired before the halt; the memoised decision
+                continue  # replays with no side effects
             if t > engine.now:
                 yield engine.timeout(t - engine.now)
             if runtime.finished:
                 return
-            n = self._next_n
-            self._next_n += 1
-            runtime.tracer.add("chk.initiations")
-            runtime.tracer.event(
-                "proto.request", round=n, coordinator=self.coordinator_rank
-            )
-            # local "request" to the coordinator's own agent ...
-            runtime.agents[self.coordinator_rank].set_pending(n)
-            # ... and control messages to everyone else (sent in rank order,
-            # claiming the coordinator's link sequentially).
-            for dst in range(runtime.n_ranks):
-                if dst != self.coordinator_rank:
-                    runtime.spawn(
-                        comm.send_control(dst, KIND_CONTROL, type=CTL_REQUEST, n=n),
-                        name=f"request:{n}->{dst}",
-                    )
+            shot += 1
+            self._initiated += 1
+            self._initiate(runtime)
+
+    def _initiate(self, runtime: "CheckpointRuntime") -> None:
+        """Start one global checkpoint round (request broadcast)."""
+        comm = runtime.comms[self.coordinator_rank]
+        n = self._next_n
+        self._next_n += 1
+        runtime.tracer.add("chk.initiations")
+        runtime.tracer.event(
+            "proto.request", round=n, coordinator=self.coordinator_rank
+        )
+        # local "request" to the coordinator's own agent ...
+        runtime.agents[self.coordinator_rank].set_pending(n)
+        # ... and control messages to everyone else (sent in rank order,
+        # claiming the coordinator's link sequentially).
+        for dst in range(runtime.n_ranks):
+            if dst != self.coordinator_rank:
+                runtime.spawn(
+                    comm.send_control(dst, KIND_CONTROL, type=CTL_REQUEST, n=n),
+                    name=f"request:{n}->{dst}",
+                )
 
     # -- agent hooks -----------------------------------------------------------
 
@@ -302,6 +331,18 @@ class CoordinatedScheme(Scheme):
     # -- the cut -----------------------------------------------------------------
 
     def at_point(self, agent: CoordinatedAgent) -> Generator[Any, Any, None]:
+        # point-driven policies initiate rounds from the coordinator's own
+        # checkpoint points (the request broadcast happens here; the
+        # coordinator's set_pending makes it cut at this same point). A
+        # finished coordinator's at_point re-entries are late-cut spawns,
+        # not application phases, and must not count as points.
+        if (
+            self.policy.point_driven
+            and agent.rank == self.coordinator_rank
+            and not agent.finished
+            and self.policy.on_point(agent.runtime, agent.rank)
+        ):
+            self._initiate(agent.runtime)
         if agent.pending_cut is None or agent.pending_cut <= agent.epoch:
             return
         if agent.round is not None:

@@ -35,6 +35,7 @@ from ...core.errors import SimulationError, StorageFault
 from ...net.message import Message
 from ..garbage import collect_garbage
 from ..incremental import PAGE_SIZE, IncrementalState
+from ..policy import CheckpointPolicy, FixedTimes
 from ..recovery import build_cuts, consistent_line, in_transit_ranges
 from ..retry import stable_write
 from ..state import Snapshot
@@ -81,8 +82,19 @@ class IndependentScheme(Scheme):
         incremental: bool = False,
         full_every: int = 4,
         two_level: bool = False,
+        policy: Optional[CheckpointPolicy] = None,
     ) -> None:
         self.times = sorted(float(t) for t in times)
+        #: when each rank's timer fires; the explicit ``times`` schedule is
+        #: the legacy default, wrapped in a :class:`FixedTimes` policy.
+        self.policy = policy if policy is not None else FixedTimes(self.times)
+        #: per-rank resume bookkeeping: shots fired, shots whose skew was
+        #: drawn, and the drawn-but-unfired fire time carried across a halt
+        #: (the restored RNG stream is already past the draw, so a resumed
+        #: timer must not draw it again).
+        self._fired: Dict[int, int] = {}
+        self._drawn: Dict[int, int] = {}
+        self._pending_fire: Dict[int, float] = {}
         #: capture mode: "blocking" | "memcopy" | "cow" (see coordinated).
         self.capture = capture or ("memcopy" if memory_ckpt else "blocking")
         if self.capture not in ("blocking", "memcopy", "cow"):
@@ -124,23 +136,42 @@ class IndependentScheme(Scheme):
         return IndependentAgent(self, runtime, rank)
 
     def install(self, runtime: "CheckpointRuntime") -> None:
+        if self.policy.point_driven:
+            return  # cuts are triggered from checkpoint points instead
         for rank in range(runtime.n_ranks):
             runtime.engine.process(
                 self._timer(runtime, rank), name=f"indep-timer:r{rank}"
             )
 
     def _timer(self, runtime: "CheckpointRuntime", rank: int):
-        """Local checkpoint timer: fires at each scheduled time plus a
-        deterministic per-(rank, shot) skew."""
+        """Local checkpoint timer: fires at each policy-decided time plus a
+        deterministic per-(rank, shot) skew. A resumed timer replays
+        pre-halt shots without waiting — and without redrawing skews the
+        restored RNG stream has already consumed."""
         engine = runtime.engine
         rng = runtime.rngs.get(f"indep.skew.r{rank}")
         agent = runtime.agents[rank]
-        for t in self.times:
-            fire_at = t + (float(rng.uniform(-1.0, 1.0)) * self.skew)
+        shot = 0
+        while True:
+            t = self.policy.next_time(runtime, rank, shot)
+            if t is None:
+                return
+            if shot < self._fired.get(rank, 0):
+                shot += 1  # fired before the halt; no wait, no draw
+                continue
+            if shot < self._drawn.get(rank, 0):
+                # skew drawn but the shot had not fired when the run halted
+                fire_at = self._pending_fire[rank]
+            else:
+                fire_at = t + (float(rng.uniform(-1.0, 1.0)) * self.skew)
+                self._drawn[rank] = shot + 1
+                self._pending_fire[rank] = fire_at
             if fire_at > engine.now:
                 yield engine.timeout(fire_at - engine.now)
             if runtime.finished:
                 return
+            shot += 1
+            self._fired[rank] = shot
             agent.set_pending((agent.pending_cut or agent.epoch) + 1)
             runtime.tracer.add("chk.initiations")
 
@@ -158,6 +189,17 @@ class IndependentScheme(Scheme):
 
     def at_point(self, agent: SchemeAgent) -> Generator[Any, Any, None]:
         assert isinstance(agent, IndependentAgent)
+        # point-driven policies: each rank decides at its own points. A
+        # finished rank has no application phases — its at_point re-entries
+        # are late-cut spawns, not points, and must not count (a phantom
+        # point could otherwise trigger cuts forever).
+        if (
+            self.policy.point_driven
+            and not agent.finished
+            and self.policy.on_point(agent.runtime, agent.rank)
+        ):
+            agent.set_pending((agent.pending_cut or agent.epoch) + 1)
+            agent.runtime.tracer.add("chk.initiations")
         if agent.pending_cut is None or agent.pending_cut <= agent.epoch:
             return
         if agent.writing:

@@ -15,6 +15,7 @@ __all__ = [
     "NegativeDelay",
     "StopProcess",
     "StorageFault",
+    "ResumeError",
     "EventAlreadyTriggered",
     "InvariantViolation",
     "VerificationError",
@@ -105,6 +106,17 @@ class StorageFault(SimulationError):
         self.op = op
         self.tag = tag
         self.partial_bytes = partial_bytes
+
+
+class ResumeError(SimulationError):
+    """A durable recovery line could not be loaded or applied.
+
+    Raised when restarting from a serialised line fails: the file is
+    missing, torn, or corrupted (framing/CRC validation), the payload does
+    not unpickle, or the line belongs to a different run configuration
+    (rank count, seed, scheme or application mismatch). Also raised when a
+    run is asked to halt in a configuration that cannot produce a durable
+    line (no checkpointing scheme installed)."""
 
 
 class EventAlreadyTriggered(SimulationError):

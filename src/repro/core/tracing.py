@@ -145,6 +145,40 @@ class Tracer:
         """All recorded spans named *name*, oldest first (a fresh list)."""
         return list(self._spans_by_name.get(name, ()))
 
+    # -- durable-line support --------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Serialisable snapshot of counters, events and timelines.
+
+        Spans are intentionally excluded: a halted run can hold open spans
+        whose closing side lives in interrupted coroutines, so they cannot
+        be resumed faithfully — and no report or invariant depends on spans
+        surviving a restart.
+        """
+        if not self.enabled:
+            return {}
+        return {
+            "counters": dict(self.counters),
+            "events": [(ev.time, ev.kind, dict(ev.fields)) for ev in self.events],
+            "timelines": {k: list(v) for k, v in self.timelines.items()},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load a snapshot from :meth:`export_state` (no-op when disabled)."""
+        if not self.enabled or not state:
+            return
+        self.counters = dict(state.get("counters", {}))
+        self.events = [
+            TraceEvent(t, kind, dict(fields))
+            for t, kind, fields in state.get("events", ())
+        ]
+        self._events_by_kind = {}
+        for ev in self.events:
+            self._events_by_kind.setdefault(ev.kind, []).append(ev)
+        self.timelines = {
+            k: [tuple(s) for s in v] for k, v in state.get("timelines", {}).items()
+        }
+
     def total_span_time(self, name: str) -> float:
         """Sum of closed-span durations for *name* (open spans skipped)."""
         return sum(

@@ -13,7 +13,14 @@ as booleans).
 from .ablations import run_staggering_ablation, run_sync_cost, staggering_spec, sync_cost_spec
 from .capture import capture_spec, run_capture_ablation
 from .domino import domino_spec, run_domino, run_storage_overhead, storage_overhead_spec
-from .executor import ExecutorStats, GridExecutor, run_cell, run_spec
+from .executor import (
+    CellTimeout,
+    ExecutorStats,
+    GridExecutor,
+    RunJournal,
+    run_cell,
+    run_spec,
+)
 from .faults import (
     failure_rates_spec,
     interval_sweep_spec,
@@ -38,6 +45,7 @@ from .harness import (
     run_workload,
     scheme_spec,
 )
+from .policies import POLICY_SCHEMES, policies_spec, run_policies
 from .resilience import RESILIENCE_SCHEMES, resilience_spec, run_resilience
 from .sweeps import (
     bandwidth_sweep_spec,
@@ -67,6 +75,8 @@ __all__ = [
     "interval_times",
     "GridExecutor",
     "ExecutorStats",
+    "RunJournal",
+    "CellTimeout",
     "run_cell",
     "run_spec",
     # workload catalogues
@@ -111,4 +121,7 @@ __all__ = [
     "run_two_level",
     "resilience_spec",
     "run_resilience",
+    "POLICY_SCHEMES",
+    "policies_spec",
+    "run_policies",
 ]

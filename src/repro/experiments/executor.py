@@ -25,6 +25,24 @@ optimisations over the old one-loop-per-module execution:
 Every report — fresh or cached, serial or parallel — is round-tripped
 through ``RunReport.to_dict()/from_dict()``, so numeric types (and hence
 rendered tables) never depend on which path produced a result.
+
+Robustness (the crash-survivable experiment plane):
+
+* **run journal** — with a :class:`RunJournal`, every completed cell is
+  appended (flushed and fsynced) to a JSONL file keyed by cell hash and
+  code fingerprint.  A re-run against the same journal replays completed
+  cells without executing them, so a sweep killed mid-flight resumes
+  byte-identically;
+* **per-cell timeout** — ``cell_timeout`` bounds each cell's wall clock
+  (enforced in the worker via ``SIGALRM``); a timed-out cell is retried
+  once and then recorded as failed, never hanging the sweep;
+* **worker-crash survival** — a ``BrokenProcessPool`` restarts the pool
+  (bounded, with backoff) and re-runs the unfinished cells; past the
+  restart budget the executor degrades to in-process serial execution;
+* **failure accounting** — with ``raise_on_failure=False`` failed cells
+  land in :attr:`GridExecutor.failures` (and spec-level plan/reduce
+  errors in :attr:`GridExecutor.spec_errors`) instead of aborting the
+  whole sweep.
 """
 
 from __future__ import annotations
@@ -32,9 +50,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import signal
 import tempfile
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -45,6 +66,8 @@ from .grid import Cell, ExperimentSpec, GridResults, cell_key, cell_to_jsonable
 __all__ = [
     "GridExecutor",
     "ExecutorStats",
+    "RunJournal",
+    "CellTimeout",
     "run_cell",
     "run_spec",
     "code_fingerprint",
@@ -52,7 +75,17 @@ __all__ = [
 ]
 
 _CACHE_VERSION = 1
+_JOURNAL_VERSION = 1
 _FINGERPRINT: Optional[str] = None
+
+#: per-cell execution attempts before the cell is recorded as failed.
+_MAX_CELL_ATTEMPTS = 2
+#: process-pool restarts tolerated before degrading to serial execution.
+_MAX_POOL_RESTARTS = 2
+
+
+class CellTimeout(Exception):
+    """A grid cell exceeded the per-cell wall-clock budget."""
 
 
 def default_cache_dir() -> Path:
@@ -96,12 +129,48 @@ def run_cell(cell: Cell) -> RunReport:
 
 # -- worker-process side ------------------------------------------------------
 
+#: per-worker cell timeout, installed by :func:`_worker_init` (seconds,
+#: 0 = unbounded).  Module-global because pool tasks only receive the cell.
+_CELL_TIMEOUT = 0.0
 
-def _worker_init(verify: bool) -> None:  # pragma: no cover - subprocess
+
+def _worker_init(verify: bool, cell_timeout: float = 0.0) -> None:  # pragma: no cover - subprocess
+    global _CELL_TIMEOUT
+    _CELL_TIMEOUT = float(cell_timeout)
     if verify:
         from ..verify import set_runtime_verification
 
         set_runtime_verification(True)
+
+
+def _call_with_timeout(task, cell: Cell, timeout: float):
+    """Run *task(cell)* under a wall-clock budget; raises
+    :class:`CellTimeout` when it expires.  Platforms without ``SIGALRM``
+    run unbounded (the timeout degrades to best-effort)."""
+    if timeout <= 0 or not hasattr(signal, "SIGALRM"):
+        return task(cell)
+
+    def _expired(signum, frame):
+        raise CellTimeout(
+            f"cell exceeded its {timeout:g}s wall-clock budget"
+        )
+
+    old_handler = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return task(cell)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+
+def _guarded_task(cell: Cell):
+    """Pool entry: one cell under the worker's installed timeout."""
+    return _call_with_timeout(_run_cell_task, cell, _CELL_TIMEOUT)
+
+
+def _guarded_task_profiled(cell: Cell):
+    return _call_with_timeout(_run_cell_task_profiled, cell, _CELL_TIMEOUT)
 
 
 def _run_cell_task(cell: Cell) -> Tuple[dict, float, None]:
@@ -166,6 +235,92 @@ def run_spec(
     return ex.run_specs([spec])[spec.name]
 
 
+# -- the run journal ----------------------------------------------------------
+
+
+class RunJournal:
+    """Append-only JSONL journal of completed cells — the executor's
+    crash-recovery log.
+
+    Each line is ``{"v", "fingerprint", "key", "cell", "report"}``; every
+    append is flushed and fsynced, so a sweep killed at any instant loses
+    at most the cell that was in flight.  Loading tolerates a torn tail
+    (a half-written final line is skipped) and ignores entries written by
+    a different code fingerprint — resuming across a code change re-runs
+    everything rather than mixing measurements.
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self._fh = None
+        self._entries: Dict[str, dict] = {}
+        self.skipped_lines = 0  #: torn/stale lines ignored during load
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return
+        want = code_fingerprint()
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                key, report = entry["key"], entry["report"]
+            except (ValueError, KeyError, TypeError):
+                self.skipped_lines += 1  # torn tail or garbage — skip
+                continue
+            if entry.get("v") != _JOURNAL_VERSION or entry.get("fingerprint") != want:
+                self.skipped_lines += 1
+                continue
+            self._entries[key] = report
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[dict]:
+        """The journalled report dict for *key*, or ``None``."""
+        return self._entries.get(key)
+
+    def record(self, key: str, cell: Cell, report_dict: dict) -> None:
+        """Durably append one completed cell."""
+        if key in self._entries:
+            return
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(
+            {
+                "v": _JOURNAL_VERSION,
+                "fingerprint": code_fingerprint(),
+                "key": key,
+                "cell": cell_to_jsonable(cell),
+                "report": report_dict,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._entries[key] = report_dict
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 # -- the executor -------------------------------------------------------------
 
 
@@ -178,6 +333,11 @@ class ExecutorStats:
     deduped: int = 0  #: duplicate cells coalesced away
     executed: int = 0  #: simulations actually run by this executor
     cache_hits: int = 0  #: results served from the on-disk cache
+    journal_hits: int = 0  #: results replayed from the run journal
+    timeouts: int = 0  #: cell executions cut off by the wall-clock budget
+    retries: int = 0  #: cell executions re-attempted after a failure
+    failed: int = 0  #: cells abandoned after exhausting their attempts
+    pool_restarts: int = 0  #: process pools replaced after a worker crash
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -185,12 +345,25 @@ class ExecutorStats:
             "deduped": self.deduped,
             "executed": self.executed,
             "cache_hits": self.cache_hits,
+            "journal_hits": self.journal_hits,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "failed": self.failed,
+            "pool_restarts": self.pool_restarts,
         }
 
     def __str__(self) -> str:
+        extra = ""
+        if self.journal_hits:
+            extra += f", {self.journal_hits} from journal"
+        if self.timeouts or self.failed or self.pool_restarts:
+            extra += (
+                f", {self.timeouts} timed out, {self.failed} failed, "
+                f"{self.pool_restarts} pool restarts"
+            )
         return (
             f"{self.requested} cells requested, {self.deduped} deduplicated, "
-            f"{self.cache_hits} from cache, {self.executed} executed"
+            f"{self.cache_hits} from cache, {self.executed} executed" + extra
         )
 
 
@@ -204,6 +377,9 @@ class GridExecutor:
         use_cache: bool = True,
         verify: bool = False,
         profile: bool = False,
+        journal: Optional[RunJournal] = None,
+        cell_timeout: float = 0.0,
+        raise_on_failure: bool = True,
     ) -> None:
         self.jobs = max(1, int(jobs if jobs is not None else (os.cpu_count() or 1)))
         # Profiling only sees cells that actually execute, so it disables
@@ -212,6 +388,12 @@ class GridExecutor:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
         self.verify = verify
         self.profile = profile
+        self.journal = journal
+        self.cell_timeout = float(cell_timeout)
+        #: ``True`` (the default) re-raises the first cell failure — the
+        #: historical behaviour unit tests and ``run_spec`` rely on.
+        #: ``False`` (the sweep runner) records failures and keeps going.
+        self.raise_on_failure = raise_on_failure
         self.stats = ExecutorStats()
         self.results = GridResults()
         #: per-cell execution seconds (0.0 for cache hits), by cell key.
@@ -219,6 +401,11 @@ class GridExecutor:
         #: per-cell cProfile hotspot tables (``profile=True`` only), by
         #: cell key: {"cell": <jsonable cell>, "hotspots": [rows...]}.
         self.cell_profiles: Dict[str, dict] = {}
+        #: cells abandoned after exhausting their attempts, by cell key:
+        #: {"cell": <jsonable cell>, "error", "kind", "attempts"}.
+        self.failures: Dict[str, dict] = {}
+        #: spec-level plan/reduce errors (``raise_on_failure=False``).
+        self.spec_errors: Dict[str, str] = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -226,14 +413,38 @@ class GridExecutor:
         self, specs: Sequence[ExperimentSpec]
     ) -> Dict[str, TableResult]:
         """Run every spec's grid (two waves, deduplicated across specs)
-        and reduce each to its :class:`TableResult`."""
+        and reduce each to its :class:`TableResult`.
+
+        With ``raise_on_failure=False`` a spec whose plan or reduce step
+        fails (e.g. because a baseline cell failed) is dropped from the
+        returned mapping and recorded in :attr:`spec_errors`.
+        """
         self.run_cells([c for spec in specs for c in spec.baselines])
-        planned = {spec.name: list(spec.plan(self.results)) for spec in specs}
+        planned: Dict[str, List[Cell]] = {}
+        for spec in specs:
+            try:
+                planned[spec.name] = list(spec.plan(self.results))
+            except Exception as exc:
+                if self.raise_on_failure:
+                    raise
+                self.spec_errors[spec.name] = f"plan failed: {exc!r}"
+                planned[spec.name] = []
         self.run_cells([c for cells in planned.values() for c in cells])
-        return {spec.name: spec.reduce(self.results) for spec in specs}
+        tables: Dict[str, TableResult] = {}
+        for spec in specs:
+            if spec.name in self.spec_errors:
+                continue
+            try:
+                tables[spec.name] = spec.reduce(self.results)
+            except Exception as exc:
+                if self.raise_on_failure:
+                    raise
+                self.spec_errors[spec.name] = f"reduce failed: {exc!r}"
+        return tables
 
     def run_cells(self, cells: Iterable[Cell]) -> GridResults:
-        """Execute *cells* (deduplicated, cache-checked, fanned out)."""
+        """Execute *cells* (deduplicated, journal-replayed, cache-checked,
+        fanned out)."""
         todo: List[Tuple[str, Cell]] = []
         seen: Dict[str, bool] = {}
         for cell in cells:
@@ -243,6 +454,13 @@ class GridExecutor:
                 self.stats.deduped += 1
                 continue
             seen[key] = True
+            if self.journal is not None:
+                journalled = self.journal.get(key)
+                if journalled is not None:
+                    self.stats.journal_hits += 1
+                    self.cell_seconds[key] = 0.0
+                    self.results.put(key, RunReport.from_dict(journalled))
+                    continue
             if self.use_cache:
                 cached = self._cache_read(key)
                 if cached is not None:
@@ -255,9 +473,7 @@ class GridExecutor:
             return self.results
         task = _run_cell_task_profiled if self.profile else _run_cell_task
         if self.jobs == 1:
-            for key, cell in todo:
-                report_dict, dt, hotspots = task(cell)
-                self._absorb(key, cell, report_dict, dt, hotspots)
+            self._run_serial(todo, task)
         else:
             self._run_parallel(todo, task)
         return self.results
@@ -309,30 +525,154 @@ class GridExecutor:
                 "hotspots": hotspots,
             }
         self.results.put(key, report)
+        if self.journal is not None:
+            self.journal.record(key, cell, report_dict)
         if self.use_cache:
             self._cache_write(key, cell, report_dict)
 
+    def _record_failure(
+        self, key: str, cell: Cell, exc: BaseException, attempts: int
+    ) -> None:
+        kind = (
+            "timeout"
+            if isinstance(exc, CellTimeout)
+            else "crash"
+            if isinstance(exc, BrokenProcessPool)
+            else "error"
+        )
+        self.stats.failed += 1
+        self.failures[key] = {
+            "cell": cell_to_jsonable(cell),
+            "error": repr(exc),
+            "kind": kind,
+            "attempts": attempts,
+        }
+
+    def _run_serial(self, todo: List[Tuple[str, Cell]], task) -> None:
+        """In-process execution (``jobs=1`` and the post-pool-crash
+        degradation path), with the same timeout/retry semantics as the
+        pool."""
+        for key, cell in todo:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    report_dict, dt, hotspots = _call_with_timeout(
+                        task, cell, self.cell_timeout
+                    )
+                except Exception as exc:
+                    timed_out = isinstance(exc, CellTimeout)
+                    if timed_out:
+                        self.stats.timeouts += 1
+                    # timeouts always get their one retry; other errors
+                    # raise straight through in raise_on_failure mode
+                    if self.raise_on_failure and not timed_out:
+                        raise
+                    if attempts < _MAX_CELL_ATTEMPTS:
+                        self.stats.retries += 1
+                        continue
+                    self._record_failure(key, cell, exc, attempts)
+                    if self.raise_on_failure:
+                        raise
+                    break
+                else:
+                    self._absorb(key, cell, report_dict, dt, hotspots)
+                    break
+
     def _run_parallel(self, todo: List[Tuple[str, Cell]], task) -> None:
+        """Pool execution that survives worker crashes and cell failures.
+
+        Cells run in rounds: each round submits every remaining cell to a
+        fresh pool and drains completions.  A failed or timed-out cell is
+        retried in the next round (bounded by ``_MAX_CELL_ATTEMPTS``); a
+        broken pool bumps the attempt count of every still-unfinished
+        cell (the culprit is indistinguishable from its collateral) and
+        restarts, with backoff, up to ``_MAX_POOL_RESTARTS`` times —
+        after that the remaining cells run serially in-process.
+        """
+        guarded = (
+            _guarded_task_profiled if task is _run_cell_task_profiled else _guarded_task
+        )
+        remaining: Dict[str, Cell] = dict(todo)
+        attempts: Dict[str, int] = {}
+        restarts = 0
+        while remaining:
+            try:
+                self._parallel_round(remaining, attempts, guarded)
+            except BrokenProcessPool:
+                self.stats.pool_restarts += 1
+                restarts += 1
+                # every unfinished cell just lost an attempt to the crash
+                dead = [
+                    key
+                    for key in list(remaining)
+                    if attempts.get(key, 0) >= _MAX_CELL_ATTEMPTS
+                ]
+                for key in dead:
+                    cell = remaining.pop(key)
+                    self._record_failure(
+                        key,
+                        cell,
+                        BrokenProcessPool("worker died while running this cell"),
+                        attempts[key],
+                    )
+                if restarts > _MAX_POOL_RESTARTS:
+                    # the pool keeps dying: finish the tail in-process
+                    self._run_serial(list(remaining.items()), task)
+                    return
+                time.sleep(0.1 * restarts)  # verify: allow[wall-clock] — pool restart backoff
+
+    def _parallel_round(
+        self, remaining: Dict[str, Cell], attempts: Dict[str, int], guarded
+    ) -> None:
+        """One pool lifetime: submit all remaining cells, drain results.
+
+        Mutates *remaining*/*attempts* in place; raises
+        :class:`BrokenProcessPool` if the pool died (the caller restarts).
+        """
+        broken: Optional[BrokenProcessPool] = None
         with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(todo)),
+            max_workers=min(self.jobs, len(remaining)),
             initializer=_worker_init,
-            initargs=(self.verify,),
+            initargs=(self.verify, self.cell_timeout),
         ) as pool:
-            futures = {
-                pool.submit(task, cell): (key, cell) for key, cell in todo
-            }
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_EXCEPTION)
-                for fut in done:
-                    key, cell = futures[fut]
-                    exc = fut.exception()
-                    if exc is not None:
-                        for p in pending:
-                            p.cancel()
-                        raise exc
+            futures = {}
+            try:
+                for key, cell in remaining.items():
+                    futures[pool.submit(guarded, cell)] = (key, cell)
+            except BrokenProcessPool as exc:
+                broken = exc  # pool died mid-submission; drain what we have
+            for fut in as_completed(futures):
+                key, cell = futures[fut]
+                exc = fut.exception()
+                if exc is None:
                     report_dict, dt, hotspots = fut.result()
                     self._absorb(key, cell, report_dict, dt, hotspots)
+                    remaining.pop(key, None)
+                    continue
+                if isinstance(exc, BrokenProcessPool):
+                    attempts[key] = attempts.get(key, 0) + 1
+                    broken = exc
+                    continue
+                # the cell itself failed (simulation error or timeout)
+                if isinstance(exc, CellTimeout):
+                    self.stats.timeouts += 1
+                if self.raise_on_failure and not isinstance(exc, CellTimeout):
+                    for other in futures:
+                        other.cancel()
+                    raise exc
+                attempts[key] = attempts.get(key, 0) + 1
+                if attempts[key] < _MAX_CELL_ATTEMPTS:
+                    self.stats.retries += 1  # retried next round
+                else:
+                    remaining.pop(key, None)
+                    self._record_failure(key, cell, exc, attempts[key])
+                    if self.raise_on_failure:
+                        for other in futures:
+                            other.cancel()
+                        raise exc
+        if broken is not None:
+            raise broken
 
     # -- the on-disk cache --------------------------------------------------
 

@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.result import TableResult
-from ..chklib import CoordinatedScheme, IndependentScheme
+from ..chklib import CoordinatedScheme, IndependentScheme, build_policy
 from ..chklib.runtime import RunReport
 from ..chklib.schemes.base import Scheme
 from ..fault.model import FaultModel
@@ -170,6 +170,10 @@ class SchemeSpec:
     gc: bool = False  #: independent: garbage-collect obsolete checkpoints
     incremental: bool = False  #: coordinated: dirty-page increments
     two_level: bool = False  #: coordinated: local-disk first, trickle up
+    #: checkpoint policy as data — a :func:`~repro.chklib.policy.policy_spec`
+    #: tuple ``(kind, ((option, value), ...))``. ``None`` keeps the
+    #: fixed-times schedule in :attr:`times`.
+    policy: Optional[Tuple[str, Tuple[Tuple[str, Any], ...]]] = None
 
     @staticmethod
     def of(alias: str, times: Sequence[float], **options) -> "SchemeSpec":
@@ -191,6 +195,8 @@ class SchemeSpec:
                 kw["incremental"] = True
             if self.two_level:
                 kw["two_level"] = True
+            if self.policy is not None:
+                kw["policy"] = build_policy(self.policy)
             return _COORD_FACTORIES[self.name](list(self.times), **kw)
         if self.name in _INDEP_FACTORIES:
             kw = {"skew": self.skew}
@@ -198,6 +204,8 @@ class SchemeSpec:
                 kw["logging"] = True
             if self.gc:
                 kw["gc"] = True
+            if self.policy is not None:
+                kw["policy"] = build_policy(self.policy)
             return _INDEP_FACTORIES[self.name](list(self.times), **kw)
         raise ValueError(f"unknown scheme base {self.name!r}")
 

@@ -12,6 +12,7 @@ Usage::
     python -m repro.experiments.runner domino
     python -m repro.experiments.runner storage-overhead
     python -m repro.experiments.runner resilience
+    python -m repro.experiments.runner policies
     python -m repro.experiments.runner smoke
     python -m repro.experiments.runner all [--jobs N]
 
@@ -29,6 +30,14 @@ post-hoc by the trace invariant engine (:mod:`repro.verify`), and the
 first violated invariant aborts the experiment with a VerificationError.
 ``smoke`` is the verification smoke battery itself — a small traced run of
 every scheme (plus a crash) with the audit always on.
+
+Robustness: ``--resume PATH`` journals every completed cell to a JSONL
+file and replays it on re-run, so a sweep killed mid-flight (even
+``kill -9``) resumes where it left off with byte-identical stdout;
+``--cell-timeout SECONDS`` bounds each cell's wall clock (a timed-out
+cell is retried once, then recorded as failed).  Failed or timed-out
+cells no longer abort the whole sweep: the runner renders every table it
+can, prints a per-cell failure summary to stderr and exits non-zero.
 """
 
 from __future__ import annotations
@@ -42,9 +51,10 @@ from typing import Dict, List, Optional
 from .ablations import staggering_spec, sync_cost_spec
 from .capture import capture_spec
 from .domino import domino_spec, storage_overhead_spec
-from .executor import GridExecutor, default_cache_dir
+from .executor import GridExecutor, RunJournal, default_cache_dir
 from .faults import failure_rates_spec, interval_sweep_spec
 from .grid import ExperimentSpec
+from .policies import policies_spec
 from .resilience import resilience_spec
 from .sweeps import bandwidth_sweep_spec, writer_sweep_spec
 from .table1 import table1_spec
@@ -85,6 +95,9 @@ _EXPERIMENTS = {
     "two-level": ("two-level", "E3 — two-level stable storage", None, False),
     "resilience": (
         "resilience", "R3 — resilience under faulty stable storage", None, False,
+    ),
+    "policies": (
+        "policies", "P1 — checkpoint policies (fixed vs fault-adaptive)", None, False,
     ),
 }
 
@@ -137,6 +150,8 @@ def _build_spec(spec_name: str, seed: int, scale: float) -> ExperimentSpec:
         return two_level_spec(seed=seed, scale=scale)
     if spec_name == "resilience":
         return resilience_spec(seed=seed, scale=scale)
+    if spec_name == "policies":
+        return policies_spec(seed=seed, scale=scale)
     raise ValueError(f"unknown spec {spec_name!r}")
 
 
@@ -175,6 +190,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-cache",
         action="store_true",
         help="neither read nor write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="journal completed cells to PATH (JSONL) and replay any "
+        "already journalled there — resume an interrupted sweep",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="wall-clock budget per cell (0 = unbounded); a timed-out "
+        "cell is retried once, then recorded as failed",
     )
     parser.add_argument(
         "--timings",
@@ -229,19 +259,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         if spec_name not in specs:
             specs[spec_name] = _build_spec(spec_name, args.seed, scale)
 
+    journal = RunJournal(args.resume) if args.resume else None
+    if journal is not None and len(journal):
+        print(
+            f"[runner] resuming: {len(journal)} cells already journalled "
+            f"in {args.resume}",
+            file=sys.stderr,
+        )
     executor = GridExecutor(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         verify=args.verify,
         profile=args.profile,
+        journal=journal,
+        cell_timeout=args.cell_timeout,
+        raise_on_failure=False,
     )
-    results = executor.run_specs(list(specs.values()))
+    try:
+        results = executor.run_specs(list(specs.values()))
+    finally:
+        if journal is not None:
+            journal.close()
 
     report_sections = []
     for exp in todo:
         spec_name, title, view, with_summary = _EXPERIMENTS[exp]
-        res = results[spec_name]
+        res = results.get(spec_name)
+        if res is None:
+            print(
+                f"[runner] {exp}: no result "
+                f"({executor.spec_errors.get(spec_name, 'spec failed')})",
+                file=sys.stderr,
+            )
+            continue
         if view is not None and not with_summary:  # table2: just the table
             report_sections.append((title, res.view(view)))
             _emit(exp, res.render(view))
@@ -309,6 +360,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"[runner] grid: {executor.stats}", file=sys.stderr)
     wall = time.time() - t0  # verify: allow[wall-clock] — CLI wall-time reporting
     print(f"[runner] done in {wall:.1f}s wall", file=sys.stderr)
+
+    if executor.failures or executor.spec_errors:
+        if executor.failures:
+            print(
+                f"[runner] {len(executor.failures)} cell(s) FAILED:",
+                file=sys.stderr,
+            )
+            for key, rec in executor.failures.items():
+                cell = rec["cell"]
+                scheme = (cell.get("scheme") or {}).get("name", "baseline")
+                print(
+                    f"    {cell['workload']['label']}/{scheme} "
+                    f"({rec['kind']}, {rec['attempts']} attempts, "
+                    f"key {key[:12]}...): {rec['error']}",
+                    file=sys.stderr,
+                )
+        for name, msg in executor.spec_errors.items():
+            print(f"[runner] spec {name}: {msg}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -95,6 +95,27 @@ class StorageFaultInjector:
             self.corruptions += 1
         return corrupt
 
+    # -- durable-line support --------------------------------------------------
+
+    _COUNTERS = (
+        "write_attempts",
+        "read_attempts",
+        "ckpt_writes",
+        "write_faults",
+        "read_faults",
+        "corruptions",
+    )
+
+    def export_state(self) -> dict:
+        """Counter snapshot for durable lines (the RNG stream position is
+        exported separately, at the :class:`~repro.core.rng.RngStreams`
+        level, together with every other substream)."""
+        return {name: getattr(self, name) for name in self._COUNTERS}
+
+    def restore_state(self, state: dict) -> None:
+        for name in self._COUNTERS:
+            setattr(self, name, int(state[name]))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<StorageFaultInjector wf={self.write_faults}/{self.write_attempts} "

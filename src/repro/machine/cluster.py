@@ -63,6 +63,12 @@ class Cluster:
         #: ranks currently blocked inside a checkpoint operation (no
         #: application traffic from them); drives the storage rate factor.
         self._blocked_ranks: set[int] = set()
+        #: whole-machine quiescence (recovery restore window). Overrides the
+        #: per-rank signal: interrupted writers of the dead generation still
+        #: run their cleanup (``set_rank_blocked(rank, False)``) *after*
+        #: recovery declares quiescence, and must not re-apply the
+        #: application-traffic penalty to the restore reads.
+        self._quiesced = False
         self._apply_storage_rate()
 
     def set_rank_blocked(self, rank: int, blocked: bool) -> None:
@@ -78,11 +84,16 @@ class Cluster:
 
     def set_all_blocked(self, blocked: bool) -> None:
         """Whole-machine quiescence (e.g. during recovery restore reads)."""
-        self._blocked_ranks = set(range(self.n_nodes)) if blocked else set()
+        self._quiesced = blocked
+        if not blocked:
+            self._blocked_ranks = set()
         self._apply_storage_rate()
 
     def _apply_storage_rate(self) -> None:
-        active_fraction = 1.0 - len(self._blocked_ranks) / self.n_nodes
+        if self._quiesced:
+            active_fraction = 0.0
+        else:
+            active_fraction = 1.0 - len(self._blocked_ranks) / self.n_nodes
         penalty = self.params.storage.app_traffic_penalty
         self.storage.server.set_rate_factor(1.0 / (1.0 + penalty * active_fraction))
 

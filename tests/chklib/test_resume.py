@@ -1,0 +1,232 @@
+"""Durable recovery lines: bitwise-identical continuation across a halt.
+
+The contract under test (DESIGN.md §9): halting a run at *t* and
+restarting from the captured :class:`DurableLine` — even across a
+process boundary via the on-disk frame — continues **bit-for-bit
+identically** to a run that crashed at *t* and recovered in-process.
+
+Four runs per scheme family:
+
+* **A** — uninterrupted (the ground-truth application result);
+* **B** — in-process ``FaultModel.machine_crash(t)``;
+* **C1** — same run halted at *t* via ``run(halt_at=t)``;
+* **C** — ``restart_from(C1.durable_line)``.
+
+Asserts ``C.to_dict() == B.to_dict()`` exactly (every counter, every
+recovery record, the final simulated clock) and ``C.result == A.result``.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import SOR, Gauss
+from repro.chklib import (
+    CheckpointRuntime,
+    CoordinatedScheme,
+    DurableLine,
+    FaultModel,
+    IndependentScheme,
+    NoCheckpointing,
+)
+from repro.chklib.resume import LINE_MAGIC
+from repro.core.errors import ResumeError
+from repro.machine import MachineParams
+
+MACHINE = MachineParams(n_nodes=4)
+SEED = 7
+
+
+def make_app():
+    app = SOR(n=30, iters=10, flops_per_cell=2400.0)
+    app.image_bytes = 64 * 1024
+    return app
+
+
+def normal_time() -> float:
+    return CheckpointRuntime(make_app(), machine=MACHINE, seed=SEED).run().sim_time
+
+
+def schemes(T):
+    times = (T / 4, T / 2, 3 * T / 4)
+    return {
+        "coord_nb": lambda: CoordinatedScheme.NB(times),
+        "coord_nbm": lambda: CoordinatedScheme.NBM(times),
+        "indep_log": lambda: IndependentScheme.Indep(times, logging=True),
+        "indep_nolog": lambda: IndependentScheme.Indep(times, logging=False),
+    }
+
+
+def _dumps(report):
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def T():
+    return normal_time()
+
+
+@pytest.mark.parametrize(
+    "name", ["coord_nb", "coord_nbm", "indep_log", "indep_nolog"]
+)
+def test_restart_continues_bitwise_identically(name, T):
+    make_scheme = schemes(T)[name]
+    halt = 0.55 * T
+
+    ra = CheckpointRuntime(
+        make_app(), scheme=make_scheme(), machine=MACHINE, seed=SEED
+    ).run()
+    rb = CheckpointRuntime(
+        make_app(),
+        scheme=make_scheme(),
+        machine=MACHINE,
+        seed=SEED,
+        fault_model=FaultModel.machine_crash(halt),
+    ).run()
+
+    halted = CheckpointRuntime(
+        make_app(), scheme=make_scheme(), machine=MACHINE, seed=SEED
+    )
+    halted.run(halt_at=halt)
+    assert halted.halted
+    assert halted.durable_line is not None
+    assert halted.durable_line.meta["halted_at"] == pytest.approx(halt)
+
+    resumed = CheckpointRuntime.restart_from(halted.durable_line)
+    rc = resumed.run()
+
+    # the restart IS the crash recovery, continued bit-for-bit
+    assert _dumps(rc) == _dumps(rb)
+    assert len(resumed.recoveries) == 1
+    # and the application's answer is the undisturbed one
+    assert rc.result == ra.result
+
+
+def test_restart_from_disk_roundtrip(tmp_path, T):
+    halt = 0.55 * T
+    make_scheme = schemes(T)["coord_nb"]
+    rb = CheckpointRuntime(
+        make_app(),
+        scheme=make_scheme(),
+        machine=MACHINE,
+        seed=SEED,
+        fault_model=FaultModel.machine_crash(halt),
+    ).run()
+
+    halted = CheckpointRuntime(
+        make_app(), scheme=make_scheme(), machine=MACHINE, seed=SEED
+    )
+    halted.run(halt_at=halt)
+    path = tmp_path / "lines" / "run.line"
+    halted.durable_line.save(path)
+
+    loaded = DurableLine.load(path)
+    assert loaded.meta == halted.durable_line.meta
+    rc = CheckpointRuntime.restart_from(loaded).run()
+    assert _dumps(rc) == _dumps(rb)
+
+    # restart_from also accepts the path itself
+    rc2 = CheckpointRuntime.restart_from(path).run()
+    assert _dumps(rc2) == _dumps(rb)
+
+
+def test_two_restarts_from_one_line_are_independent(T):
+    halt = 0.55 * T
+    make_scheme = schemes(T)["indep_log"]
+    halted = CheckpointRuntime(
+        make_app(), scheme=make_scheme(), machine=MACHINE, seed=SEED
+    )
+    halted.run(halt_at=halt)
+    line = halted.durable_line
+    r1 = CheckpointRuntime.restart_from(line).run()
+    r2 = CheckpointRuntime.restart_from(line).run()
+    assert _dumps(r1) == _dumps(r2)
+
+
+def test_halt_after_completion_never_fires(T):
+    make_scheme = schemes(T)["coord_nb"]
+    rt = CheckpointRuntime(
+        make_app(), scheme=make_scheme(), machine=MACHINE, seed=SEED
+    )
+    rep = rt.run(halt_at=100.0 * T)  # way past the app's end
+    assert not rt.halted
+    assert rt.durable_line is None
+    assert rep.result is not None
+
+
+def test_halt_requires_a_scheme():
+    rt = CheckpointRuntime(
+        make_app(), scheme=NoCheckpointing(), machine=MACHINE, seed=SEED
+    )
+    with pytest.raises(ResumeError, match="without a checkpointing scheme"):
+        rt.run(halt_at=1.0)
+
+
+def test_halt_must_be_in_the_future():
+    rt = CheckpointRuntime(
+        make_app(),
+        scheme=CoordinatedScheme.NB([1.0]),
+        machine=MACHINE,
+        seed=SEED,
+    )
+    with pytest.raises(ResumeError, match="future"):
+        rt.run(halt_at=-1.0)
+
+
+# -- damaged frames ----------------------------------------------------------
+
+
+def _saved_line(tmp_path, T):
+    halted = CheckpointRuntime(
+        make_app(),
+        scheme=CoordinatedScheme.NB((T / 4, T / 2)),
+        machine=MACHINE,
+        seed=SEED,
+    )
+    halted.run(halt_at=0.55 * T)
+    path = tmp_path / "run.line"
+    halted.durable_line.save(path)
+    return path
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(ResumeError, match="cannot read"):
+        DurableLine.load(tmp_path / "nope.line")
+
+
+def test_load_truncated_frame_raises(tmp_path, T):
+    path = _saved_line(tmp_path, T)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])  # torn write
+    with pytest.raises(ResumeError, match="CRC|truncated"):
+        DurableLine.load(path)
+
+
+def test_load_flipped_byte_raises(tmp_path, T):
+    path = _saved_line(tmp_path, T)
+    raw = bytearray(path.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    with pytest.raises(ResumeError, match="CRC"):
+        DurableLine.load(path)
+
+
+def test_load_bad_magic_raises(tmp_path, T):
+    path = _saved_line(tmp_path, T)
+    raw = path.read_bytes()
+    path.write_bytes(b"XXXX" + raw[len(LINE_MAGIC):])
+    with pytest.raises(ResumeError, match="bad magic"):
+        DurableLine.load(path)
+
+
+def test_restart_config_mismatch_raises(T):
+    halted = CheckpointRuntime(
+        make_app(),
+        scheme=CoordinatedScheme.NB((T / 4, T / 2)),
+        machine=MACHINE,
+        seed=SEED,
+    )
+    halted.run(halt_at=0.55 * T)
+    other = Gauss(n=12, flops_per_cell=100.0)  # different application
+    with pytest.raises(ResumeError, match="does not match"):
+        CheckpointRuntime.restart_from(halted.durable_line, app=other)
