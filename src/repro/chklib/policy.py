@@ -66,6 +66,11 @@ class CheckpointPolicy:
     lo: Optional[float] = None
     hi: Optional[float] = None
 
+    #: Capture manifest (see :mod:`repro.chklib.resume`): a policy rides
+    #: in the pickled scheme, and the decision memo is what makes resumed
+    #: runs replay pre-halt decisions with no side effects.
+    RESUME_FIELDS = ("_memo",)
+
     def __init__(self) -> None:
         #: per-rank memo of every decision: ``{rank: {shot: time|None}}``.
         #: Replayed verbatim on resume so decisions happen exactly once.
@@ -125,6 +130,7 @@ class FixedTimes(CheckpointPolicy):
     """
 
     kind = "fixed"
+    RESUME_FIELDS = ("times",)
 
     def __init__(self, times: Sequence[float]) -> None:
         super().__init__()
@@ -143,6 +149,7 @@ class Periodic(CheckpointPolicy):
     """A fixed interval, open-ended (or bounded by *stop*)."""
 
     kind = "periodic"
+    RESUME_FIELDS = ("interval", "start", "stop", "lo", "hi", "_prev")
 
     def __init__(
         self,
@@ -177,6 +184,7 @@ class PhaseTriggered(CheckpointPolicy):
 
     kind = "phase"
     point_driven = True
+    RESUME_FIELDS = ("every", "_points", "_shots")
 
     def __init__(self, every: int = 1) -> None:
         super().__init__()
@@ -210,6 +218,8 @@ class PhaseTriggered(CheckpointPolicy):
 class _AdaptiveInterval(CheckpointPolicy):
     """Shared machinery: an interval clamped to [lo, hi], adapted per
     decision, with the next shot scheduled one interval ahead."""
+
+    RESUME_FIELDS = ("base_interval", "lo", "hi", "stop", "_interval", "_prev")
 
     def __init__(
         self, base_interval: float, lo: float, hi: float, stop: Optional[float]
@@ -278,6 +288,14 @@ class FailureRateAdaptive(_AdaptiveInterval):
     """
 
     kind = "failure_adaptive"
+    RESUME_FIELDS = (
+        "narrow",
+        "widen",
+        "quiet_shots",
+        "_seen_recoveries",
+        "_seen_faults",
+        "_quiet",
+    )
 
     def __init__(
         self,
@@ -337,6 +355,7 @@ class StoragePressure(_AdaptiveInterval):
     """
 
     kind = "storage_pressure"
+    RESUME_FIELDS = ("budget_bytes",)
 
     def __init__(
         self,

@@ -26,15 +26,52 @@ import pickle
 import struct
 import tempfile
 import zlib
-from typing import Any, Dict
+from typing import Any, Dict, Tuple, Type
 
 from ..core.errors import ResumeError
 
-__all__ = ["DurableLine", "LINE_MAGIC", "LINE_VERSION"]
+__all__ = [
+    "DurableLine",
+    "LINE_MAGIC",
+    "LINE_VERSION",
+    "resume_fields",
+    "volatile_fields",
+    "resume_components",
+]
 
 LINE_MAGIC = b"RPRL"
 LINE_VERSION = 1
 _HEADER = struct.Struct(">II")  # version, crc32
+
+
+def _manifest_union(cls: Type, attr: str) -> Tuple[str, ...]:
+    """Union of a tuple-valued class attribute over *cls*'s MRO, in
+    base-to-leaf declaration order, deduplicated."""
+    seen: Dict[str, None] = {}
+    for klass in reversed(cls.__mro__):
+        for name in vars(klass).get(attr, ()):
+            seen.setdefault(name, None)
+    return tuple(seen)
+
+
+def resume_fields(cls: Type) -> Tuple[str, ...]:
+    """All ``RESUME_FIELDS`` declared along *cls*'s MRO — the attributes
+    captured verbatim into a durable line and restored on resume."""
+    return _manifest_union(cls, "RESUME_FIELDS")
+
+
+def volatile_fields(cls: Type) -> Tuple[str, ...]:
+    """All ``VOLATILE_FIELDS`` declared along *cls*'s MRO — attributes
+    deliberately rebuilt on restart (engine handles, caches, bound
+    references) and excluded from capture/pickling."""
+    return _manifest_union(cls, "VOLATILE_FIELDS")
+
+
+def resume_components(cls: Type) -> Tuple[str, ...]:
+    """All ``RESUME_COMPONENTS`` declared along *cls*'s MRO — sub-objects
+    captured through their own ``export_state()``/manifest rather than as
+    plain values."""
+    return _manifest_union(cls, "RESUME_COMPONENTS")
 
 
 class DurableLine:

@@ -43,7 +43,7 @@ from ..net.api import Comm
 from ..net.transport import Transport
 from ..fault.model import CrashEvent
 from .recovery import CutPoint
-from .resume import DurableLine
+from .resume import DurableLine, resume_components, resume_fields
 from .schemes.base import NoCheckpointing, Scheme
 from .storage_mgr import CheckpointRecord, CheckpointStore
 
@@ -58,8 +58,10 @@ __all__ = [
     "DurableLine",
 ]
 
-#: version stamp of the durable-line payload layout.
-LINE_PAYLOAD_VERSION = 1
+#: version stamp of the durable-line payload layout. v2: the payload is
+#: manifest-driven (keys come from the classes' RESUME_FIELDS /
+#: RESUME_COMPONENTS declarations; ``machine`` became ``machine_params``).
+LINE_PAYLOAD_VERSION = 2
 
 
 def _plain(value: Any) -> Any:
@@ -243,6 +245,51 @@ class Ctx:
 class CheckpointRuntime:
     """One application run on one machine under one checkpointing scheme."""
 
+    #: Capture manifest: attributes serialised verbatim into a durable
+    #: line. The first four are constructor inputs — :meth:`restart_from`
+    #: feeds them back into ``__init__``, so :meth:`_apply_resume` skips
+    #: them (:attr:`_CTOR_FIELDS`).
+    RESUME_FIELDS = (
+        "app",
+        "scheme",
+        "machine_params",
+        "fault_model",
+        "store",
+        "generation",
+        "recoveries",
+    )
+    _CTOR_FIELDS = ("app", "scheme", "machine_params", "fault_model")
+    #: Sub-objects captured through their own ``export_state()`` or their
+    #: class's RESUME_FIELDS manifest (see :meth:`_export_component`).
+    RESUME_COMPONENTS = (
+        "tracer",
+        "rngs",
+        "injector",
+        "transport",
+        "storage",
+        "agents",
+    )
+    #: Rebuilt from scratch by ``__init__`` on every (re)start; never
+    #: captured. The static analyzer's capture-completeness pass checks
+    #: that every attribute assigned on this class appears in one of the
+    #: three manifests.
+    VOLATILE_FIELDS = (
+        "engine",
+        "cluster",
+        "n_ranks",
+        "seed",
+        "fault_plan",
+        "comms",
+        "durable_line",
+        "halted",
+        "_gen_procs",
+        "_finished",
+        "_done",
+        "_result",
+        "_ran",
+        "_resumed_at",
+    )
+
     def __init__(
         self,
         app: Any,
@@ -401,7 +448,7 @@ class CheckpointRuntime:
         return cls(
             app if app is not None else payload["app"],
             scheme=payload["scheme"],
-            machine=machine if machine is not None else payload["machine"],
+            machine=machine if machine is not None else payload["machine_params"],
             seed=int(meta["seed"]),
             fault_model=payload["fault_model"],
             trace=bool(meta["trace"]) if trace is None else trace,
@@ -441,44 +488,47 @@ class CheckpointRuntime:
                 for r in range(self.n_ranks)
             },
         }
-        payload: Dict[str, Any] = {
-            "meta": meta,
-            "app": self.app,
-            "scheme": self.scheme,
-            "machine": self.machine_params,
-            "fault_model": self.fault_model,
-            "store": self.store,
-            "generation": self.generation,
-            "recoveries": list(self.recoveries),
-            "tracer": self.tracer.export_state(),
-            "rngs": self.rngs.export_state(),
-            "transport": {
-                "messages_sent": self.transport.messages_sent,
-                "bytes_sent": self.transport.bytes_sent,
-                "control_messages": self.transport.control_messages,
-                "control_bytes": self.transport.control_bytes,
-            },
-            "storage": {
-                "bytes_written": self.storage.bytes_written,
-                "bytes_read": self.storage.bytes_read,
-                "write_ops": self.storage.write_ops,
-                "read_ops": self.storage.read_ops,
-                "write_faults": self.storage.write_faults,
-                "read_faults": self.storage.read_faults,
-            },
-            "injector": (
-                self.injector.export_state() if self.injector is not None else None
-            ),
-            "agents": [
-                {
-                    "epoch": a.epoch,
-                    "blocked_time": a.blocked_time,
-                    "cuts_taken": a.cuts_taken,
-                }
-                for a in self.agents
-            ],
-        }
+        payload: Dict[str, Any] = {"meta": meta}
+        # the payload layout IS the manifests: plain fields verbatim,
+        # components through _export_component. The static analyzer's
+        # capture-completeness pass checks the manifests against the
+        # attributes the classes actually assign, closing the loop.
+        for name in resume_fields(type(self)):
+            payload[name] = getattr(self, name)
+        for name in resume_components(type(self)):
+            payload[name] = self._export_component(name)
         return DurableLine.from_payload(payload)
+
+    def _export_component(self, name: str) -> Any:
+        """One RESUME_COMPONENTS entry's captured form: ``export_state()``
+        when the object has one, otherwise a dict of the object's own
+        RESUME_FIELDS (a list thereof for the per-rank agents)."""
+        obj = getattr(self, name)
+        if obj is None:
+            return None
+        if name == "agents":
+            return [
+                {f: getattr(a, f) for f in resume_fields(type(a))} for a in obj
+            ]
+        if hasattr(obj, "export_state"):
+            return obj.export_state()
+        return {f: getattr(obj, f) for f in resume_fields(type(obj))}
+
+    def _restore_component(self, name: str, saved: Any) -> None:
+        """Mirror of :meth:`_export_component` for :meth:`_apply_resume`."""
+        obj = getattr(self, name)
+        if obj is None or saved is None:
+            return
+        if name == "agents":
+            for agent, fields in zip(obj, saved):
+                for f, v in fields.items():
+                    setattr(agent, f, v)
+            return
+        if hasattr(obj, "restore_state"):
+            obj.restore_state(saved)
+            return
+        for f, v in saved.items():
+            setattr(obj, f, v)
 
     def _apply_resume(self, payload: Dict[str, Any]) -> None:
         """Load a durable line's payload into this (freshly built) runtime."""
@@ -502,29 +552,12 @@ class CheckpointRuntime:
             raise ResumeError(
                 "durable line does not match this run: " + "; ".join(mismatches)
             )
-        self.store = payload["store"]
-        self.generation = int(payload["generation"])
-        self.recoveries = list(payload["recoveries"])
-        self.tracer.restore_state(payload["tracer"])
-        self.rngs.restore_state(payload["rngs"])
-        tr = payload["transport"]
-        self.transport.messages_sent = int(tr["messages_sent"])
-        self.transport.bytes_sent = tr["bytes_sent"]
-        self.transport.control_messages = int(tr["control_messages"])
-        self.transport.control_bytes = tr["control_bytes"]
-        st = payload["storage"]
-        self.storage.bytes_written = st["bytes_written"]
-        self.storage.bytes_read = st["bytes_read"]
-        self.storage.write_ops = int(st["write_ops"])
-        self.storage.read_ops = int(st["read_ops"])
-        self.storage.write_faults = int(st["write_faults"])
-        self.storage.read_faults = int(st["read_faults"])
-        if self.injector is not None and payload["injector"] is not None:
-            self.injector.restore_state(payload["injector"])
-        for agent, saved in zip(self.agents, payload["agents"]):
-            agent.epoch = int(saved["epoch"])
-            agent.blocked_time = float(saved["blocked_time"])
-            agent.cuts_taken = int(saved["cuts_taken"])
+        for name in resume_fields(type(self)):
+            if name in self._CTOR_FIELDS:
+                continue  # restart_from already fed these into __init__
+            setattr(self, name, payload[name])
+        for name in resume_components(type(self)):
+            self._restore_component(name, payload[name])
         self._resumed_at = float(meta["halted_at"])
 
     def spawn(self, generator, name: str = "") -> Process:

@@ -32,6 +32,22 @@ __all__ = ["SchemeAgent", "Scheme", "NoCheckpointing"]
 class SchemeAgent(CommAgent):
     """Per-rank checkpointing agent wired into the communication path."""
 
+    #: Capture manifest (see :mod:`repro.chklib.resume`): the cumulative
+    #: per-rank facts a durable line carries across a halt/restart.
+    RESUME_FIELDS = ("epoch", "blocked_time", "cuts_taken")
+    #: Rebuilt by ``__init__``/``bind``/``bind_state`` on every restart —
+    #: in-flight protocol state is wiped by recovery in-process too.
+    VOLATILE_FIELDS = (
+        "scheme",
+        "runtime",
+        "rank",
+        "node",
+        "comm",
+        "state_ref",
+        "pending_cut",
+        "finished",
+    )
+
     def __init__(
         self, scheme: "Scheme", runtime: "CheckpointRuntime", rank: int
     ) -> None:
@@ -174,6 +190,23 @@ class Scheme:
     #: local disk (fast, contention-free); a background "trickle" copies
     #: them to the global server afterwards.
     two_level = False
+
+    #: Capture manifests (see :mod:`repro.chklib.resume`). A scheme is
+    #: pickled whole into the durable line; VOLATILE_FIELDS are nulled by
+    #: the generic ``__getstate__`` below and rebuilt by ``install()``.
+    RESUME_FIELDS: tuple = ()
+    VOLATILE_FIELDS: tuple = ()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle with every VOLATILE_FIELDS entry (unioned over the MRO)
+        nulled — engine-bound handles never enter a durable line."""
+        from ..resume import volatile_fields
+
+        state = dict(self.__dict__)
+        for name in volatile_fields(type(self)):
+            if name in state:
+                state[name] = None
+        return state
 
     def make_agent(self, runtime: "CheckpointRuntime", rank: int) -> SchemeAgent:
         return SchemeAgent(self, runtime, rank)

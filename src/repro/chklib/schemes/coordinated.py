@@ -92,6 +92,17 @@ class _Round:
 class CoordinatedAgent(SchemeAgent):
     """Rank-local mechanics of the coordinated protocol."""
 
+    #: In-flight round state — wiped by every recovery/restart, so none of
+    #: it belongs in a durable line (see SchemeAgent.RESUME_FIELDS for
+    #: what does travel).
+    VOLATILE_FIELDS = (
+        "round",
+        "early_markers",
+        "early_tokens",
+        "aborted_rounds",
+        "inc",
+    )
+
     def __init__(self, scheme: "CoordinatedScheme", runtime, rank: int) -> None:
         super().__init__(scheme, runtime, rank)
         self.round: Optional[_Round] = None
@@ -121,6 +132,28 @@ class CoordinatedScheme(Scheme):
     """Coordinator + agents for one coordinated variant."""
 
     klass = "coordinated"
+
+    #: Capture manifests (see :mod:`repro.chklib.resume`). Everything but
+    #: the engine-bound staggering slot travels in the pickled scheme:
+    #: ``_acks``/``_aborted`` must survive a halt so ``on_crash`` and the
+    #: coordinator's bookkeeping resume bitwise-identically.
+    RESUME_FIELDS = (
+        "times",
+        "policy",
+        "capture",
+        "memory_ckpt",
+        "staggered",
+        "incremental",
+        "full_every",
+        "two_level",
+        "name",
+        "coordinator_rank",
+        "_next_n",
+        "_initiated",
+        "_acks",
+        "_aborted",
+    )
+    VOLATILE_FIELDS = ("_write_slot",)
 
     def __init__(
         self,
@@ -220,12 +253,9 @@ class CoordinatedScheme(Scheme):
         if not self.policy.point_driven:
             runtime.engine.process(self._initiator(runtime), name="ckpt-initiator")
 
-    def __getstate__(self) -> dict:
-        # the staggering write slot holds an engine reference; install()
-        # recreates it in the restarted runtime.
-        state = dict(self.__dict__)
-        state["_write_slot"] = None
-        return state
+    # pickling: the generic Scheme.__getstate__ nulls VOLATILE_FIELDS —
+    # the staggering write slot holds an engine reference; install()
+    # recreates it in the restarted runtime.
 
     def _initiator(self, runtime: "CheckpointRuntime"):
         """Coordinator-side: kick off a global checkpoint at each time the

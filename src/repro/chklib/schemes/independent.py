@@ -51,6 +51,10 @@ __all__ = ["IndependentScheme", "IndependentAgent"]
 class IndependentAgent(SchemeAgent):
     """Rank-local state: the volatile sender log."""
 
+    #: All in-flight; wiped by recovery/restart (the volatile sender log
+    #: is exactly the state an independent-checkpointing crash loses).
+    VOLATILE_FIELDS = ("volatile_log", "writing", "inc")
+
     def __init__(self, scheme: "IndependentScheme", runtime, rank: int) -> None:
         super().__init__(scheme, runtime, rank)
         self.volatile_log: List[Message] = []
@@ -68,6 +72,27 @@ class IndependentScheme(Scheme):
     """Timer-driven uncoordinated checkpointing."""
 
     klass = "independent"
+
+    #: Capture manifest: the whole scheme object is durable — per-rank
+    #: fire/draw bookkeeping must survive a halt so resumed timers replay
+    #: the same skewed schedule bitwise.
+    RESUME_FIELDS = (
+        "times",
+        "policy",
+        "_fired",
+        "_drawn",
+        "_pending_fire",
+        "capture",
+        "memory_ckpt",
+        "incremental",
+        "full_every",
+        "two_level",
+        "name",
+        "skew",
+        "logging",
+        "pessimistic_logging",
+        "gc",
+    )
 
     def __init__(
         self,

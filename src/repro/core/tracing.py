@@ -25,7 +25,53 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import Engine
 
-__all__ = ["Tracer", "NullTracer", "make_tracer", "Span", "TraceEvent"]
+__all__ = [
+    "EVENT_KINDS",
+    "Tracer",
+    "NullTracer",
+    "make_tracer",
+    "Span",
+    "TraceEvent",
+]
+
+#: The closed vocabulary of trace-event kinds. Every ``tracer.event(...)``
+#: emission site must use a name from this set, and every invariant
+#: checker's subscription must resolve against it — the static analyzer's
+#: trace-conformance pass enforces both directions, so a typo'd name can
+#: no longer make an invariant pass vacuously.
+EVENT_KINDS = frozenset(
+    {
+        # protocol rounds (coordinated 2PC + markers, independent cuts)
+        "proto.request",
+        "proto.cut",
+        "proto.ack",
+        "proto.commit",
+        "proto.commit_apply",
+        "proto.commit_on_recovery",
+        "proto.abort_report",
+        "proto.abort",
+        "proto.abort_apply",
+        "proto.token_pass",
+        "proto.write_begin",
+        "proto.write_end",
+        "proto.local_commit",
+        # channel traffic
+        "msg.send",
+        "msg.deliver",
+        # failure / recovery machinery
+        "recover.crash",
+        "recover.line",
+        "recover.replay",
+        # checkpoint garbage collection
+        "gc.run",
+        "gc.discard",
+        # checkpoint-interval policies
+        "policy.decide",
+        "policy.adapt",
+        # durable halt/resume
+        "resume.halt",
+    }
+)
 
 
 @dataclass(frozen=True)

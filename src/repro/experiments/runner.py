@@ -232,6 +232,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..verify import set_runtime_verification
 
         set_runtime_verification(True)
+        # static gate before any simulation: the whole-tree analyzer
+        # report against the committed baseline (memoized per process).
+        # Output goes to stderr only — runner stdout is byte-compared by
+        # the resume-smoke CI job and must stay result-only.
+        from ..verify.analyze import check_tree
+
+        analysis = check_tree()
+        if not analysis.ok:
+            for line in analysis.render_text():
+                print(line, file=sys.stderr)
+            print(
+                "[runner] static analysis failed (new findings or stale "
+                "baseline); fix them or update ANALYZE_BASELINE.json",
+                file=sys.stderr,
+            )
+            return 2
 
     scale = 0.2 if args.quick else 1.0
     t0 = time.time()  # verify: allow[wall-clock] — CLI wall-time reporting

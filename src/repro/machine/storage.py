@@ -37,6 +37,19 @@ __all__ = ["StableStorage"]
 class StableStorage:
     """Shared stable-storage server with per-request latency and PS service."""
 
+    #: Capture manifest (see :mod:`repro.chklib.resume`): the accounting
+    #: counters travel in a durable line; the server/engine handles and
+    #: the fault oracle are rebuilt by the restarted runtime.
+    RESUME_FIELDS = (
+        "bytes_written",
+        "bytes_read",
+        "write_ops",
+        "read_ops",
+        "write_faults",
+        "read_faults",
+    )
+    VOLATILE_FIELDS = ("engine", "params", "tracer", "server", "fault_injector")
+
     def __init__(
         self,
         engine: "Engine",

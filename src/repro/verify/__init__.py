@@ -1,4 +1,4 @@
-"""Three-layer verification subsystem for the reproduction.
+"""Four-layer verification subsystem for the reproduction.
 
 1. **Model checking** (:mod:`.model`, :mod:`.explorer`) — exhaustive
    explicit-state exploration of abstracted protocol state machines: the
@@ -15,10 +15,21 @@
    that forbids wall-clock and unseeded-randomness leaks into simulation
    code, bare ``assert`` for runtime validation, and engine primitives
    called without ``yield``.
+4. **Whole-program static analysis** (:mod:`.analyze`) — multi-pass
+   analysis over one shared front-end (per-module ASTs, project symbol
+   table, generator classification): yield-discipline dataflow,
+   cleanup-mutation detection (the PR 5 ``_quiesced`` bug class),
+   resume-capture completeness against the classes' RESUME_FIELDS
+   manifests, trace-event conformance against ``EVENT_KINDS``, and
+   nondeterminism taint tracking — gated by the committed
+   ``ANALYZE_BASELINE.json`` in both directions.
 
-CLI: ``python -m repro.verify [lint|model|smoke|all]``.
+CLI: ``python -m repro.verify [lint|model|smoke|trace|analyze|all]``;
+each layer has a distinct failure exit code (lint=2, model=3, trace=4,
+analyze=5).
 """
 
+from .analyze import AnalysisReport, Baseline, Finding, analyze
 from .explorer import ExplorationResult, Violation, explore
 from .invariants import RunMeta, TraceViolation, default_checkers
 from .lint import LintIssue, lint_paths, lint_source
@@ -34,6 +45,10 @@ from .trace_check import (
 )
 
 __all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "Finding",
+    "analyze",
     "ExplorationResult",
     "Violation",
     "explore",

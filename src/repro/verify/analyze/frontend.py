@@ -1,0 +1,457 @@
+"""Shared static-analysis front-end: one AST walk per module.
+
+Every analysis pass (and the hygiene lint that predates them) consumes the
+same pre-digested view of the tree, built here in a single recursive walk
+per module:
+
+* :class:`Module` — the parsed source plus flat, walk-ordered indexes of
+  the nodes the passes care about (calls with their dotted callee names,
+  expression statements, assignments, ``try`` blocks, asserts, imports)
+  and the module's ``# verify: allow[...]`` pragma lines.
+* :class:`FunctionInfo` — per function/method: own-scope generator-ness
+  (contains ``yield``/``yield from`` outside nested defs), the returns it
+  makes, and its qualified name.
+* :class:`ClassInfo` — per class: base-class simple names, every
+  ``self.X = ...`` attribute the methods assign, and the class-level
+  capture manifests (``RESUME_FIELDS``/``VOLATILE_FIELDS``/
+  ``RESUME_COMPONENTS`` tuples of strings).
+* :class:`Project` — the whole-program view: modules, symbol tables by
+  simple name, and the *generator name* classification the yield-discipline
+  pass keys on (a simple name is generator-returning only when **every**
+  project function with that name is a generator or a thin wrapper that
+  returns one — ambiguous names like ``run`` are deliberately excluded).
+
+Waivers: a finding on line *L* is suppressed when line *L* carries a
+``# verify: allow`` comment, optionally naming rules
+(``# verify: allow[cleanup-mutation]``) — the same pragma the hygiene lint
+has always honoured, shared by every pass.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "ALLOW_RE",
+    "GENERATOR_PRIMITIVES",
+    "FunctionInfo",
+    "ClassInfo",
+    "Module",
+    "Project",
+    "default_target",
+    "dotted_name",
+    "build_project",
+]
+
+#: ``# verify: allow`` / ``# verify: allow[rule-a, rule-b]``
+ALLOW_RE = re.compile(r"#\s*verify:\s*allow(?:\[([a-z\-,\s]+)\])?")
+
+#: generator-returning simulation primitives that are inert unless driven
+#: by ``yield``/``yield from`` (or handed to the engine/spawn explicitly).
+GENERATOR_PRIMITIVES = {
+    "timeout",
+    "compute",
+    "mem_copy",
+    "send",
+    "recv",
+    "sendrecv",
+    "send_control",
+    "stable_write",
+    "stable_read",
+    "at_point",
+    "checkpoint_point",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+}
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` attribute chains as a dotted string (None otherwise)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def default_target() -> Path:
+    """The package root analysed by default (``src/repro``)."""
+    return Path(__file__).resolve().parent.parent.parent
+
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = _FUNC_NODES + (ast.Lambda,)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with its own-scope properties."""
+
+    node: ast.AST
+    name: str
+    qualname: str
+    class_name: Optional[str]
+    module: "Module"
+    is_generator: bool
+    #: ``return <expr>`` values in the function's own scope.
+    returns: List[ast.expr] = field(default_factory=list)
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+@dataclass
+class ClassInfo:
+    """One class: bases, assigned instance attributes, capture manifests."""
+
+    node: ast.ClassDef
+    name: str
+    module: "Module"
+    #: simple names of the base expressions (terminal attribute segment).
+    bases: Tuple[str, ...]
+    #: class-level ``NAME = ("a", "b", ...)`` string-tuple assignments
+    #: whose name ends in ``_FIELDS`` or ``_COMPONENTS``.
+    manifests: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: ``self.X`` attributes assigned anywhere in the class body, with the
+    #: first line each was assigned on.
+    self_fields: Dict[str, int] = field(default_factory=dict)
+    methods: List[FunctionInfo] = field(default_factory=list)
+
+    def declared_fields(self) -> Set[str]:
+        out: Set[str] = set()
+        for names in self.manifests.values():
+            out.update(names)
+        return out
+
+
+class Module:
+    """One parsed module plus walk-ordered node indexes."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.lines: Sequence[str] = source.splitlines()
+        self.syntax_error: Optional[SyntaxError] = None
+        try:
+            self.tree: Optional[ast.AST] = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            self.tree = None
+            self.syntax_error = exc
+        # walk-ordered indexes (empty for unparsable modules)
+        self.functions: List[FunctionInfo] = []
+        self.classes: List[ClassInfo] = []
+        #: every call, with the dotted name of its callee (or None).
+        self.calls: List[Tuple[ast.Call, Optional[str]]] = []
+        self.expr_statements: List[ast.Expr] = []
+        self.asserts: List[ast.Assert] = []
+        self.imports: List[ast.Import] = []
+        self.import_froms: List[ast.ImportFrom] = []
+        self.tries: List[ast.Try] = []
+        # module-level import facts (for the hygiene rules)
+        self.imports_random = False
+        self.imports_numpy = False
+        self.numpy_aliases: Set[str] = {"numpy"}
+        self.from_time_names: Set[str] = set()
+        if self.tree is not None:
+            self._index()
+
+    @classmethod
+    def from_source(cls, source: str, path: str = "<string>") -> "Module":
+        return cls(path, source)
+
+    @classmethod
+    def from_file(cls, path: Path) -> "Module":
+        return cls(str(path), path.read_text(encoding="utf-8"))
+
+    # -- pragma waivers -------------------------------------------------------
+
+    def allowed(self, lineno: int, rule: str) -> bool:
+        """Does line *lineno* waive *rule* with a ``# verify: allow``?"""
+        if not (1 <= lineno <= len(self.lines)):
+            return False
+        m = ALLOW_RE.search(self.lines[lineno - 1])
+        if not m:
+            return False
+        rules = m.group(1)
+        if rules is None:
+            return True
+        return rule in {r.strip() for r in rules.split(",")}
+
+    # -- the single walk ------------------------------------------------------
+
+    def _index(self) -> None:
+        for alias in [
+            a for node in ast.walk(self.tree) if isinstance(node, ast.Import)
+            for a in node.names
+        ]:
+            if alias.name == "random":
+                self.imports_random = True
+            if alias.name == "numpy":
+                self.imports_numpy = True
+                self.numpy_aliases.add(alias.asname or "numpy")
+        self._walk(self.tree, class_stack=[], func_stack=[])
+
+    def _walk(self, node: ast.AST, class_stack, func_stack) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Import):
+                self.imports.append(child)
+            elif isinstance(child, ast.ImportFrom):
+                self.import_froms.append(child)
+                if child.module == "time":
+                    for alias in child.names:
+                        if alias.name in ("time", "perf_counter", "monotonic"):
+                            self.from_time_names.add(alias.asname or alias.name)
+            elif isinstance(child, ast.Call):
+                self.calls.append((child, dotted_name(child.func)))
+            elif isinstance(child, ast.Expr):
+                self.expr_statements.append(child)
+            elif isinstance(child, ast.Assert):
+                self.asserts.append(child)
+            elif isinstance(child, ast.Try):
+                self.tries.append(child)
+            elif isinstance(child, ast.ClassDef):
+                info = ClassInfo(
+                    node=child,
+                    name=child.name,
+                    module=self,
+                    bases=tuple(
+                        b for b in (
+                            base.id if isinstance(base, ast.Name)
+                            else base.attr if isinstance(base, ast.Attribute)
+                            else None
+                            for base in child.bases
+                        ) if b is not None
+                    ),
+                )
+                self._collect_manifests(child, info)
+                self.classes.append(info)
+                self._walk(child, class_stack + [info], func_stack)
+                continue
+            elif isinstance(child, _FUNC_NODES):
+                cls = class_stack[-1] if class_stack else None
+                qual = ".".join(
+                    [c.name for c in class_stack]
+                    + [f.name for f in func_stack]
+                    + [child.name]
+                )
+                info = FunctionInfo(
+                    node=child,
+                    name=child.name,
+                    qualname=qual,
+                    class_name=cls.name if cls else None,
+                    module=self,
+                    is_generator=_own_scope_has_yield(child),
+                    returns=[
+                        r.value
+                        for r in _own_scope_nodes(child, ast.Return)
+                        if r.value is not None
+                    ],
+                )
+                self.functions.append(info)
+                if cls is not None:
+                    cls.methods.append(info)
+                    _collect_self_assigns(child, cls)
+                self._walk(child, class_stack, func_stack + [info])
+                continue
+            elif class_stack and isinstance(child, (ast.Assign, ast.AugAssign)):
+                # class-level (non-method) assigns were already handled by
+                # _collect_manifests; still descend for nested calls.
+                pass
+            self._walk(child, class_stack, func_stack)
+
+    @staticmethod
+    def _collect_manifests(cls_node: ast.ClassDef, info: ClassInfo) -> None:
+        for stmt in cls_node.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if not (
+                    target.id.endswith("_FIELDS")
+                    or target.id.endswith("_COMPONENTS")
+                ):
+                    continue
+                names = _string_tuple(stmt.value)
+                if names is not None:
+                    info.manifests[target.id] = names
+
+
+def _string_tuple(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """A literal tuple/list of string constants, or None."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    out: List[str] = []
+    for el in node.elts:
+        if isinstance(el, ast.Constant) and isinstance(el.value, str):
+            out.append(el.value)
+        else:
+            return None
+    return tuple(out)
+
+
+def _own_scope_children(node: ast.AST):
+    """Yield descendants of *node* without entering nested scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, _SCOPE_NODES):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _own_scope_nodes(node: ast.AST, kind) -> List[ast.AST]:
+    return [c for c in _own_scope_children(node) if isinstance(c, kind)]
+
+
+def _own_scope_has_yield(func: ast.AST) -> bool:
+    return any(
+        isinstance(c, (ast.Yield, ast.YieldFrom))
+        for c in _own_scope_children(func)
+    )
+
+
+def _collect_self_assigns(func: ast.AST, cls: ClassInfo) -> None:
+    """Record ``self.X`` attribute stores in *func*'s own scope."""
+    for child in _own_scope_children(func):
+        targets: List[ast.expr] = []
+        if isinstance(child, ast.Assign):
+            targets = list(child.targets)
+        elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+            targets = [child.target]
+        for target in targets:
+            for t in _flatten_targets(target):
+                if (
+                    isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                ):
+                    cls.self_fields.setdefault(t.attr, t.lineno)
+
+
+def _flatten_targets(target: ast.expr):
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for el in target.elts:
+            yield from _flatten_targets(el)
+    else:
+        yield target
+
+
+class Project:
+    """The whole-program view the passes operate on."""
+
+    def __init__(self, modules: List[Module], whole_program: bool = False) -> None:
+        self.modules = modules
+        #: True when this project is the full ``src/repro`` tree — enables
+        #: global-completeness checks (stale vocabulary, never-emitted
+        #: subscriptions) that would misfire on partial file sets.
+        self.whole_program = whole_program
+        self.functions_by_name: Dict[str, List[FunctionInfo]] = {}
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        for mod in modules:
+            for fn in mod.functions:
+                self.functions_by_name.setdefault(fn.name, []).append(fn)
+            for cls in mod.classes:
+                self.classes_by_name.setdefault(cls.name, []).append(cls)
+        self.generator_names: Set[str] = self._classify_generators()
+
+    # -- generator classification --------------------------------------------
+
+    def _classify_generators(self) -> Set[str]:
+        """Simple names whose every project definition is a generator (or a
+        wrapper returning one). Computed to a fixed point so wrappers of
+        wrappers classify too (``Ctx.checkpoint_point`` → ``at_point``)."""
+        gen: Set[str] = set()
+        for name, fns in self.functions_by_name.items():
+            if fns and all(f.is_generator for f in fns):
+                gen.add(name)
+        known = gen | GENERATOR_PRIMITIVES
+        changed = True
+        while changed:
+            changed = False
+            for name, fns in self.functions_by_name.items():
+                if name in gen:
+                    continue
+                if fns and all(
+                    f.is_generator or self._wraps_generator(f, known)
+                    for f in fns
+                ):
+                    gen.add(name)
+                    known.add(name)
+                    changed = True
+        return gen
+
+    @staticmethod
+    def _wraps_generator(fn: FunctionInfo, known: Set[str]) -> bool:
+        """Every valued return is a call to a known generator name (and
+        there is at least one) — a thin forwarding wrapper."""
+        if not fn.returns:
+            return False
+        for value in fn.returns:
+            if not isinstance(value, ast.Call):
+                return False
+            dotted = dotted_name(value.func)
+            terminal = dotted.split(".")[-1] if dotted else None
+            if terminal not in known:
+                return False
+        return True
+
+    def subclasses_of(self, roots: Iterable[str]) -> List[ClassInfo]:
+        """All classes transitively derived (by simple base name) from any
+        of *roots*, roots included."""
+        names = set(roots)
+        changed = True
+        while changed:
+            changed = False
+            for name, classes in self.classes_by_name.items():
+                if name in names:
+                    continue
+                if any(b in names for cls in classes for b in cls.bases):
+                    names.add(name)
+                    changed = True
+        return [
+            cls
+            for name in sorted(names)
+            for cls in self.classes_by_name.get(name, [])
+        ]
+
+    def ancestry(self, cls: ClassInfo) -> List[ClassInfo]:
+        """*cls* plus every project class reachable through base names."""
+        seen: Dict[int, ClassInfo] = {id(cls): cls}
+        queue = [cls]
+        while queue:
+            cur = queue.pop()
+            for base in cur.bases:
+                for parent in self.classes_by_name.get(base, []):
+                    if id(parent) not in seen:
+                        seen[id(parent)] = parent
+                        queue.append(parent)
+        return list(seen.values())
+
+
+def iter_python_files(paths: Optional[Iterable[Path]] = None) -> List[Path]:
+    roots = [Path(p) for p in paths] if paths else [default_target()]
+    files: List[Path] = []
+    for root in roots:
+        files.extend(sorted(root.rglob("*.py")) if root.is_dir() else [root])
+    return files
+
+
+def build_project(paths: Optional[Iterable[Path]] = None) -> Project:
+    """Parse and index every ``*.py`` under *paths* (default: src/repro)."""
+    whole = paths is None
+    modules = [Module.from_file(f) for f in iter_python_files(paths)]
+    return Project(modules, whole_program=whole)

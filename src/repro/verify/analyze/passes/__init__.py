@@ -1,0 +1,37 @@
+"""The analyzer's passes, in the order ``run_passes`` executes them.
+
+Each pass is a function ``(Project) -> List[Finding]`` (hygiene is
+additionally usable per-module, which is how the legacy ``lint`` layer
+drives it). Pragma waivers (``# verify: allow[rule]``) are honoured by
+every pass through :meth:`Module.allowed`.
+"""
+
+from __future__ import annotations
+
+from .hygiene import hygiene_pass, module_hygiene
+from .yield_discipline import yield_discipline_pass
+from .cleanup_mutation import cleanup_mutation_pass
+from .capture import capture_pass
+from .trace_conformance import trace_conformance_pass
+from .nondet_taint import nondet_taint_pass
+
+__all__ = [
+    "ALL_PASSES",
+    "hygiene_pass",
+    "module_hygiene",
+    "yield_discipline_pass",
+    "cleanup_mutation_pass",
+    "capture_pass",
+    "trace_conformance_pass",
+    "nondet_taint_pass",
+]
+
+#: (name, pass) in execution order.
+ALL_PASSES = (
+    ("hygiene", hygiene_pass),
+    ("yield-discipline", yield_discipline_pass),
+    ("cleanup-mutation", cleanup_mutation_pass),
+    ("capture-completeness", capture_pass),
+    ("trace-conformance", trace_conformance_pass),
+    ("nondet-taint", nondet_taint_pass),
+)

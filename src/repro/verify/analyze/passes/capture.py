@@ -1,0 +1,76 @@
+"""Resume-capture completeness: every stateful attribute is accounted for.
+
+Bitwise-identical resume (PR 5) only holds if ``CheckpointRuntime.run``'s
+halt capture reaches *every* mutable attribute of the runtime, schemes,
+agents, policies, transport, and storage. The capture used to be a
+hand-maintained field list inside ``export_line`` — a new scheme field
+silently broke resume until a test happened to cover it.
+
+Capture is now manifest-driven: each class declares
+
+* ``RESUME_FIELDS`` — attributes captured into the durable line,
+* ``VOLATILE_FIELDS`` — attributes deliberately rebuilt on restart
+  (engine handles, caches, bound references),
+* ``RESUME_COMPONENTS`` — sub-objects captured via their own
+  ``export_state()``/manifest,
+
+and ``export_line``/``_apply_resume`` iterate the manifests. This pass
+closes the loop statically:
+
+``capture-completeness``
+    a class derived from one of the capture roots assigns ``self.X``
+    somewhere in its body, but ``X`` appears in no manifest anywhere in
+    its (project-visible) ancestry — so halt/resume would silently drop
+    it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..findings import Finding
+from ..frontend import Project
+
+__all__ = ["capture_pass", "CAPTURE_ROOTS"]
+
+RULE = "capture-completeness"
+
+#: base classes whose subclasses carry resume-relevant state.
+CAPTURE_ROOTS = (
+    "CheckpointRuntime",
+    "Scheme",
+    "SchemeAgent",
+    "CheckpointPolicy",
+    "Transport",
+    "StableStorage",
+)
+
+
+def capture_pass(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for cls in project.subclasses_of(CAPTURE_ROOTS):
+        declared: Set[str] = set()
+        for ancestor in project.ancestry(cls):
+            declared.update(ancestor.declared_fields())
+        for attr in sorted(cls.self_fields):
+            if attr in declared:
+                continue
+            line = cls.self_fields[attr]
+            if cls.module.allowed(line, RULE):
+                continue
+            findings.append(
+                Finding(
+                    rule=RULE,
+                    path=cls.module.path,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"`{cls.name}.{attr}` is assigned but listed in no "
+                        f"capture manifest (RESUME_FIELDS / VOLATILE_FIELDS "
+                        f"/ RESUME_COMPONENTS) — halt/resume would silently "
+                        f"drop it"
+                    ),
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col))
+    return findings

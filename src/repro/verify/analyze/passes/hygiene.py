@@ -1,0 +1,261 @@
+"""Hygiene pass: the sim-determinism lint rules, on the shared front-end.
+
+These are the rules the original single-file ``lint.py`` visitor applied
+— wall-clock reads, global-RNG use, bare asserts, generator primitives
+called as bare statements — migrated onto the one-walk :class:`Module`
+index so they share parsing with every other pass, plus the broadened
+nondeterminism set (``os.urandom``, ``uuid.*``, ``time.strftime`` of the
+current time, ``random.Random()`` without an explicit seed).
+
+Finding order and message text are byte-compatible with the legacy
+visitor: candidates are emitted per node in the original check order and
+stable-sorted by position, with same-position ties broken the way a
+pre-order AST visit would have flagged them (imports, then the statement
+wrapping a call, then the call itself).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from ..findings import Finding
+from ..frontend import GENERATOR_PRIMITIVES, Module, Project
+
+__all__ = ["WALL_CLOCK", "GENERATOR_PRIMITIVES", "module_hygiene", "hygiene_pass"]
+
+#: wall-clock calls by dotted suffix
+WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.clock",
+    "datetime.now",
+    "datetime.utcnow",
+    "date.today",
+}
+
+# same-position tie-break phases, matching pre-order visitor flag order:
+# an import flags before anything else on its line, a statement node
+# (Expr/Assert) flags before the call nested inside it.
+_PHASE_IMPORT = 0
+_PHASE_STMT = 1
+_PHASE_CALL = 2
+
+
+class _Emitter:
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.raw: List[tuple] = []
+
+    def flag(self, node: ast.AST, phase: int, rule: str, message: str) -> None:
+        if self.module.allowed(getattr(node, "lineno", 0), rule):
+            return
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        self.raw.append(
+            (
+                line,
+                col,
+                phase,
+                len(self.raw),
+                Finding(
+                    rule=rule,
+                    path=self.module.path,
+                    line=line,
+                    col=col,
+                    message=message,
+                ),
+            )
+        )
+
+    def findings(self) -> List[Finding]:
+        return [entry[-1] for entry in sorted(self.raw, key=lambda e: e[:4])]
+
+
+def module_hygiene(module: Module) -> List[Finding]:
+    """All hygiene findings for one module."""
+    if module.syntax_error is not None:
+        exc = module.syntax_error
+        return [
+            Finding(
+                rule="syntax",
+                path=module.path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=str(exc.msg),
+            )
+        ]
+    out = _Emitter(module)
+    _check_imports(module, out)
+    _check_statements(module, out)
+    _check_calls(module, out)
+    _check_asserts(module, out)
+    return out.findings()
+
+
+def hygiene_pass(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in project.modules:
+        findings.extend(module_hygiene(module))
+    return findings
+
+
+# -- imports -------------------------------------------------------------
+
+
+def _check_imports(module: Module, out: _Emitter) -> None:
+    for node in module.import_froms:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in ("time", "perf_counter", "monotonic"):
+                    out.flag(
+                        node,
+                        _PHASE_IMPORT,
+                        "wall-clock",
+                        f"importing wall-clock `{alias.name}` from `time`; "
+                        f"simulation code must use Engine.now",
+                    )
+        if node.module == "random":
+            out.flag(
+                node,
+                _PHASE_IMPORT,
+                "nondeterminism",
+                "importing from the global `random` module; use "
+                "repro.core.rng.RngStreams",
+            )
+
+
+# -- calls ---------------------------------------------------------------
+
+
+def _check_calls(module: Module, out: _Emitter) -> None:
+    for node, dotted in module.calls:
+        if dotted is None:
+            continue
+        parts = dotted.split(".")
+        suffix2 = ".".join(parts[-2:])
+        if suffix2 in WALL_CLOCK:
+            out.flag(
+                node,
+                _PHASE_CALL,
+                "wall-clock",
+                f"wall-clock call `{dotted}()` in simulation code; "
+                f"use Engine.now (waive with `# verify: allow[wall-clock]` "
+                f"for wall-clock *reporting*)",
+            )
+        if len(parts) == 1 and parts[0] in module.from_time_names:
+            out.flag(
+                node,
+                _PHASE_CALL,
+                "wall-clock",
+                f"wall-clock call `{dotted}()` in simulation code",
+            )
+        if module.imports_random and parts[0] == "random" and len(parts) == 2:
+            if parts[1] == "Random" and not (node.args or node.keywords):
+                out.flag(
+                    node,
+                    _PHASE_CALL,
+                    "nondeterminism",
+                    "`random.Random()` without an explicit seed draws from "
+                    "OS entropy; seed it, or draw from RngStreams",
+                )
+            else:
+                out.flag(
+                    node,
+                    _PHASE_CALL,
+                    "nondeterminism",
+                    f"global RNG call `{dotted}()`; draw from a seeded "
+                    f"RngStreams stream instead",
+                )
+        if (
+            module.imports_numpy
+            and len(parts) >= 3
+            and parts[0] in module.numpy_aliases
+            and parts[1] == "random"
+        ):
+            # `default_rng(seed)` builds an explicitly-seeded Generator
+            # — that IS the sanctioned idiom; only the unseeded form
+            # (OS entropy) and the global-state functions are leaks.
+            seeded = parts[2] == "default_rng" and (node.args or node.keywords)
+            if not seeded:
+                out.flag(
+                    node,
+                    _PHASE_CALL,
+                    "nondeterminism",
+                    f"NumPy global RNG call `{dotted}()`; use the run's "
+                    f"RngStreams / an explicitly seeded default_rng",
+                )
+        if suffix2 == "os.urandom":
+            out.flag(
+                node,
+                _PHASE_CALL,
+                "nondeterminism",
+                "`os.urandom()` reads OS entropy; deterministic runs must "
+                "draw from RngStreams",
+            )
+        if len(parts) >= 2 and parts[0] == "uuid":
+            out.flag(
+                node,
+                _PHASE_CALL,
+                "nondeterminism",
+                f"`{dotted}()` derives from host state/entropy; "
+                f"deterministic runs must not mint UUIDs",
+            )
+        if suffix2 == "time.strftime" and len(node.args) < 2:
+            out.flag(
+                node,
+                _PHASE_CALL,
+                "wall-clock",
+                "`time.strftime()` without an explicit time tuple formats "
+                "the wall clock; pass a value derived from Engine.now",
+            )
+
+
+# -- asserts -------------------------------------------------------------
+
+
+def _check_asserts(module: Module, out: _Emitter) -> None:
+    for node in module.asserts:
+        test = node.test
+        is_narrowing = (
+            isinstance(test, ast.Call)
+            and isinstance(test.func, ast.Name)
+            and test.func.id == "isinstance"
+        )
+        if not is_narrowing:
+            out.flag(
+                node,
+                _PHASE_STMT,
+                "bare-assert",
+                "bare `assert` for runtime validation is stripped by "
+                "`python -O`; raise InvariantViolation (repro.core.errors) "
+                "instead",
+            )
+
+
+# -- discarded generators ------------------------------------------------
+
+
+def _check_statements(module: Module, out: _Emitter) -> None:
+    for node in module.expr_statements:
+        call = node.value
+        if not isinstance(call, ast.Call):
+            continue
+        name: Optional[str] = None
+        if isinstance(call.func, ast.Attribute):
+            name = call.func.attr
+        elif isinstance(call.func, ast.Name):
+            name = call.func.id
+        if name in GENERATOR_PRIMITIVES:
+            out.flag(
+                node,
+                _PHASE_STMT,
+                "unyielded-primitive",
+                f"`{name}(...)` called as a statement returns an inert "
+                f"generator — the simulated work never happens; drive it "
+                f"with `yield from` (or spawn it as a process)",
+            )

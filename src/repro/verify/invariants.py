@@ -93,6 +93,12 @@ class Checker:
 
     name = "checker"
 
+    #: trace-event kinds this checker keys on — ``("*",)`` for every
+    #: event. Cross-checked statically against the emission sites by the
+    #: analyzer's trace-conformance pass, so a subscription to an event
+    #: nothing emits (a vacuously-green invariant) fails analysis.
+    consumes: Tuple[str, ...] = ()
+
     def __init__(self, meta: RunMeta) -> None:
         self.meta = meta
         self.violations: List[TraceViolation] = []
@@ -125,6 +131,7 @@ class MonotonicClock(Checker):
     """Event timestamps never decrease: the simulated clock is monotone."""
 
     name = "monotonic_clock"
+    consumes = ("*",)
 
     def __init__(self, meta: RunMeta) -> None:
         super().__init__(meta)
@@ -150,6 +157,7 @@ class ChannelFifo(Checker):
     """
 
     name = "channel_fifo"
+    consumes = ("msg.send", "msg.deliver")
 
     def __init__(self, meta: RunMeta) -> None:
         super().__init__(meta)
@@ -198,6 +206,7 @@ class CutMonotonic(Checker):
     recovery (to the restored line's index)."""
 
     name = "cut_monotonic"
+    consumes = ("proto.cut", "recover.line")
 
     def __init__(self, meta: RunMeta) -> None:
         super().__init__(meta)
@@ -234,6 +243,14 @@ class CoordinatedTwoPhase(Checker):
     """
 
     name = "coordinated_two_phase"
+    consumes = (
+        "proto.ack",
+        "proto.abort_report",
+        "proto.commit",
+        "proto.abort",
+        "proto.commit_apply",
+        "proto.commit_on_recovery",
+    )
 
     def __init__(self, meta: RunMeta) -> None:
         super().__init__(meta)
@@ -310,6 +327,7 @@ class StaggeredWriteMutex(Checker):
     on the stable-storage path."""
 
     name = "staggered_write_mutex"
+    consumes = ("proto.write_begin", "proto.write_end")
 
     def __init__(self, meta: RunMeta) -> None:
         super().__init__(meta)
@@ -341,6 +359,7 @@ class GcLineSafety(Checker):
     """
 
     name = "gc_line_safety"
+    consumes = ("gc.run", "gc.discard", "recover.line")
 
     def __init__(self, meta: RunMeta) -> None:
         super().__init__(meta)
@@ -385,6 +404,7 @@ class LineSoundness(Checker):
     """
 
     name = "line_soundness"
+    consumes = ("recover.replay", "recover.line")
 
     def __init__(self, meta: RunMeta) -> None:
         super().__init__(meta)
@@ -463,6 +483,7 @@ class PolicyAdaptation(Checker):
     """
 
     name = "policy_adaptation"
+    consumes = ("policy.decide", "policy.adapt")
 
     _EPS = 1e-9
 

@@ -3,17 +3,18 @@
 The simulation's headline property is determinism — same seed, same run,
 bit for bit. That dies quietly the moment simulation code reads the wall
 clock, pulls from a global RNG, or validates correctness with a statement
-``python -O`` deletes. This pass walks the AST of every module under
-:mod:`repro` and rejects:
+``python -O`` deletes. This layer rejects:
 
 ``wall-clock``
     ``time.time()``, ``time.perf_counter()``, ``time.monotonic()``,
-    ``datetime.now()``/``utcnow()``, ``date.today()`` — simulated code
-    must read :attr:`Engine.now`.
+    ``datetime.now()``/``utcnow()``, ``date.today()``,
+    ``time.strftime()`` of the current time — simulated code must read
+    :attr:`Engine.now`.
 ``nondeterminism``
     the global ``random`` module and NumPy's global RNG
-    (``np.random.*``) — streams must come from
-    :class:`repro.core.rng.RngStreams`, which is seeded per run.
+    (``np.random.*``), plus ``os.urandom``, ``uuid.*``, and
+    ``random.Random()`` without an explicit seed — streams must come
+    from :class:`repro.core.rng.RngStreams`, which is seeded per run.
 ``bare-assert``
     ``assert`` used for runtime validation — stripped under ``python -O``;
     correctness checks must raise
@@ -28,55 +29,28 @@ clock, pulls from a global RNG, or validates correctness with a statement
 A finding can be waived for one line with a trailing ``# verify: allow``
 comment (optionally naming the rule: ``# verify: allow[wall-clock]``) —
 e.g. the experiment runner legitimately reports wall-clock duration.
+
+The rules themselves live in :mod:`repro.verify.analyze.passes.hygiene`,
+running on the shared one-walk front-end every analyzer pass uses; this
+module is the stable, list-of-issues entry point ``python -m repro.verify
+lint`` has always exposed.
 """
 
 from __future__ import annotations
 
-import ast
-import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
+
+from .analyze.frontend import (
+    ALLOW_RE as _ALLOW_RE,
+    GENERATOR_PRIMITIVES,
+    Module as _Module,
+    iter_python_files as _iter_python_files,
+)
+from .analyze.passes.hygiene import WALL_CLOCK, module_hygiene
 
 __all__ = ["LintIssue", "lint_source", "lint_paths", "default_target"]
-
-#: wall-clock calls by dotted suffix
-WALL_CLOCK = {
-    "time.time",
-    "time.time_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.clock",
-    "datetime.now",
-    "datetime.utcnow",
-    "date.today",
-}
-
-#: generator-returning simulation primitives that are inert unless driven
-#: by ``yield``/``yield from`` (or handed to the engine/spawn explicitly).
-GENERATOR_PRIMITIVES = {
-    "timeout",
-    "compute",
-    "mem_copy",
-    "send",
-    "recv",
-    "sendrecv",
-    "send_control",
-    "stable_write",
-    "stable_read",
-    "at_point",
-    "checkpoint_point",
-    "barrier",
-    "bcast",
-    "reduce",
-    "allreduce",
-    "gather",
-    "scatter",
-}
-
-_ALLOW_RE = re.compile(r"#\s*verify:\s*allow(?:\[([a-z\-,\s]+)\])?")
 
 
 @dataclass
@@ -93,190 +67,15 @@ class LintIssue:
         return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
 
 
-def _dotted(node: ast.AST) -> Optional[str]:
-    """`a.b.c` attribute chains as a dotted string (None for anything else)."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: str, source_lines: Sequence[str]) -> None:
-        self.path = path
-        self.lines = source_lines
-        self.issues: List[LintIssue] = []
-        self.imports_random = False
-        self.imports_numpy = False
-        self.numpy_aliases = {"numpy"}
-        self.from_time_names: set[str] = set()
-
-    # -- plumbing -------------------------------------------------------------
-
-    def _allowed(self, node: ast.AST, rule: str) -> bool:
-        lineno = getattr(node, "lineno", 0)
-        if not (1 <= lineno <= len(self.lines)):
-            return False
-        m = _ALLOW_RE.search(self.lines[lineno - 1])
-        if not m:
-            return False
-        rules = m.group(1)
-        if rules is None:
-            return True
-        return rule in {r.strip() for r in rules.split(",")}
-
-    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
-        if self._allowed(node, rule):
-            return
-        self.issues.append(
-            LintIssue(
-                path=self.path,
-                line=getattr(node, "lineno", 0),
-                col=getattr(node, "col_offset", 0),
-                rule=rule,
-                message=message,
-            )
-        )
-
-    # -- imports ---------------------------------------------------------------
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            if alias.name == "random":
-                self.imports_random = True
-            if alias.name == "numpy":
-                self.imports_numpy = True
-                self.numpy_aliases.add(alias.asname or "numpy")
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module == "time":
-            for alias in node.names:
-                if alias.name in ("time", "perf_counter", "monotonic"):
-                    self.from_time_names.add(alias.asname or alias.name)
-                    self._flag(
-                        node,
-                        "wall-clock",
-                        f"importing wall-clock `{alias.name}` from `time`; "
-                        f"simulation code must use Engine.now",
-                    )
-        if node.module == "random":
-            self._flag(
-                node,
-                "nondeterminism",
-                "importing from the global `random` module; use "
-                "repro.core.rng.RngStreams",
-            )
-        self.generic_visit(node)
-
-    # -- calls -------------------------------------------------------------------
-
-    def visit_Call(self, node: ast.Call) -> None:
-        dotted = _dotted(node.func)
-        if dotted is not None:
-            suffix2 = ".".join(dotted.split(".")[-2:])
-            if suffix2 in WALL_CLOCK:
-                self._flag(
-                    node,
-                    "wall-clock",
-                    f"wall-clock call `{dotted}()` in simulation code; "
-                    f"use Engine.now (waive with `# verify: allow[wall-clock]` "
-                    f"for wall-clock *reporting*)",
-                )
-            parts = dotted.split(".")
-            if len(parts) == 1 and parts[0] in self.from_time_names:
-                self._flag(
-                    node,
-                    "wall-clock",
-                    f"wall-clock call `{dotted}()` in simulation code",
-                )
-            if self.imports_random and parts[0] == "random" and len(parts) == 2:
-                self._flag(
-                    node,
-                    "nondeterminism",
-                    f"global RNG call `{dotted}()`; draw from a seeded "
-                    f"RngStreams stream instead",
-                )
-            if (
-                self.imports_numpy
-                and len(parts) >= 3
-                and parts[0] in self.numpy_aliases
-                and parts[1] == "random"
-            ):
-                # `default_rng(seed)` builds an explicitly-seeded Generator
-                # — that IS the sanctioned idiom; only the unseeded form
-                # (OS entropy) and the global-state functions are leaks.
-                seeded = parts[2] == "default_rng" and (node.args or node.keywords)
-                if not seeded:
-                    self._flag(
-                        node,
-                        "nondeterminism",
-                        f"NumPy global RNG call `{dotted}()`; use the run's "
-                        f"RngStreams / an explicitly seeded default_rng",
-                    )
-        self.generic_visit(node)
-
-    # -- asserts ----------------------------------------------------------------
-
-    def visit_Assert(self, node: ast.Assert) -> None:
-        test = node.test
-        is_narrowing = (
-            isinstance(test, ast.Call)
-            and isinstance(test.func, ast.Name)
-            and test.func.id == "isinstance"
-        )
-        if not is_narrowing:
-            self._flag(
-                node,
-                "bare-assert",
-                "bare `assert` for runtime validation is stripped by "
-                "`python -O`; raise InvariantViolation (repro.core.errors) "
-                "instead",
-            )
-        self.generic_visit(node)
-
-    # -- discarded generators ------------------------------------------------------
-
-    def visit_Expr(self, node: ast.Expr) -> None:
-        call = node.value
-        if isinstance(call, ast.Call):
-            name: Optional[str] = None
-            if isinstance(call.func, ast.Attribute):
-                name = call.func.attr
-            elif isinstance(call.func, ast.Name):
-                name = call.func.id
-            if name in GENERATOR_PRIMITIVES:
-                self._flag(
-                    node,
-                    "unyielded-primitive",
-                    f"`{name}(...)` called as a statement returns an inert "
-                    f"generator — the simulated work never happens; drive it "
-                    f"with `yield from` (or spawn it as a process)",
-                )
-        self.generic_visit(node)
-
-
 def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
     """Lint one module's source text."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:  # surface as a finding, not a crash
-        return [
-            LintIssue(
-                path=path,
-                line=exc.lineno or 0,
-                col=exc.offset or 0,
-                rule="syntax",
-                message=str(exc.msg),
-            )
-        ]
-    visitor = _Visitor(path, source.splitlines())
-    visitor.visit(tree)
-    return visitor.issues
+    module = _Module.from_source(source, path=path)
+    return [
+        LintIssue(
+            path=f.path, line=f.line, col=f.col, rule=f.rule, message=f.message
+        )
+        for f in module_hygiene(module)
+    ]
 
 
 def default_target() -> Path:
@@ -286,13 +85,10 @@ def default_target() -> Path:
 
 def lint_paths(paths: Optional[Iterable[Path]] = None) -> List[LintIssue]:
     """Lint every ``*.py`` file under *paths* (default: all of repro)."""
-    roots = [Path(p) for p in paths] if paths else [default_target()]
     issues: List[LintIssue] = []
-    for root in roots:
-        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
-        for file in files:
-            issues.extend(
-                lint_source(file.read_text(encoding="utf-8"), path=str(file))
-            )
+    for file in _iter_python_files(paths):
+        issues.extend(
+            lint_source(file.read_text(encoding="utf-8"), path=str(file))
+        )
     issues.sort(key=lambda i: (i.path, i.line, i.col))
     return issues

@@ -1,0 +1,253 @@
+"""Tests for the shared static-analysis front-end (Module/Project)."""
+
+import textwrap
+
+from repro.verify.analyze.frontend import (
+    GENERATOR_PRIMITIVES,
+    Module,
+    Project,
+    build_project,
+    dotted_name,
+)
+
+
+def _module(source, path="pkg/mod.py"):
+    return Module.from_source(textwrap.dedent(source), path=path)
+
+
+def _project(*sources):
+    return Project([_module(s, path=f"pkg/m{i}.py") for i, s in enumerate(sources)])
+
+
+# -- Module indexing ----------------------------------------------------------
+
+
+def test_functions_indexed_with_generator_flag():
+    mod = _module(
+        """
+        def plain(x):
+            return x + 1
+
+        def gen(ctx):
+            yield from ctx.timeout(1.0)
+        """
+    )
+    by_name = {f.name: f for f in mod.functions}
+    assert not by_name["plain"].is_generator
+    assert by_name["gen"].is_generator
+
+
+def test_generator_flag_is_own_scope_only():
+    # a yield inside a nested def must not make the outer def a generator
+    mod = _module(
+        """
+        def outer(ctx):
+            def inner():
+                yield 1
+            return inner
+        """
+    )
+    by_name = {f.name: f for f in mod.functions}
+    assert not by_name["outer"].is_generator
+    assert by_name["inner"].is_generator
+
+
+def test_method_qualnames_and_class_membership():
+    mod = _module(
+        """
+        class Agent:
+            def step(self, ctx):
+                yield from ctx.compute(1.0)
+        """
+    )
+    (fn,) = mod.functions
+    assert fn.qualname == "Agent.step"
+    assert fn.class_name == "Agent"
+    (cls,) = mod.classes
+    assert [m.name for m in cls.methods] == ["step"]
+
+
+def test_class_manifests_and_self_fields():
+    mod = _module(
+        """
+        class Thing:
+            RESUME_FIELDS = ("a", "b")
+            VOLATILE_FIELDS = ("engine",)
+            NOT_A_MANIFEST = ("c",) + ("d",)   # non-literal: ignored
+
+            def __init__(self):
+                self.a = 1
+                self.engine = None
+
+            def tick(self):
+                self.b += 1
+        """
+    )
+    (cls,) = mod.classes
+    assert cls.manifests["RESUME_FIELDS"] == ("a", "b")
+    assert cls.manifests["VOLATILE_FIELDS"] == ("engine",)
+    assert cls.declared_fields() == {"a", "b", "engine"}
+    assert set(cls.self_fields) == {"a", "b", "engine"}
+
+
+def test_class_bases_use_terminal_names():
+    mod = _module(
+        """
+        class Mine(base.Scheme, Mixin):
+            pass
+        """
+    )
+    (cls,) = mod.classes
+    assert cls.bases == ("Scheme", "Mixin")
+
+
+def test_syntax_error_recorded_not_raised():
+    mod = _module("def broken(:\n")
+    assert mod.tree is None
+    assert mod.syntax_error is not None
+    assert mod.functions == []
+
+
+def test_allow_pragma_named_blanket_and_mismatch():
+    mod = _module(
+        """
+        a = 1  # verify: allow[cleanup-mutation]
+        b = 2  # verify: allow
+        c = 3
+        """
+    )
+    assert mod.allowed(2, "cleanup-mutation")
+    assert not mod.allowed(2, "nondet-taint")
+    assert mod.allowed(3, "anything-at-all")
+    assert not mod.allowed(4, "cleanup-mutation")
+
+
+# -- generator-name classification --------------------------------------------
+
+
+def test_name_with_all_generator_defs_classifies():
+    project = _project(
+        """
+        def warmup(ctx):
+            yield from ctx.compute(1.0)
+        """,
+        """
+        class Other:
+            def warmup(self, ctx):
+                yield from ctx.timeout(1.0)
+        """,
+    )
+    assert "warmup" in project.generator_names
+
+
+def test_ambiguous_name_does_not_classify():
+    # one def is a generator, one is not -> by-name attribution is unsafe
+    project = _project(
+        """
+        def run(ctx):
+            yield from ctx.compute(1.0)
+        """,
+        """
+        def run(x):
+            return x
+        """,
+    )
+    assert "run" not in project.generator_names
+
+
+def test_thin_wrapper_classifies_to_fixed_point():
+    project = _project(
+        """
+        def base_step(ctx):
+            yield from ctx.compute(1.0)
+
+        def wrapper(ctx):
+            return base_step(ctx)
+
+        def wrapper_of_wrapper(ctx):
+            return wrapper(ctx)
+        """
+    )
+    assert "wrapper" in project.generator_names
+    assert "wrapper_of_wrapper" in project.generator_names
+
+
+def test_wrapper_of_primitive_classifies():
+    project = _project(
+        """
+        def pause(ctx, dt):
+            return ctx.timeout(dt)
+        """
+    )
+    assert "pause" in project.generator_names
+
+
+# -- class hierarchy helpers --------------------------------------------------
+
+
+def test_subclasses_of_is_transitive():
+    project = _project(
+        """
+        class Scheme:
+            pass
+
+        class Mid(Scheme):
+            pass
+
+        class Leaf(Mid):
+            pass
+
+        class Unrelated:
+            pass
+        """
+    )
+    names = {c.name for c in project.subclasses_of(["Scheme"])}
+    assert names == {"Scheme", "Mid", "Leaf"}
+
+
+def test_ancestry_walks_base_names_across_modules():
+    project = _project(
+        """
+        class Base:
+            RESUME_FIELDS = ("x",)
+        """,
+        """
+        class Child(Base):
+            RESUME_FIELDS = ("y",)
+        """,
+    )
+    child = project.classes_by_name["Child"][0]
+    names = {c.name for c in project.ancestry(child)}
+    assert names == {"Child", "Base"}
+
+
+# -- misc ---------------------------------------------------------------------
+
+
+def test_dotted_name_on_chains_and_non_chains():
+    import ast
+
+    def expr(src):
+        return ast.parse(src, mode="eval").body
+
+    assert dotted_name(expr("a.b.c")) == "a.b.c"
+    assert dotted_name(expr("name")) == "name"
+    assert dotted_name(expr("f().g")) is None
+
+
+def test_primitive_set_covers_the_comm_surface():
+    assert {"timeout", "compute", "send", "recv", "barrier"} <= GENERATOR_PRIMITIVES
+
+
+def test_build_project_default_is_whole_program():
+    project = build_project()
+    assert project.whole_program
+    assert project.modules  # the src/repro tree parsed
+
+
+def test_build_project_subset_is_not_whole_program(tmp_path):
+    f = tmp_path / "one.py"
+    f.write_text("x = 1\n")
+    project = build_project([tmp_path])
+    assert not project.whole_program
+    assert len(project.modules) == 1

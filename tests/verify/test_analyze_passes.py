@@ -1,0 +1,484 @@
+"""Mutation tests: each analysis pass catches its seeded bug class.
+
+Every test plants one representative bug in a synthetic module and
+asserts the pass flags it — and that the repaired twin stays clean, so
+the rules discriminate rather than blanket-fire.
+"""
+
+import textwrap
+
+from repro.verify.analyze import analyze
+from repro.verify.analyze.frontend import Module, Project
+from repro.verify.analyze.passes.capture import capture_pass
+from repro.verify.analyze.passes.cleanup_mutation import cleanup_mutation_pass
+from repro.verify.analyze.passes.nondet_taint import nondet_taint_pass
+from repro.verify.analyze.passes.trace_conformance import trace_conformance_pass
+from repro.verify.analyze.passes.yield_discipline import yield_discipline_pass
+
+
+def _project(source, path="pkg/mod.py", whole_program=False):
+    module = Module.from_source(textwrap.dedent(source), path=path)
+    return Project([module], whole_program=whole_program)
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+# -- 1. yield-discipline: generator created, never driven ---------------------
+
+
+def test_undriven_generator_assignment_flagged():
+    project = _project(
+        """
+        def worker(ctx):
+            g = ctx.compute(100.0)
+            yield from ctx.timeout(1.0)
+        """
+    )
+    findings = yield_discipline_pass(project)
+    assert _rules(findings) == ["undriven-generator"]
+    assert "never driven" in findings[0].message
+
+
+def test_driven_generator_assignment_clean():
+    project = _project(
+        """
+        def worker(ctx):
+            g = ctx.compute(100.0)
+            yield from g
+        """
+    )
+    assert yield_discipline_pass(project) == []
+
+
+def test_spawned_generator_assignment_clean():
+    # handing the generator to the engine counts as driving it
+    project = _project(
+        """
+        def worker(ctx, engine):
+            g = ctx.compute(100.0)
+            engine.spawn(g)
+            yield from ctx.timeout(1.0)
+        """
+    )
+    assert yield_discipline_pass(project) == []
+
+
+def test_plain_call_of_project_coroutine_flagged():
+    # the whole-program upgrade over the fixed primitive list: `warmup`
+    # is a *project* coroutine, invisible to the hygiene lint's rule
+    project = _project(
+        """
+        def warmup(ctx):
+            yield from ctx.timeout(1.0)
+
+        def worker(ctx):
+            warmup(ctx)
+            yield from ctx.compute(5.0)
+        """
+    )
+    findings = yield_discipline_pass(project)
+    assert _rules(findings) == ["undriven-generator"]
+    assert "warmup" in findings[0].message
+
+
+def test_yield_from_project_coroutine_clean():
+    project = _project(
+        """
+        def warmup(ctx):
+            yield from ctx.timeout(1.0)
+
+        def worker(ctx):
+            yield from warmup(ctx)
+        """
+    )
+    assert yield_discipline_pass(project) == []
+
+
+def test_undriven_generator_allow_pragma():
+    project = _project(
+        """
+        def worker(ctx):
+            g = ctx.compute(100.0)  # verify: allow[undriven-generator]
+            yield from ctx.timeout(1.0)
+        """
+    )
+    assert yield_discipline_pass(project) == []
+
+
+# -- 2. cleanup-mutation: the PR 5 `_quiesced` regression ---------------------
+
+# PR 5's worst bug: a process coroutine's `finally:` reached into cluster
+# state during restore-time teardown, un-quiescing the storage rate mid-
+# restore. This fixture replays that exact shape.
+_PR5_FIXTURE = """
+    def restore_reader(rt, rank):
+        try:
+            yield rt.engine.timeout(1.0)
+        finally:
+            rt.cluster._blocked_ranks.discard(rank)
+            rt.cluster._apply_storage_rate()
+"""
+
+
+def test_pr5_cleanup_unquiesce_bug_flagged():
+    findings = cleanup_mutation_pass(_project(_PR5_FIXTURE))
+    assert _rules(findings) == ["cleanup-mutation", "cleanup-mutation"]
+    assert all("finally" in f.message for f in findings)
+    assert "quiesce-guard" in findings[0].message
+
+
+def test_quiesce_guard_api_in_finally_clean():
+    project = _project(
+        """
+        def restore_reader(rt, rank):
+            try:
+                yield rt.engine.timeout(1.0)
+            finally:
+                rt.cluster.set_rank_blocked(rank, False)
+        """
+    )
+    assert cleanup_mutation_pass(project) == []
+
+
+def test_except_generator_exit_write_flagged():
+    project = _project(
+        """
+        def worker(rt, rank):
+            try:
+                yield rt.engine.timeout(1.0)
+            except GeneratorExit:
+                rt.storage.write_faults = 0
+                raise
+        """
+    )
+    findings = cleanup_mutation_pass(project)
+    assert _rules(findings) == ["cleanup-mutation"]
+    assert "except GeneratorExit" in findings[0].message
+
+
+def test_non_generator_finally_not_flagged():
+    # only process coroutines run their cleanup mid-restore
+    project = _project(
+        """
+        def report(rt):
+            try:
+                return rt.cluster.snapshot()
+            finally:
+                rt.cluster.set_load(0)
+        """
+    )
+    assert cleanup_mutation_pass(project) == []
+
+
+def test_machine_modules_exempt():
+    # repro/machine implements the guarded state; the rule polices clients
+    project = _project(_PR5_FIXTURE, path="src/repro/machine/cluster.py")
+    assert cleanup_mutation_pass(project) == []
+
+
+def test_local_state_in_finally_clean():
+    project = _project(
+        """
+        def worker(ctx):
+            pending = []
+            try:
+                yield from ctx.compute(1.0)
+            finally:
+                pending.clear()
+        """
+    )
+    assert cleanup_mutation_pass(project) == []
+
+
+# -- 3. capture-completeness: a field dropped from the manifests --------------
+
+
+def test_scheme_field_missing_from_manifests_flagged():
+    project = _project(
+        """
+        class Scheme:
+            RESUME_FIELDS = ("times",)
+
+        class SkewedScheme(Scheme):
+            RESUME_FIELDS = ("skew",)
+            VOLATILE_FIELDS = ("_write_slot",)
+
+            def __init__(self, times, skew):
+                self.times = times
+                self.skew = skew
+                self.drift = 0.0
+                self._write_slot = None
+        """
+    )
+    findings = capture_pass(project)
+    assert _rules(findings) == ["capture-completeness"]
+    assert "SkewedScheme.drift" in findings[0].message
+
+
+def test_fields_declared_anywhere_in_ancestry_clean():
+    project = _project(
+        """
+        class Scheme:
+            RESUME_FIELDS = ("times",)
+            VOLATILE_FIELDS = ("runtime",)
+
+        class MyScheme(Scheme):
+            RESUME_FIELDS = ("interval",)
+
+            def __init__(self, times, interval):
+                self.times = times
+                self.interval = interval
+                self.runtime = None
+        """
+    )
+    assert capture_pass(project) == []
+
+
+def test_classes_outside_capture_roots_ignored():
+    project = _project(
+        """
+        class Report:
+            def __init__(self):
+                self.rows = []
+        """
+    )
+    assert capture_pass(project) == []
+
+
+def test_capture_allow_pragma():
+    project = _project(
+        """
+        class Scheme:
+            RESUME_FIELDS = ("times",)
+
+        class MyScheme(Scheme):
+            def __init__(self, times):
+                self.times = times
+                self.scratch = None  # verify: allow[capture-completeness]
+        """
+    )
+    assert capture_pass(project) == []
+
+
+# -- 4. trace-conformance: a typo'd event name --------------------------------
+
+
+def test_typoed_emission_flagged():
+    project = _project(
+        """
+        class Agent:
+            def commit(self):
+                self.tracer.event("proto.comit", rank=self.rank)
+        """
+    )
+    findings = trace_conformance_pass(project)
+    assert _rules(findings) == ["trace-conformance"]
+    assert "proto.comit" in findings[0].message
+
+
+def test_valid_emission_clean():
+    project = _project(
+        """
+        class Agent:
+            def commit(self):
+                self.tracer.event("proto.commit", rank=self.rank)
+        """
+    )
+    assert trace_conformance_pass(project) == []
+
+
+def test_typoed_consumer_comparison_flagged():
+    project = _project(
+        """
+        def check(ev):
+            if ev.kind == "proto.comit":
+                return True
+        """
+    )
+    findings = trace_conformance_pass(project)
+    assert _rules(findings) == ["trace-conformance"]
+    assert "vacuously" in findings[0].message
+
+
+def test_typoed_consumes_manifest_flagged():
+    project = _project(
+        """
+        class MyChecker:
+            consumes = ("proto.commit", "proto.comit")
+        """
+    )
+    findings = trace_conformance_pass(project)
+    assert _rules(findings) == ["trace-conformance"]
+
+
+def test_message_kind_comparison_not_confused_with_events():
+    # msg.kind lives in a different namespace than trace-event kinds
+    project = _project(
+        """
+        def deliver(msg):
+            if msg.kind == "app":
+                return True
+        """
+    )
+    assert trace_conformance_pass(project) == []
+
+
+def test_whole_program_vacuous_consumption_flagged():
+    # valid vocabulary entry, but nothing in the (whole) program emits it
+    project = _project(
+        """
+        def check(ev):
+            if ev.kind == "proto.cut":
+                return True
+        """,
+        whole_program=True,
+    )
+    findings = trace_conformance_pass(project)
+    assert _rules(findings) == ["trace-conformance"]
+    assert "no site emits" in findings[0].message
+
+
+def test_subset_run_skips_vacuous_consumption():
+    # the same module analysed as a subset: the emitter may live elsewhere
+    project = _project(
+        """
+        def check(ev):
+            if ev.kind == "proto.cut":
+                return True
+        """,
+        whole_program=False,
+    )
+    assert trace_conformance_pass(project) == []
+
+
+# -- 5. nondet-taint: set iteration order reaching a trace event --------------
+
+
+def test_set_order_into_trace_event_flagged():
+    project = _project(
+        """
+        class Gc:
+            def run(self, ranks):
+                survivors = set(ranks)
+                self.tracer.event("gc.run", survivors=list(survivors))
+        """
+    )
+    findings = nondet_taint_pass(project)
+    assert _rules(findings) == ["nondet-taint"]
+    assert "trace event" in findings[0].message
+
+
+def test_sorted_cleanses_set_order():
+    project = _project(
+        """
+        class Gc:
+            def run(self, ranks):
+                survivors = set(ranks)
+                self.tracer.event("gc.run", survivors=sorted(survivors))
+        """
+    )
+    assert nondet_taint_pass(project) == []
+
+
+def test_id_into_rng_seed_flagged():
+    project = _project(
+        """
+        def reseed(rng, obj):
+            rng.seed(id(obj))
+        """
+    )
+    findings = nondet_taint_pass(project)
+    assert _rules(findings) == ["nondet-taint"]
+    assert "RNG seeding" in findings[0].message
+
+
+def test_environ_into_print_flagged():
+    project = _project(
+        """
+        def report():
+            tag = os.environ.get("HOSTNAME")
+            print(tag)
+        """
+    )
+    findings = nondet_taint_pass(project)
+    assert _rules(findings) == ["nondet-taint"]
+    assert "print" in findings[0].message
+
+
+def test_loop_carried_taint_reaches_sink_above_source():
+    # the sink sits above the tainting assignment; the second sequential
+    # pass sees the loop-carried environment
+    project = _project(
+        """
+        def emit(self, ranks, order):
+            for r in order:
+                self.tracer.event("gc.discard", rank=r)
+            order = set(ranks)
+        """
+    )
+    findings = nondet_taint_pass(project)
+    assert _rules(findings) == ["nondet-taint"]
+
+
+def test_len_of_set_is_clean():
+    project = _project(
+        """
+        class Gc:
+            def run(self, ranks):
+                survivors = set(ranks)
+                self.tracer.event("gc.run", count=len(survivors))
+        """
+    )
+    assert nondet_taint_pass(project) == []
+
+
+# -- end-to-end: analyze() over a seeded-bug subset ---------------------------
+
+
+def test_analyze_subset_reports_all_seeded_bug_classes(tmp_path):
+    (tmp_path / "buggy.py").write_text(
+        textwrap.dedent(
+            """
+            class Scheme:
+                RESUME_FIELDS = ("times",)
+
+            class BadScheme(Scheme):
+                def __init__(self, times):
+                    self.times = times
+                    self.lost = 0.0
+
+                def commit(self):
+                    self.tracer.event("proto.comit", n=1)
+
+                def emit(self, ranks):
+                    self.tracer.event("gc.run", ranks=list(set(ranks)))
+
+            def worker(ctx, rt, rank):
+                g = ctx.compute(100.0)
+                try:
+                    yield from ctx.timeout(1.0)
+                finally:
+                    rt.cluster._apply_storage_rate()
+            """
+        )
+    )
+    report = analyze(paths=[tmp_path])
+    rules = {f.rule for f in report.new}
+    assert rules == {
+        "undriven-generator",
+        "cleanup-mutation",
+        "capture-completeness",
+        "trace-conformance",
+        "nondet-taint",
+    }
+    assert not report.ok
+
+
+def test_analyze_repro_tree_is_clean():
+    """The enforcement gate: the shipped tree has zero non-baselined findings."""
+    report = analyze()
+    assert report.new == [], "\n".join(str(f) for f in report.new)
+    assert report.stale == []
+    assert report.ok

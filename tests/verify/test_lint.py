@@ -75,6 +75,34 @@ def test_local_variable_named_random_not_flagged():
     assert _rules("x = random.shuffle(deck)\n") == []
 
 
+def test_os_urandom_flagged():
+    assert _rules("import os\nx = os.urandom(8)\n") == ["nondeterminism"]
+
+
+def test_uuid_flagged():
+    assert _rules("import uuid\nrun_id = uuid.uuid4()\n") == ["nondeterminism"]
+
+
+def test_unseeded_random_instance_flagged():
+    issues = lint_source("import random\nrng = random.Random()\n")
+    assert [i.rule for i in issues] == ["nondeterminism"]
+    assert "without an explicit seed" in issues[0].message
+
+
+def test_seeded_random_instance_still_global_rng():
+    # seeded, but still the stdlib RNG rather than the run's RngStreams
+    assert _rules("import random\nrng = random.Random(42)\n") == ["nondeterminism"]
+
+
+def test_strftime_of_current_time_flagged():
+    assert _rules("import time\ns = time.strftime('%H:%M')\n") == ["wall-clock"]
+
+
+def test_strftime_with_explicit_tuple_allowed():
+    src = "import time\ns = time.strftime('%H:%M', sim_tuple)\n"
+    assert _rules(src) == []
+
+
 # -- bare assert --------------------------------------------------------------
 
 
