@@ -18,7 +18,11 @@ Benchmarks
 * ``coord_nbm_round``  — a complete Coord_NBM run of a small SOR grid
   (checkpoint rounds included: 2PC control traffic, storage writes);
 * ``indep_run``        — the same workload under independent
-  checkpointing with message logging.
+  checkpointing with message logging;
+* ``scale_512``        — one staggered coordinated round (Coord_NBMS,
+  peers-scoped markers) at 512 ranks on the 16-rack hierarchical
+  machine: the large-topology path (per-rack link costs, multi-server
+  storage plane, per-server staggering rings) under load.
 
 Timing harness: stdlib only — ``time.perf_counter`` around whole
 simulation runs, median of ``--repeats`` fresh runs.  Every sample is
@@ -174,6 +178,39 @@ def bench_indep_run(scale: float = 1.0) -> int:
     return rt.engine._seq
 
 
+def bench_scale_512(scale: float = 1.0) -> int:
+    """One Coord_NBMS round at 512 ranks on the 16-rack machine."""
+    from repro.experiments import scale_workload
+
+    n_ranks = 512
+    machine = MachineParams.hierarchical(n_ranks)
+    iters = max(3, int(8 * scale))
+
+    def build_app():
+        app = scale_workload(n_ranks).build()
+        app.iters = iters
+        return app
+
+    key = ("scale_512", scale)
+    t = _sor_runtime._durations.get(key)
+    if t is None:
+        t = (
+            CheckpointRuntime(build_app(), machine=machine, seed=1, trace=False)
+            .run()
+            .sim_time
+        )
+        _sor_runtime._durations[key] = t
+    rt = CheckpointRuntime(
+        build_app(),
+        scheme=CoordinatedScheme.NBMS([t / 2], marker_scope="peers"),
+        machine=machine,
+        seed=1,
+        trace=False,
+    )
+    rt.run()
+    return rt.engine._seq
+
+
 #: pure-Python spin length for one calibration sample — deliberately NOT
 #: scaled by ``--quick``: a constant yardstick across runs and machines.
 _CAL_OPS = 2_000_000
@@ -198,6 +235,7 @@ BENCHES: Dict[str, Callable[[float], int]] = {
     "ping_pong": bench_ping_pong,
     "coord_nbm_round": bench_coord_nbm_round,
     "indep_run": bench_indep_run,
+    "scale_512": bench_scale_512,
 }
 
 

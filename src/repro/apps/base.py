@@ -62,6 +62,21 @@ class Application:
         """The SPMD program; returns the global result on rank 0."""
         raise NotImplementedError
 
+    def comm_peers(self, rank: int, size: int):
+        """Ranks that *rank* may exchange application messages with, or
+        ``None`` when the communication graph is unknown/dense.
+
+        Used by coordinated schemes with ``marker_scope="peers"`` to send
+        Chandy-Lamport markers only along channels that can actually carry
+        messages — O(N·degree) markers instead of O(N²), which is what
+        makes marker rounds tractable at thousands of ranks. The returned
+        relation must be symmetric (if s can message r, r's peers include
+        s and vice versa) and must cover every send the application can
+        issue, collectives included; ``None`` (the default) keeps the
+        all-pairs marker flood.
+        """
+        return None
+
     # -- validation interface -----------------------------------------------
 
     def serial_result(self, size: int, seed: int) -> Any:

@@ -97,6 +97,26 @@ class SOR(Application):
     def describe(self) -> str:
         return f"sor(n={self.n}, iters={self.iters})"
 
+    def comm_peers(self, rank: int, size: int) -> List[int]:
+        """±1 halo neighbours plus this rank's partners in the final
+        root-0 binomial reduce (the only collective SOR issues). The
+        binomial relation is symmetric: a rank lists its parent, the
+        parent lists it back as a child."""
+        peers = set()
+        if rank > 0:
+            peers.add(rank - 1)
+        if rank < size - 1:
+            peers.add(rank + 1)
+        mask = 1
+        while mask < size:
+            if rank & mask:
+                peers.add(rank - mask)  # reduce parent
+                break
+            if rank + mask < size:
+                peers.add(rank + mask)  # reduce child
+            mask <<= 1
+        return sorted(peers)
+
     # -- SPMD ------------------------------------------------------------------
 
     def make_state(self, rank: int, size: int, seed: int) -> Dict[str, Any]:

@@ -230,21 +230,29 @@ class Scheme:
 
     def after_stable_write(self, agent: SchemeAgent, record, nbytes: float) -> None:
         """Called when the capture write completed; under two-level this
-        starts the background copy to the global server."""
+        starts the background copy to the global server, and under a
+        burst-buffered storage plane the background drain onto the rank's
+        shard server."""
         rt = agent.runtime
-        if not self.two_level:
-            record.global_written_at = record.written_at
+        if self.two_level:
+            rt.spawn(
+                self._trickle(agent, record, nbytes),
+                name=f"trickle:{record.index}:r{agent.rank}",
+            )
             return
-        rt.spawn(
-            self._trickle(agent, record, nbytes),
-            name=f"trickle:{record.index}:r{agent.rank}",
-        )
+        if rt.cluster.storage.has_burst_buffers:
+            rt.spawn(
+                self._drain(agent, record, nbytes),
+                name=f"drain:{record.index}:r{agent.rank}",
+            )
+            return
+        record.global_written_at = record.written_at
 
     def _trickle(self, agent: SchemeAgent, record, nbytes: float):
         rt = agent.runtime
         try:
             yield from stable_write(
-                rt.storage,
+                rt.cluster.storage.server_for(agent.rank),
                 agent.node,
                 nbytes,
                 tag=f"trickle{record.index}:r{agent.rank}",
@@ -259,6 +267,17 @@ class Scheme:
             return
         record.global_written_at = rt.engine.now
         rt.tracer.add("chk.trickled_bytes", nbytes)
+
+    def _drain(self, agent: SchemeAgent, record, nbytes: float):
+        """Empty *record*'s bytes from the rack burst buffer onto the
+        rank's shard server. Generation-scoped (``rt.spawn``): a crash
+        kills in-flight drains identically on the in-process and restart
+        paths, so the resume equivalence proof covers the buffered plane."""
+        rt = agent.runtime
+        yield from rt.cluster.storage.drain(
+            agent.node, nbytes, tag=f"drain{record.index}:r{agent.rank}"
+        )
+        record.global_written_at = rt.engine.now
 
     def on_app_deliver(self, agent: SchemeAgent, msg: Message) -> None:
         pass

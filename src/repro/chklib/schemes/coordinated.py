@@ -148,12 +148,13 @@ class CoordinatedScheme(Scheme):
         "two_level",
         "name",
         "coordinator_rank",
+        "marker_scope",
         "_next_n",
         "_initiated",
         "_acks",
         "_aborted",
     )
-    VOLATILE_FIELDS = ("_write_slot",)
+    VOLATILE_FIELDS = ("_write_slot", "_ring_next", "_ring_leader")
 
     def __init__(
         self,
@@ -167,6 +168,7 @@ class CoordinatedScheme(Scheme):
         full_every: int = 4,
         two_level: bool = False,
         policy: Optional[CheckpointPolicy] = None,
+        marker_scope: str = "all",
     ) -> None:
         self.times = sorted(float(t) for t in times)
         #: when to initiate rounds; the explicit ``times`` schedule is the
@@ -187,6 +189,15 @@ class CoordinatedScheme(Scheme):
         self.two_level = bool(two_level)
         self.name = name + ("_2l" if two_level else "")
         self.coordinator_rank = coordinator_rank
+        #: which channels carry markers: "all" (every rank pair — the
+        #: classic Chandy–Lamport closure, O(N²) markers per round) or
+        #: "peers" (only the application's declared communication graph
+        #: via ``app.comm_peers``, O(N·deg) — the tree/graph-limited
+        #: marker distribution real large-scale systems use; falls back
+        #: to "all" when the application declares no graph).
+        if marker_scope not in ("all", "peers"):
+            raise ValueError(f"unknown marker scope {marker_scope!r}")
+        self.marker_scope = marker_scope
         self._next_n = 1
         #: initiations already fired — a resumed initiator skips this many
         #: policy shots instead of re-requesting pre-halt rounds.
@@ -198,7 +209,16 @@ class CoordinatedScheme(Scheme):
         #: slot granted in cut order. A ring token would deadlock here —
         #: with cuts deferred to iteration boundaries, the token's next hop
         #: can be a rank stalled at a recv on an already-blocked neighbour.
+        #: One slot per storage server: ranks sharded onto different
+        #: servers do not contend and write concurrently.
         self._write_slot = None
+        #: per-server staggering rings (rank -> successor / ring leader),
+        #: derived from the machine topology by ``install()``. One ring
+        #: per storage server: staggering serialises the *path*, and with
+        #: S shards there are S independent paths. The single-server ring
+        #: reduces exactly to the legacy global token ring.
+        self._ring_next: Optional[Dict[int, int]] = None
+        self._ring_leader: Optional[Dict[int, int]] = None
 
     # -- named variants ------------------------------------------------------
 
@@ -247,11 +267,61 @@ class CoordinatedScheme(Scheme):
         if self.staggered and not self.memory_ckpt:
             from ...core.resources import Resource
 
-            self._write_slot = Resource(
-                runtime.engine, capacity=1, name="stagger-slot"
-            )
+            n_servers = runtime.cluster.storage.n_servers
+            self._write_slot = {
+                s: Resource(
+                    runtime.engine,
+                    capacity=1,
+                    name=(
+                        "stagger-slot" if n_servers == 1 else f"stagger-slot:{s}"
+                    ),
+                )
+                for s in range(n_servers)
+            }
+        if self.staggered and self.memory_ckpt:
+            self._build_rings(runtime)
         if not self.policy.point_driven:
             runtime.engine.process(self._initiator(runtime), name="ckpt-initiator")
+
+    def _build_rings(self, runtime: "CheckpointRuntime") -> None:
+        """One token ring per storage server, over the ranks sharded onto
+        it. The ring containing the coordinator is led by the coordinator
+        (it implicitly holds the token, as in the legacy global ring); any
+        other ring is led by its smallest rank. With one server this is
+        exactly the legacy ring: 0 → 1 → … → N-1, stop."""
+        topo = runtime.cluster.topology
+        n_servers = runtime.cluster.storage.n_servers
+        self._ring_next = {}
+        self._ring_leader = {}
+        for group in topo.server_groups(n_servers):
+            ranks = list(group)
+            if not ranks:
+                continue
+            leader = (
+                self.coordinator_rank
+                if self.coordinator_rank in group
+                else ranks[0]
+            )
+            for i, r in enumerate(ranks):
+                self._ring_next[r] = ranks[(i + 1) % len(ranks)]
+                self._ring_leader[r] = leader
+
+    def _ring_leader_of(self, runtime: "CheckpointRuntime", rank: int) -> int:
+        if self._ring_leader is None:
+            self._build_rings(runtime)
+        return self._ring_leader[rank]
+
+    def _marker_targets(self, rt: "CheckpointRuntime", rank: int) -> List[int]:
+        """The channels carrying this rank's markers (and, symmetrically,
+        the markers this rank waits for). ``marker_scope="peers"`` narrows
+        the closure to the application's declared communication graph."""
+        if self.marker_scope == "peers":
+            peers_fn = getattr(rt.app, "comm_peers", None)
+            if peers_fn is not None:
+                peers = peers_fn(rank, rt.n_ranks)
+                if peers is not None:
+                    return sorted({int(p) for p in peers} - {rank})
+        return [r for r in range(rt.n_ranks) if r != rank]
 
     # pickling: the generic Scheme.__getstate__ nulls VOLATILE_FIELDS —
     # the staggering write slot holds an engine reference; install()
@@ -415,7 +485,7 @@ class CoordinatedScheme(Scheme):
                     "chk.incremental_bytes_saved",
                     record.state_bytes - state_bytes,
                 )
-        others = [r for r in range(rt.n_ranks) if r != agent.rank]
+        others = self._marker_targets(rt, agent.rank)
         rnd = _Round(n, record, set(others), engine)
         rnd.markers_pending -= agent.early_markers.pop(n, set())
         agent.round = rnd
@@ -473,8 +543,11 @@ class CoordinatedScheme(Scheme):
                 )
             rt.cluster.set_rank_blocked(agent.rank, True)
             wrote = True
+            slot_res = self._write_slot[
+                rt.cluster.storage.server_index(agent.rank)
+            ]
             try:
-                with self._write_slot.request() as slot:
+                with slot_res.request() as slot:
                     yield slot
                     rt.tracer.event(
                         "proto.write_begin",
@@ -539,10 +612,13 @@ class CoordinatedScheme(Scheme):
         try:
             # the token ring only runs in the memory variants (NBMS/NBCS);
             # NBS serialises via the write slot in the blocking path.
+            # Ring leaders (the coordinator's ring, plus one rank per
+            # additional storage server) hold their ring's token
+            # implicitly and write first.
             if (
                 self.staggered
                 and self.memory_ckpt
-                and agent.rank != self.coordinator_rank
+                and agent.rank != self._ring_leader_of(rt, agent.rank)
             ):
                 yield rnd.token_event
             if rnd.aborted:
@@ -592,8 +668,10 @@ class CoordinatedScheme(Scheme):
             rt.tracer.add("chk.ckpts_corrupted")
         self.after_stable_write(agent, rnd.record, rnd.record.write_bytes)
         if self.staggered and self.memory_ckpt:  # NBS uses the FIFO slot
-            nxt = (agent.rank + 1) % rt.n_ranks
-            if nxt != self.coordinator_rank:
+            if self._ring_next is None:
+                self._build_rings(rt)
+            nxt = self._ring_next[agent.rank]
+            if nxt != self._ring_leader[agent.rank]:
                 rt.tracer.event(
                     "proto.token_pass", round=rnd.n, src=agent.rank, dst=nxt
                 )

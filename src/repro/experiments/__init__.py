@@ -47,6 +47,7 @@ from .harness import (
 )
 from .policies import POLICY_SCHEMES, policies_spec, run_policies
 from .resilience import RESILIENCE_SCHEMES, resilience_spec, run_resilience
+from .scale import SCALE_NS, run_scale, scale_machine, scale_spec, scale_workload
 from .sweeps import (
     bandwidth_sweep_spec,
     run_bandwidth_sweep,
@@ -124,4 +125,9 @@ __all__ = [
     "POLICY_SCHEMES",
     "policies_spec",
     "run_policies",
+    "SCALE_NS",
+    "scale_workload",
+    "scale_machine",
+    "scale_spec",
+    "run_scale",
 ]

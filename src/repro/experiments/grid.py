@@ -170,6 +170,10 @@ class SchemeSpec:
     gc: bool = False  #: independent: garbage-collect obsolete checkpoints
     incremental: bool = False  #: coordinated: dirty-page increments
     two_level: bool = False  #: coordinated: local-disk first, trickle up
+    #: coordinated marker fan-out: "all" floods every rank (the paper's
+    #: 8-node protocol), "peers" restricts markers to the application's
+    #: declared communication graph (scale experiments at large N).
+    marker_scope: str = "all"
     #: checkpoint policy as data — a :func:`~repro.chklib.policy.policy_spec`
     #: tuple ``(kind, ((option, value), ...))``. ``None`` keeps the
     #: fixed-times schedule in :attr:`times`.
@@ -195,6 +199,8 @@ class SchemeSpec:
                 kw["incremental"] = True
             if self.two_level:
                 kw["two_level"] = True
+            if self.marker_scope != "all":
+                kw["marker_scope"] = self.marker_scope
             if self.policy is not None:
                 kw["policy"] = build_policy(self.policy)
             return _COORD_FACTORIES[self.name](list(self.times), **kw)

@@ -48,6 +48,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from ..machine import MachineParams
 from .ablations import staggering_spec, sync_cost_spec
 from .capture import capture_spec
 from .domino import domino_spec, storage_overhead_spec
@@ -56,6 +57,7 @@ from .faults import failure_rates_spec, interval_sweep_spec
 from .grid import ExperimentSpec
 from .policies import policies_spec
 from .resilience import resilience_spec
+from .scale import scale_machine, scale_spec, scale_workload
 from .sweeps import bandwidth_sweep_spec, writer_sweep_spec
 from .table1 import table1_spec
 from .table23 import table23_spec
@@ -99,9 +101,12 @@ _EXPERIMENTS = {
     "policies": (
         "policies", "P1 — checkpoint policies (fixed vs fault-adaptive)", None, False,
     ),
+    "scale": ("scale", "Scale — overhead vs machine size", None, True),
 }
 
-_ALL_ORDER = list(_EXPERIMENTS)
+#: ``all`` excludes the scale sweep: its N=1024 cells dwarf every other
+#: experiment's wall time (run it explicitly: ``runner scale --quick``).
+_ALL_ORDER = [name for name in _EXPERIMENTS if name != "scale"]
 
 
 def _emit(title: str, body: str, summary: str = "") -> None:
@@ -120,38 +125,110 @@ def _shape_report(shapes: dict) -> str:
     return "\n".join(lines)
 
 
-def _build_spec(spec_name: str, seed: int, scale: float) -> ExperimentSpec:
-    """One experiment spec, with ``--quick``'s scale plumbed everywhere."""
+def _build_spec(
+    spec_name: str,
+    seed: int,
+    scale: float,
+    ranks: Optional[int] = None,
+    topology: Optional[str] = None,
+) -> ExperimentSpec:
+    """One experiment spec, with ``--quick``'s scale plumbed everywhere.
+
+    ``--ranks``/``--topology`` resize the simulated machine for *any*
+    experiment: the machine becomes the named preset (or the scale
+    sweep's default shape) at ``ranks`` nodes, and — because the paper's
+    fixed-size workload catalogues cannot be partitioned over arbitrarily
+    many ranks — the workload becomes the weak-scaled SOR row used by the
+    scale sweep. At the default 8 ranks with no topology flag nothing
+    changes.
+    """
+    machine = None
+    workload = None
+    if ranks is not None or topology is not None:
+        n = ranks if ranks is not None else 8
+        machine = scale_machine(n, topology)
+        if ranks is not None:
+            workload = scale_workload(ranks, scale)
+    workloads = None if workload is None else [workload]
+
+    if spec_name == "scale":
+        return scale_spec(
+            ns=(ranks,) if ranks is not None else None,
+            seed=seed,
+            scale=scale,
+            topology=topology,
+        )
     if spec_name == "table1":
-        return table1_spec(workloads=table1_workloads(scale), seed=seed)
+        return table1_spec(
+            workloads=workloads or table1_workloads(scale),
+            seed=seed,
+            machine=machine,
+        )
     if spec_name == "table23":
-        return table23_spec(workloads=table23_workloads(scale), seed=seed)
+        return table23_spec(
+            workloads=workloads or table23_workloads(scale),
+            seed=seed,
+            machine=machine,
+        )
     if spec_name == "ablation-staggering":
         return staggering_spec(
-            workloads=table23_workloads(scale)[:4], seed=seed
+            workloads=workloads or table23_workloads(scale)[:4],
+            seed=seed,
+            machine=machine,
         )
     if spec_name == "ablation-sync":
-        return sync_cost_spec(workloads=table23_workloads(scale)[:4], seed=seed)
+        return sync_cost_spec(
+            workloads=workloads or table23_workloads(scale)[:4],
+            seed=seed,
+            machine=machine,
+        )
     if spec_name == "sweep-writers":
-        return writer_sweep_spec(seed=seed, scale=scale)
+        if ranks is not None:
+            counts = sorted({max(2, ranks // 4), max(2, ranks // 2), ranks})
+            return writer_sweep_spec(
+                node_counts=counts,
+                seed=seed,
+                scale=scale,
+                base_grid=max(128, 4 * counts[0] + 2),
+                topology=topology,
+            )
+        return writer_sweep_spec(seed=seed, scale=scale, topology=topology)
     if spec_name == "sweep-storage":
-        return bandwidth_sweep_spec(seed=seed, scale=scale)
+        return bandwidth_sweep_spec(
+            seed=seed, scale=scale, workload=workload, machine=machine
+        )
     if spec_name == "domino":
-        return domino_spec(seed=seed, scale=scale)
+        return domino_spec(
+            workloads=workloads, seed=seed, scale=scale, machine=machine
+        )
     if spec_name == "storage-overhead":
-        return storage_overhead_spec(seed=seed, scale=scale)
+        return storage_overhead_spec(
+            workloads=workloads, seed=seed, scale=scale, machine=machine
+        )
     if spec_name == "capture":
-        return capture_spec(seed=seed, scale=scale)
+        return capture_spec(
+            workloads=workloads, seed=seed, scale=scale, machine=machine
+        )
     if spec_name == "failure-rates":
-        return failure_rates_spec(seed=seed, scale=scale)
+        return failure_rates_spec(
+            workload=workload, seed=seed, scale=scale, machine=machine
+        )
     if spec_name == "interval-sweep":
-        return interval_sweep_spec(seed=seed, scale=scale)
+        return interval_sweep_spec(
+            workload=workload, seed=seed, scale=scale, machine=machine
+        )
     if spec_name == "two-level":
-        return two_level_spec(seed=seed, scale=scale)
+        return two_level_spec(
+            workloads=workloads, seed=seed, scale=scale, machine=machine
+        )
     if spec_name == "resilience":
-        return resilience_spec(seed=seed, scale=scale)
+        return resilience_spec(
+            workload=workload, seed=seed, scale=scale, machine=machine
+        )
     if spec_name == "policies":
-        return policies_spec(seed=seed, scale=scale)
+        return policies_spec(
+            workload=workload, seed=seed, scale=scale, machine=machine
+        )
     raise ValueError(f"unknown spec {spec_name!r}")
 
 
@@ -163,6 +240,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment", choices=list(_EXPERIMENTS) + ["smoke", "all"]
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--ranks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simulate N ranks instead of the experiment's default size "
+        "(swaps the workload for the weak-scaled SOR row; for the scale "
+        "sweep, runs just the N-rank point)",
+    )
+    parser.add_argument(
+        "--topology",
+        choices=list(MachineParams.TOPOLOGY_PRESETS),
+        default=None,
+        help="machine preset to run on (default: each experiment's own "
+        "machine; the scale sweep picks flat at 8 ranks, racks beyond)",
+    )
     parser.add_argument(
         "--verify",
         action="store_true",
@@ -273,7 +366,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     for exp in todo:
         spec_name = _EXPERIMENTS[exp][0]
         if spec_name not in specs:
-            specs[spec_name] = _build_spec(spec_name, args.seed, scale)
+            specs[spec_name] = _build_spec(
+                spec_name,
+                args.seed,
+                scale,
+                ranks=args.ranks,
+                topology=args.topology,
+            )
 
     journal = RunJournal(args.resume) if args.resume else None
     if journal is not None and len(journal):

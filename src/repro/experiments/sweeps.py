@@ -34,10 +34,12 @@ def writer_sweep_spec(
     rounds: int = 2,
     base_grid: int = 128,
     scale: float = 1.0,
+    topology: Optional[str] = None,
 ) -> ExperimentSpec:
     """S1, weak scaling: the SOR grid grows with the node count so each
     rank's checkpoint stays the same size; total volume scales linearly in
-    the writer count."""
+    the writer count.  ``topology`` swaps the flat Xplorer for a named
+    machine preset at each node count (runner ``--topology``)."""
     node_counts = list(node_counts)
     points = []
     for n in node_counts:
@@ -52,7 +54,9 @@ def writer_sweep_spec(
                     iters=scaled_iters(200, scale),
                     flops_per_cell=40.0,
                 ),
-                MachineParams.xplorer(n),
+                MachineParams.preset(topology, n)
+                if topology is not None
+                else MachineParams.xplorer(n),
             )
         )
     baselines = tuple(
@@ -153,8 +157,11 @@ def bandwidth_sweep_spec(
     rounds: int = 2,
     workload: Optional[WorkloadSpec] = None,
     scale: float = 1.0,
+    machine: Optional[MachineParams] = None,
 ) -> ExperimentSpec:
-    """S2: Coord_NB vs Coord_NBMS overhead as storage bandwidth grows."""
+    """S2: Coord_NB vs Coord_NBMS overhead as storage bandwidth grows.
+    ``machine`` overrides the base machine the bandwidths are applied to
+    (default: the paper's 8-node Xplorer)."""
     bandwidths = list(bandwidths)
     workload = workload or WorkloadSpec.of(
         "sor-256",
@@ -163,9 +170,9 @@ def bandwidth_sweep_spec(
         iters=scaled_iters(200, scale),
         flops_per_cell=40.0,
     )
+    base_machine = machine or MachineParams.xplorer8()
     machines = [
-        MachineParams.xplorer8().with_storage(bandwidth=bw)
-        for bw in bandwidths
+        base_machine.with_storage(bandwidth=bw) for bw in bandwidths
     ]
     baselines = tuple(
         Cell(workload=workload, machine=m, seed=seed) for m in machines

@@ -1,15 +1,28 @@
-"""Hardware model: nodes, shared stable storage, cluster presets.
+"""Hardware model: nodes, topology, stable-storage plane, cluster presets.
 
 Approximates the paper's Parsytec Xplorer (8 × T805, host file system as
-stable storage) as a deterministic discrete-event model. See ``DESIGN.md``
-§2 for the substitution rationale.
+stable storage) as a deterministic discrete-event model, generalised to
+parameterised hierarchical topologies (racks × nodes, fat-tree/torus link
+cost) with a multi-server storage plane and optional rack-local burst
+buffers. The flat 8-node default remains bit-identical to the paper's
+machine. See ``DESIGN.md`` §2 and §11.
 """
 
 from .cluster import Cluster
 from .node import Node
-from .params import LinkParams, LocalDiskParams, MachineParams, NodeParams, StorageParams
+from .params import (
+    LinkParams,
+    LocalDiskParams,
+    MachineParams,
+    NodeParams,
+    StoragePlaneParams,
+    StorageParams,
+    TopologyParams,
+)
 from .shared_server import SharedServer, TransferJob
 from .storage import StableStorage
+from .storage_plane import StoragePlane
+from .topology import Topology
 
 __all__ = [
     "Cluster",
@@ -19,7 +32,11 @@ __all__ = [
     "LinkParams",
     "LocalDiskParams",
     "StorageParams",
+    "TopologyParams",
+    "StoragePlaneParams",
     "SharedServer",
     "TransferJob",
     "StableStorage",
+    "StoragePlane",
+    "Topology",
 ]

@@ -14,6 +14,8 @@ from ..core.resources import Resource
 from .node import Node
 from .params import MachineParams, StorageParams
 from .storage import StableStorage
+from .storage_plane import StoragePlane
+from .topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.engine import Engine
@@ -34,10 +36,16 @@ class Cluster:
         self.engine = engine
         self.params = params or MachineParams.xplorer8()
         self.tracer = tracer
+        self.topology = Topology(self.params.n_nodes, self.params.topology)
         self.nodes: List[Node] = [
             Node(engine, i, self.params.node) for i in range(self.params.n_nodes)
         ]
-        self.storage = StableStorage(engine, self.params.storage, tracer=tracer)
+        #: the stable-storage plane (S shard servers + optional burst
+        #: buffers); with the default flat parameters it is bit-identical
+        #: to the old single StableStorage, down to the event order.
+        self.storage = StoragePlane(
+            engine, self.params, self.topology, tracer=tracer
+        )
         #: per-node local disks (two-level stable storage): private, fast,
         #: outside the interconnect -> no contention with anything.
         disk = self.params.local_disk
@@ -95,7 +103,7 @@ class Cluster:
         else:
             active_fraction = 1.0 - len(self._blocked_ranks) / self.n_nodes
         penalty = self.params.storage.app_traffic_penalty
-        self.storage.server.set_rate_factor(1.0 / (1.0 + penalty * active_fraction))
+        self.storage.apply_rate_factor(1.0 / (1.0 + penalty * active_fraction))
 
     @property
     def n_nodes(self) -> int:
@@ -116,11 +124,23 @@ class Cluster:
         streams = self.storage.active_streams
         return 1.0 + self.params.link.storage_pressure * streams
 
-    def message_time(self, nbytes: float) -> float:
+    @property
+    def plane(self) -> "StoragePlane":
+        """Alias for the storage plane (``storage`` keeps the legacy name)."""
+        return self.storage
+
+    def message_time(
+        self, nbytes: float, src: Optional[int] = None, dst: Optional[int] = None
+    ) -> float:
         """Uncontended wire time of a message of *nbytes* (pressure applied
-        separately by the transport at send time)."""
+        separately by the transport at send time). With endpoints given,
+        the topology's distance-dependent link cost applies; intra-rack
+        and flat traffic computes the identical base expression."""
         link = self.params.link
-        return link.latency + nbytes / link.bandwidth
+        if src is None or dst is None or self.topology.is_flat:
+            return link.latency + nbytes / link.bandwidth
+        latency, bandwidth = self.topology.link_cost(link, src, dst)
+        return latency + nbytes / bandwidth
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Cluster n={self.n_nodes}>"

@@ -14,9 +14,18 @@ memory-copy bandwidth and stable-storage bandwidth.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 
-__all__ = ["NodeParams", "LinkParams", "StorageParams", "LocalDiskParams", "MachineParams"]
+__all__ = [
+    "NodeParams",
+    "LinkParams",
+    "StorageParams",
+    "LocalDiskParams",
+    "TopologyParams",
+    "StoragePlaneParams",
+    "MachineParams",
+]
 
 
 @dataclass(frozen=True)
@@ -87,6 +96,74 @@ class LocalDiskParams:
 
 
 @dataclass(frozen=True)
+class TopologyParams:
+    """How the nodes are wired together (see :mod:`repro.machine.topology`).
+
+    The default (``kind="flat"``) is the paper's machine: every pair of
+    nodes one link apart, one cost for all messages — the hierarchical
+    machinery must reproduce it bit-for-bit, so flat is the degenerate
+    special case of the same code path, not a parallel one.
+    """
+
+    #: "flat" (paper's single crossbar) or "racks" (nodes grouped into
+    #: racks; inter-rack messages traverse uplinks).
+    kind: str = "flat"
+    #: nodes per rack (required >= 1 for kind="racks"; ignored for flat).
+    nodes_per_rack: int = 0
+    #: inter-rack cost model: "uniform" (one uplink hop between any two
+    #: racks), "fat-tree" (up to the spine and back down: two hops) or
+    #: "torus" (racks on a ring; hop count is the ring distance).
+    link_model: str = "uniform"
+    #: extra one-way latency per inter-rack hop (s).
+    uplink_latency: float = 50e-6
+    #: bandwidth taper per hop beyond the first: effective bandwidth is
+    #: ``link.bandwidth / (1 + uplink_taper * (hops - 1))`` — the first
+    #: uplink hop is full-rate, longer torus routes degrade.
+    uplink_taper: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("flat", "racks"):
+            raise ValueError(f"unknown topology kind {self.kind!r}")
+        if self.link_model not in ("uniform", "fat-tree", "torus"):
+            raise ValueError(f"unknown link model {self.link_model!r}")
+        if self.kind == "racks" and self.nodes_per_rack < 1:
+            raise ValueError(
+                f"racks topology needs nodes_per_rack >= 1, "
+                f"got {self.nodes_per_rack}"
+            )
+
+
+@dataclass(frozen=True)
+class StoragePlaneParams:
+    """The stable-storage plane: S parallel servers, optional burst buffers.
+
+    ``servers=1`` (default) is the paper's single host file system. With
+    S > 1 the ranks shard onto the servers in contiguous blocks
+    (``server_of(r) = r * S // N``), so storage fan-in per server is N/S.
+    ``burst_buffers=True`` fronts each *rack* with a fast rack-local tier:
+    checkpoint writes land on the rack's buffer and a background drain
+    streams them to the rank's shard server afterwards.
+    """
+
+    #: number of parallel stable-storage servers (each a fluid
+    #: :class:`~repro.machine.shared_server.SharedServer` with the
+    #: machine's ``storage`` parameters).
+    servers: int = 1
+    #: front each rack with a burst-buffer tier (racks topology only).
+    burst_buffers: bool = False
+    #: burst-buffer per-request cost (NVMe-class, not host-FS-class).
+    bb_op_latency: float = 0.002
+    #: burst-buffer streaming bandwidth for a single writer (bytes/s).
+    bb_bandwidth: float = 8e6
+    #: burst-buffer thrash penalty (flash: none by default).
+    bb_thrash: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.servers < 1:
+            raise ValueError(f"need at least one storage server, got {self.servers}")
+
+
+@dataclass(frozen=True)
 class MachineParams:
     """A full machine: nodes + interconnect + stable storage."""
 
@@ -95,10 +172,19 @@ class MachineParams:
     link: LinkParams = dataclasses.field(default_factory=LinkParams)
     storage: StorageParams = dataclasses.field(default_factory=StorageParams)
     local_disk: LocalDiskParams = dataclasses.field(default_factory=LocalDiskParams)
+    topology: TopologyParams = dataclasses.field(default_factory=TopologyParams)
+    plane: StoragePlaneParams = dataclasses.field(default_factory=StoragePlaneParams)
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError(f"need at least one node, got {self.n_nodes}")
+        if self.plane.servers > self.n_nodes:
+            raise ValueError(
+                f"more storage servers ({self.plane.servers}) than "
+                f"nodes ({self.n_nodes})"
+            )
+        if self.plane.burst_buffers and self.topology.kind != "racks":
+            raise ValueError("burst buffers need a racks topology")
 
     # -- presets ------------------------------------------------------------
 
@@ -111,6 +197,57 @@ class MachineParams:
     def xplorer(n_nodes: int) -> "MachineParams":
         """An Xplorer-like machine with a different node count (sweeps)."""
         return MachineParams(n_nodes=n_nodes)
+
+    @staticmethod
+    def hierarchical(
+        n_nodes: int,
+        nodes_per_rack: int = 32,
+        servers: int | None = None,
+        burst_buffers: bool = False,
+        link_model: str = "uniform",
+    ) -> "MachineParams":
+        """A racks × nodes machine with a multi-server storage plane.
+
+        ``servers`` defaults to ``max(1, isqrt(N) // 4)`` so per-server
+        fan-in N/S *grows* with N — the regime where staggering's
+        serialisation win compounds. Per-server storage is parallel-FS
+        class (10x the paper's host link) so absolute checkpoint times
+        stay in the same regime as the 8-node testbed; the ratios, not
+        the magnitudes, carry the results.
+        """
+        if servers is None:
+            servers = max(1, math.isqrt(n_nodes) // 4)
+        return MachineParams(
+            n_nodes=n_nodes,
+            storage=StorageParams(op_latency=0.005, bandwidth=12e6),
+            topology=TopologyParams(
+                kind="racks",
+                nodes_per_rack=min(nodes_per_rack, n_nodes),
+                link_model=link_model,
+            ),
+            plane=StoragePlaneParams(servers=servers, burst_buffers=burst_buffers),
+        )
+
+    #: topology preset names accepted by the runner's ``--topology`` flag.
+    TOPOLOGY_PRESETS = ("flat", "racks", "racks-bb", "fat-tree", "torus")
+
+    @staticmethod
+    def preset(name: str, n_nodes: int) -> "MachineParams":
+        """Build a named machine preset at *n_nodes* (runner ``--topology``)."""
+        if name == "flat":
+            return MachineParams.xplorer(n_nodes)
+        if name == "racks":
+            return MachineParams.hierarchical(n_nodes)
+        if name == "racks-bb":
+            return MachineParams.hierarchical(n_nodes, burst_buffers=True)
+        if name == "fat-tree":
+            return MachineParams.hierarchical(n_nodes, link_model="fat-tree")
+        if name == "torus":
+            return MachineParams.hierarchical(n_nodes, link_model="torus")
+        raise ValueError(
+            f"unknown topology preset {name!r} "
+            f"(choose from {MachineParams.TOPOLOGY_PRESETS})"
+        )
 
     # -- modified copies ---------------------------------------------------
 
@@ -130,4 +267,16 @@ class MachineParams:
         """Copy with link parameters overridden."""
         return dataclasses.replace(
             self, link=dataclasses.replace(self.link, **changes)
+        )
+
+    def with_topology(self, **changes) -> "MachineParams":
+        """Copy with topology parameters overridden."""
+        return dataclasses.replace(
+            self, topology=dataclasses.replace(self.topology, **changes)
+        )
+
+    def with_plane(self, **changes) -> "MachineParams":
+        """Copy with storage-plane parameters overridden."""
+        return dataclasses.replace(
+            self, plane=dataclasses.replace(self.plane, **changes)
         )

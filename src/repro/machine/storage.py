@@ -55,6 +55,7 @@ class StableStorage:
         engine: "Engine",
         params: StorageParams,
         tracer: Optional["Tracer"] = None,
+        name: str = "stable-storage",
     ) -> None:
         self.engine = engine
         self.params = params
@@ -63,7 +64,7 @@ class StableStorage:
             engine,
             bandwidth=params.bandwidth,
             thrash=params.thrash,
-            name="stable-storage",
+            name=name,
         )
         self.bytes_written = 0.0
         self.bytes_read = 0.0

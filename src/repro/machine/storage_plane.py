@@ -1,0 +1,290 @@
+"""The stable-storage plane: S parallel servers + optional burst buffers.
+
+The paper's machine funnels every checkpoint into one host file system;
+modern machines spread the fan-in over S parallel storage servers, often
+fronted by a fast rack-local burst-buffer tier. The plane generalises the
+single :class:`~repro.machine.storage.StableStorage` to that shape while
+keeping S=1 / no-buffers *bit-identical* to the old single server — the
+same object graph, the same event order, the same floats.
+
+Routing (all through the :class:`~repro.machine.topology.Topology`):
+
+* ``server_for(rank)`` — the shard server a rank's checkpoints live on
+  (contiguous block sharding, ``r * S // N``);
+* ``write_target(rank)`` — where a capture write physically lands: the
+  rank's rack burst buffer when the tier is enabled, else the shard
+  server. Restores read back from the same place;
+* ``drain(...)`` — the background stream that empties a burst buffer onto
+  the rank's shard server (spawned by the scheme after a buffered write,
+  generation-scoped so a crash kills in-flight drains on both the
+  restart and the in-process paths identically).
+
+Accounting: the plane presents the same counter surface as one
+StableStorage (``bytes_written``, ``write_faults``, ...) by summing the
+tiers — drains move already-counted bytes, so they keep their own
+``drained_bytes`` counter instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
+
+from ..core.events import Event
+from .params import MachineParams, StorageParams
+from .storage import StableStorage
+from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import Engine
+    from ..core.tracing import Tracer
+    from ..fault.injection import StorageFaultInjector
+    from .node import Node
+
+__all__ = ["StoragePlane"]
+
+
+class StoragePlane:
+    """S shard servers plus an optional per-rack burst-buffer tier.
+
+    Capture manifest (see :mod:`repro.chklib.resume`): the drain counters
+    are plane-level state; the per-tier counters travel through
+    :meth:`export_state`, which the runtime's component capture prefers
+    over the field manifest.
+    """
+
+    RESUME_FIELDS = ("drained_bytes", "drain_ops")
+    VOLATILE_FIELDS = (
+        "engine",
+        "machine_params",
+        "topology",
+        "tracer",
+        "servers",
+        "burst_buffers",
+        "fault_injector",
+        "n_servers",
+    )
+
+    def __init__(
+        self,
+        engine: "Engine",
+        params: MachineParams,
+        topology: Topology,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
+        self.engine = engine
+        self.machine_params = params
+        self.topology = topology
+        self.tracer = tracer
+        self.n_servers = params.plane.servers
+        self.servers: List[StableStorage] = [
+            StableStorage(
+                engine,
+                params.storage,
+                tracer=tracer,
+                # keep the legacy server name when the plane is the old
+                # single server; shard names otherwise.
+                name=(
+                    "stable-storage"
+                    if self.n_servers == 1
+                    else f"stable-storage:{i}"
+                ),
+            )
+            for i in range(self.n_servers)
+        ]
+        self.burst_buffers: List[StableStorage] = []
+        if params.plane.burst_buffers:
+            bb = StorageParams(
+                op_latency=params.plane.bb_op_latency,
+                bandwidth=params.plane.bb_bandwidth,
+                thrash=params.plane.bb_thrash,
+                # rack-local: application traffic on the interconnect
+                # towards the host does not slow the buffer down.
+                app_traffic_penalty=0.0,
+            )
+            self.burst_buffers = [
+                StableStorage(engine, bb, tracer=tracer, name=f"burst-buffer:{r}")
+                for r in range(topology.n_racks)
+            ]
+        #: fault oracle (mirrors StableStorage's surface); installed on the
+        #: shard servers — the durable tier the paper's faults model. The
+        #: burst-buffer tier is flash behind the same blast radius as the
+        #: node and stays reliable, like the two-level local disks.
+        self.fault_injector: Optional["StorageFaultInjector"] = None
+        self.drained_bytes = 0.0
+        self.drain_ops = 0
+
+    # -- routing ------------------------------------------------------------
+
+    @property
+    def has_burst_buffers(self) -> bool:
+        return bool(self.burst_buffers)
+
+    def server_index(self, rank: int) -> int:
+        """Which shard serves *rank* (contiguous blocks via the topology)."""
+        return self.topology.server_of(rank, self.n_servers)
+
+    def server_for(self, rank: int) -> StableStorage:
+        """The shard server holding *rank*'s durable checkpoints."""
+        return self.servers[self.server_index(rank)]
+
+    def write_target(self, rank: int) -> StableStorage:
+        """Where *rank*'s capture writes land (and restores read from):
+        the rack's burst buffer when the tier is enabled, else the shard
+        server."""
+        if self.burst_buffers:
+            return self.burst_buffers[self.topology.rack_of(rank)]
+        return self.servers[self.server_index(rank)]
+
+    # -- the single-server surface (legacy compatibility) --------------------
+
+    @property
+    def params(self) -> StorageParams:
+        """The shard servers' storage parameters (the legacy
+        ``StableStorage.params`` surface; all shards share them)."""
+        return self.machine_params.storage
+
+    @property
+    def server(self):
+        """The sole server's fluid engine — only meaningful for the flat
+        single-server plane (the paper's machine)."""
+        if self.n_servers != 1:
+            raise ValueError(
+                f"plane has {self.n_servers} servers; address them via "
+                "server_for(rank)/servers[i]"
+            )
+        return self.servers[0].server
+
+    def set_fault_injector(self, injector: Optional["StorageFaultInjector"]) -> None:
+        """Install (or clear) the fault oracle on every shard server."""
+        self.fault_injector = injector
+        for srv in self.servers:
+            srv.set_fault_injector(injector)
+
+    def apply_rate_factor(self, factor: float) -> None:
+        """Application-traffic slowdown on the shared path — every shard
+        crosses the interconnect, so all of them feel it; burst buffers
+        are rack-local and do not."""
+        for srv in self.servers:
+            srv.server.set_rate_factor(factor)
+
+    @property
+    def active_streams(self) -> int:
+        """Concurrent transfers crossing the interconnect towards the
+        storage plane (network-pressure input). Burst-buffer traffic is
+        rack-local and exerts no pressure; drains do, via the servers."""
+        return sum(srv.active_streams for srv in self.servers)
+
+    def write(
+        self, node: "Node", nbytes: float, tag: str = "", background: bool = False
+    ) -> Generator[Event, Any, None]:
+        """Stream a capture write from *node* to its write target. Returns
+        the target's generator directly — zero extra frames, so the S=1
+        plane is event-for-event the old single server."""
+        return self.write_target(node.id).write(node, nbytes, tag, background)
+
+    def read(
+        self, node: "Node", nbytes: float, tag: str = ""
+    ) -> Generator[Event, Any, None]:
+        """Stream a restore read back from *node*'s write target."""
+        return self.write_target(node.id).read(node, nbytes, tag)
+
+    def single_stream_time(self, nbytes: float) -> float:
+        """Uncontended service time of one write at the write target
+        (planning helper; uniform across ranks by construction)."""
+        target = self.write_target(0)
+        return target.single_stream_time(nbytes)
+
+    # -- burst-buffer drain ---------------------------------------------------
+
+    def drain(
+        self, node: "Node", nbytes: float, tag: str = ""
+    ) -> Generator[Event, Any, None]:
+        """Stream *nbytes* from *node*'s rack buffer to its shard server.
+
+        Raw fluid transfer on the shard server (the bytes were already
+        counted when they hit the buffer); fan-in contention and network
+        pressure apply exactly as for direct writes. Safe to interrupt:
+        a crash mid-drain frees the server.
+        """
+        server = self.server_for(node.id)
+        yield self.engine.delay(server.params.op_latency)  # pooled
+        job = server.server.transfer(nbytes, tag=tag or f"drain:n{node.id}")
+        try:
+            yield job.done
+        finally:
+            if not job.done.triggered:
+                server.server.cancel(job)
+        self.drained_bytes += nbytes
+        self.drain_ops += 1
+        if self.tracer:
+            self.tracer.add("storage.drained_bytes", nbytes)
+            self.tracer.add("storage.drain_ops")
+
+    # -- aggregate accounting (the RunReport surface) -------------------------
+
+    def _sum(self, field: str) -> Any:
+        return sum(getattr(s, field) for s in self.servers) + sum(
+            getattr(b, field) for b in self.burst_buffers
+        )
+
+    @property
+    def bytes_written(self) -> float:
+        return self._sum("bytes_written")
+
+    @property
+    def bytes_read(self) -> float:
+        return self._sum("bytes_read")
+
+    @property
+    def write_ops(self) -> int:
+        return self._sum("write_ops")
+
+    @property
+    def read_ops(self) -> int:
+        return self._sum("read_ops")
+
+    @property
+    def write_faults(self) -> int:
+        return self._sum("write_faults")
+
+    @property
+    def read_faults(self) -> int:
+        return self._sum("read_faults")
+
+    # -- durable-line capture -------------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        """Counters of every tier, for the runtime's component capture."""
+
+        def fields(st: StableStorage) -> Dict[str, Any]:
+            return {f: getattr(st, f) for f in StableStorage.RESUME_FIELDS}
+
+        return {
+            "drained_bytes": self.drained_bytes,
+            "drain_ops": self.drain_ops,
+            "servers": [fields(s) for s in self.servers],
+            "burst_buffers": [fields(b) for b in self.burst_buffers],
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Mirror of :meth:`export_state` (restart path)."""
+        self.drained_bytes = state["drained_bytes"]
+        self.drain_ops = state["drain_ops"]
+        for tier, saved in (
+            (self.servers, state["servers"]),
+            (self.burst_buffers, state["burst_buffers"]),
+        ):
+            if len(tier) != len(saved):
+                raise ValueError(
+                    f"storage plane shape changed across the halt: "
+                    f"{len(saved)} captured tiers vs {len(tier)} rebuilt"
+                )
+            for st, snap in zip(tier, saved):
+                for f, v in snap.items():
+                    setattr(st, f, v)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<StoragePlane servers={self.n_servers} "
+            f"bb={len(self.burst_buffers)} written={self.bytes_written:.0f}B>"
+        )

@@ -1,0 +1,130 @@
+"""Hierarchical machine topology: racks, uplinks and storage sharding.
+
+A :class:`Topology` is a pure function of :class:`TopologyParams` — it
+owns no simulation state (nothing to capture in a durable line) and is
+rebuilt from the machine parameters on every (re)start. It answers three
+questions for the rest of the system:
+
+* *distance*: how many inter-rack hops separate two nodes, and what the
+  effective link cost (latency, bandwidth) of that route is — consumed by
+  :meth:`repro.machine.cluster.Cluster.message_time` per message;
+* *locality*: which rack a node lives in — consumed by the burst-buffer
+  tier of the storage plane;
+* *sharding*: which stable-storage server a rank writes to
+  (``server_of(r) = r * S // N``, contiguous blocks aligned with racks) —
+  consumed by the storage plane, recovery, and the per-server staggering
+  rings in :mod:`repro.chklib.schemes.coordinated`.
+
+The flat topology (the paper's machine) is the degenerate case: one rack,
+zero hops everywhere, every rank on server 0 — the exact same code path
+computes the exact same floats as the pre-topology machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .params import LinkParams, TopologyParams
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """Node → rack layout plus the inter-rack link cost model.
+
+    Capture manifests (see :mod:`repro.chklib.resume`): a topology is
+    stateless — everything here is derived from frozen parameters, so
+    nothing travels in a durable line and every attribute is volatile.
+    """
+
+    RESUME_FIELDS: tuple = ()
+    VOLATILE_FIELDS = ("params", "n_nodes", "n_racks", "is_flat", "_cost_cache")
+
+    def __init__(self, n_nodes: int, params: TopologyParams | None = None) -> None:
+        self.params = params or TopologyParams()
+        self.n_nodes = int(n_nodes)
+        self.is_flat = self.params.kind == "flat"
+        if self.is_flat:
+            self.n_racks = 1
+        else:
+            per = self.params.nodes_per_rack
+            self.n_racks = (self.n_nodes + per - 1) // per
+        #: hop count -> (latency, bandwidth) of the route, memoised.
+        self._cost_cache: Dict[Tuple[float, float, int], Tuple[float, float]] = {}
+
+    # -- locality -----------------------------------------------------------
+
+    def rack_of(self, node_id: int) -> int:
+        """The rack holding *node_id* (0 for the flat topology)."""
+        if self.is_flat:
+            return 0
+        return node_id // self.params.nodes_per_rack
+
+    def rack_members(self, rack: int) -> range:
+        """The node ids in *rack* (contiguous by construction)."""
+        if self.is_flat:
+            return range(self.n_nodes)
+        per = self.params.nodes_per_rack
+        return range(rack * per, min((rack + 1) * per, self.n_nodes))
+
+    # -- distance -----------------------------------------------------------
+
+    def hops(self, src: int, dst: int) -> int:
+        """Inter-rack uplink hops between two nodes (0 = same rack)."""
+        r1, r2 = self.rack_of(src), self.rack_of(dst)
+        if r1 == r2:
+            return 0
+        model = self.params.link_model
+        if model == "uniform":
+            return 1
+        if model == "fat-tree":
+            return 2  # up to the spine, back down
+        # torus: racks on a ring, route the short way round
+        d = abs(r1 - r2)
+        return min(d, self.n_racks - d)
+
+    def link_cost(self, link: LinkParams, src: int, dst: int) -> Tuple[float, float]:
+        """Effective (latency, bandwidth) of the src→dst route.
+
+        Intra-rack (and all flat) traffic uses the base link unchanged;
+        each uplink hop adds ``uplink_latency``, and hops beyond the first
+        taper the bandwidth (torus routes through intermediate racks).
+        """
+        h = self.hops(src, dst)
+        if h == 0:
+            return (link.latency, link.bandwidth)
+        key = (link.latency, link.bandwidth, h)
+        cost = self._cost_cache.get(key)
+        if cost is None:
+            cost = (
+                link.latency + h * self.params.uplink_latency,
+                link.bandwidth / (1.0 + self.params.uplink_taper * (h - 1)),
+            )
+            self._cost_cache[key] = cost
+        return cost
+
+    # -- storage sharding ---------------------------------------------------
+
+    def server_of(self, rank: int, n_servers: int) -> int:
+        """The stable-storage shard serving *rank*: contiguous blocks
+        (``r * S // N``), aligned with the rack order. S=1 → always 0."""
+        return rank * n_servers // self.n_nodes
+
+    def server_group(self, server: int, n_servers: int) -> range:
+        """All ranks sharded onto *server* (inverse of :meth:`server_of`)."""
+        n = self.n_nodes
+        lo = -(-server * n // n_servers)  # ceil division
+        hi = -(-(server + 1) * n // n_servers)
+        return range(lo, hi)
+
+    def server_groups(self, n_servers: int) -> List[range]:
+        """Rank blocks per server, in server order."""
+        return [self.server_group(s, n_servers) for s in range(n_servers)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_flat:
+            return f"<Topology flat n={self.n_nodes}>"
+        return (
+            f"<Topology {self.params.link_model} n={self.n_nodes} "
+            f"racks={self.n_racks}x{self.params.nodes_per_rack}>"
+        )

@@ -31,15 +31,29 @@ __all__ = [
 
 #: application tags must stay below this.
 COLL_TAG_BASE = 1 << 20
-#: tags per collective slot (round/peer sub-tags).
+#: minimum tags per collective slot (round/peer sub-tags). The effective
+#: stride grows with the communicator so per-peer sub-tags (alltoall's
+#: ``step`` reaches p-1) never overflow a slot at large p: it is the next
+#: power of two >= p, floored at 64 so every communicator with p <= 64
+#: derives the exact tags it always did.
 _SLOT_STRIDE = 64
+
+
+def _stride(comm: Comm) -> int:
+    """Tag-space width of one collective slot for *comm* (power of two,
+    >= max(64, comm.size)); identical on all ranks of the communicator."""
+    p = comm.size
+    if p <= _SLOT_STRIDE:
+        return _SLOT_STRIDE
+    return 1 << (p - 1).bit_length()
 
 
 def _slot_tag(comm: Comm, offset: int) -> int:
     """Wire tag for sub-operation *offset* of the current collective slot."""
-    if offset >= _SLOT_STRIDE:
+    stride = _stride(comm)
+    if offset >= stride:
         raise ValueError(f"collective sub-tag overflow: {offset}")
-    return COLL_TAG_BASE + comm.coll_counter * _SLOT_STRIDE + offset
+    return COLL_TAG_BASE + comm.coll_counter * stride + offset
 
 
 def _take_slot(comm: Comm) -> int:
@@ -67,7 +81,10 @@ def barrier(comm: Comm) -> Generator[Event, Any, None]:
 
 def _slot_tag_prev(comm: Comm, offset: int) -> int:
     """Tag helper for the slot just consumed by ``_take_slot``."""
-    return COLL_TAG_BASE + (comm.coll_counter - 1) * _SLOT_STRIDE + offset
+    stride = _stride(comm)
+    if offset >= stride:
+        raise ValueError(f"collective sub-tag overflow: {offset}")
+    return COLL_TAG_BASE + (comm.coll_counter - 1) * stride + offset
 
 
 def bcast(comm: Comm, value: Any = None, root: int = 0) -> Generator[Event, Any, Any]:
@@ -185,9 +202,9 @@ def alltoall(comm: Comm, values: List[Any]) -> Generator[Event, Any, List[Any]]:
     for step in range(1, p):
         peer = (comm.rank + step) % p
         source = (comm.rank - step) % p
-        yield from comm.send(peer, values[peer], tag=_slot_tag_prev(comm, step % 64))
+        yield from comm.send(peer, values[peer], tag=_slot_tag_prev(comm, step))
         msg = yield from comm.recv(
-            source=source, tag=_slot_tag_prev(comm, step % 64)
+            source=source, tag=_slot_tag_prev(comm, step)
         )
         out[source] = msg.payload
     return out

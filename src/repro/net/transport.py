@@ -100,8 +100,11 @@ class Transport:
         try:
             yield req
             pressure = self.cluster.network_pressure()
-            # pooled delay: one per message, recycled by the engine
-            yield self.engine.delay(self.cluster.message_time(msg.size) * pressure)
+            # pooled delay: one per message, recycled by the engine; the
+            # (src, dst) pair routes through the topology's link cost
+            yield self.engine.delay(
+                self.cluster.message_time(msg.size, msg.src, msg.dst) * pressure
+            )
         finally:
             req.cancel()
         self._account(msg)

@@ -43,6 +43,8 @@ CAPTURE_ROOTS = (
     "CheckpointPolicy",
     "Transport",
     "StableStorage",
+    "StoragePlane",
+    "Topology",
 )
 
 

@@ -73,6 +73,10 @@ class RunMeta:
     klass: str = "none"  #: "coordinated" | "independent" | "none"
     staggered: bool = False
     logging: bool = False
+    #: stable-storage shard count: staggering holds mutual exclusion *per
+    #: server* (S independent rings), so the write-mutex checker groups
+    #: writers by their shard (block sharding, ``rank * S // n_ranks``).
+    storage_servers: int = 1
 
 
 @dataclass
@@ -322,31 +326,39 @@ class CoordinatedTwoPhase(Checker):
 
 
 class StaggeredWriteMutex(Checker):
-    """Staggered variants: checkpoint writes of one round never overlap —
-    the token ring (NBMS/NBCS) / write slot (NBS) holds mutual exclusion
-    on the stable-storage path."""
+    """Staggered variants: checkpoint writes of one round never overlap
+    *on the same storage server* — the per-server token ring (NBMS/NBCS)
+    / write slot (NBS) holds mutual exclusion on each shard's path. With
+    one server (the paper's machine) this is the old global mutex; with S
+    shards, up to S writers (one per shard) are legal concurrently."""
 
     name = "staggered_write_mutex"
     consumes = ("proto.write_begin", "proto.write_end")
 
     def __init__(self, meta: RunMeta) -> None:
         super().__init__(meta)
-        self._open: Dict[int, int] = {}  #: round -> rank currently writing
+        #: (round, server) -> rank currently writing on that shard
+        self._open: Dict[tuple, int] = {}
+
+    def _server_of(self, rank: int) -> int:
+        return rank * self.meta.storage_servers // self.meta.n_ranks
 
     def on_event(self, ev: TraceEvent) -> None:
         if not self.meta.staggered or self.meta.klass != "coordinated":
             return
         if ev.kind == "proto.write_begin":
             n, rank = ev["round"], ev["rank"]
-            if n in self._open:
+            key = (n, self._server_of(rank))
+            if key in self._open:
                 self.flag(
                     f"rank {rank} began its round-{n} write while rank "
-                    f"{self._open[n]} was still writing (staggering broken)",
+                    f"{self._open[key]} was still writing to server "
+                    f"{key[1]} (staggering broken)",
                     ev.time,
                 )
-            self._open[n] = rank
+            self._open[key] = rank
         elif ev.kind == "proto.write_end":
-            self._open.pop(ev["round"], None)
+            self._open.pop((ev["round"], self._server_of(ev["rank"])), None)
 
 
 class GcLineSafety(Checker):

@@ -87,12 +87,14 @@ def check_trace(events: Sequence[TraceEvent], meta: RunMeta) -> TraceReport:
 def meta_for_runtime(runtime: Any) -> RunMeta:
     """Derive checker metadata from a (duck-typed) runtime's scheme."""
     scheme = runtime.scheme
+    storage = getattr(runtime, "storage", None)
     return RunMeta(
         n_ranks=runtime.n_ranks,
         scheme=getattr(scheme, "name", "none"),
         klass=getattr(scheme, "klass", "none"),
         staggered=bool(getattr(scheme, "staggered", False)),
         logging=bool(getattr(scheme, "logging", False)),
+        storage_servers=int(getattr(storage, "n_servers", 1)),
     )
 
 

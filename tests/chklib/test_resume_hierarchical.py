@@ -1,0 +1,122 @@
+"""Durable recovery lines on the hierarchical machine.
+
+Same contract as test_resume.py — halting at *t* and restarting from the
+captured line continues bit-for-bit identically to a run that crashed at
+*t* and recovered in-process — but on a multi-rack machine with two
+shard servers and the burst-buffer tier, so the capture must cover the
+per-tier storage counters, the plane's drain counters and the per-server
+staggering rings, and a crash must kill in-flight burst-buffer drains
+identically on both paths.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import SOR
+from repro.chklib import CheckpointRuntime, CoordinatedScheme, FaultModel
+from repro.machine import MachineParams
+
+MACHINE = MachineParams.hierarchical(
+    16, nodes_per_rack=4, servers=2, burst_buffers=True
+)
+SEED = 11
+
+
+def make_app():
+    app = SOR(n=34, iters=10, flops_per_cell=2000.0)
+    app.image_bytes = 48 * 1024
+    return app
+
+
+def _dumps(report):
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def T():
+    return (
+        CheckpointRuntime(make_app(), machine=MACHINE, seed=SEED).run().sim_time
+    )
+
+
+def schemes(T):
+    times = (T / 4, T / 2, 3 * T / 4)
+    return {
+        "coord_nb": lambda: CoordinatedScheme.NB(times),
+        "coord_nbms": lambda: CoordinatedScheme.NBMS(times),
+        "coord_nbms_peers": lambda: CoordinatedScheme.NBMS(
+            times, marker_scope="peers"
+        ),
+    }
+
+
+@pytest.mark.parametrize("name", ["coord_nb", "coord_nbms", "coord_nbms_peers"])
+@pytest.mark.parametrize("halt_frac", [0.3, 0.55])
+def test_restart_on_hierarchical_machine_is_bitwise_identical(name, halt_frac, T):
+    make_scheme = schemes(T)[name]
+    halt = halt_frac * T
+
+    ra = CheckpointRuntime(
+        make_app(), scheme=make_scheme(), machine=MACHINE, seed=SEED
+    ).run()
+    rb = CheckpointRuntime(
+        make_app(),
+        scheme=make_scheme(),
+        machine=MACHINE,
+        seed=SEED,
+        fault_model=FaultModel.machine_crash(halt),
+    ).run()
+
+    halted = CheckpointRuntime(
+        make_app(), scheme=make_scheme(), machine=MACHINE, seed=SEED
+    )
+    halted.run(halt_at=halt)
+    assert halted.halted
+    resumed = CheckpointRuntime.restart_from(halted.durable_line)
+    rc = resumed.run()
+
+    assert _dumps(rc) == _dumps(rb)
+    assert rc.result == ra.result
+
+
+def test_burst_buffer_drains_progress_and_survive_resume(T):
+    """The NBMS run on the buffered machine actually exercises the drain
+    path, and drain counters restore across the halt."""
+    times = (T / 4, T / 2, 3 * T / 4)
+    rt = CheckpointRuntime(
+        make_app(),
+        scheme=CoordinatedScheme.NBMS(times),
+        machine=MACHINE,
+        seed=SEED,
+    )
+    report = rt.run()
+    assert rt.storage.drain_ops > 0
+    assert rt.storage.drained_bytes > 0
+    # buffered writes landed on the rack tier, drains moved them on
+    assert sum(b.bytes_written for b in rt.storage.burst_buffers) > 0
+
+    crashed = CheckpointRuntime(
+        make_app(),
+        scheme=CoordinatedScheme.NBMS(times),
+        machine=MACHINE,
+        seed=SEED,
+        fault_model=FaultModel.machine_crash(0.8 * T),
+    )
+    crashed.run()
+
+    halted = CheckpointRuntime(
+        make_app(),
+        scheme=CoordinatedScheme.NBMS(times),
+        machine=MACHINE,
+        seed=SEED,
+    )
+    halted.run(halt_at=0.8 * T)
+    drained_at_halt = halted.storage.drained_bytes
+    resumed = CheckpointRuntime.restart_from(halted.durable_line)
+    assert resumed.storage.drained_bytes == drained_at_halt
+    resumed.run()
+    # the resumed run re-does rolled-back rounds exactly like the
+    # in-process crash recovery (not like the uninterrupted run)
+    assert resumed.storage.drain_ops == crashed.storage.drain_ops
+    assert resumed.storage.drained_bytes == crashed.storage.drained_bytes

@@ -284,7 +284,7 @@ def _broken_spec(name="tiny"):
 
 def test_runner_exits_nonzero_and_summarises_failures(monkeypatch, capsys):
     monkeypatch.setattr(
-        runner_mod, "_build_spec", lambda spec_name, seed, scale: _broken_spec("table1")
+        runner_mod, "_build_spec", lambda spec_name, seed, scale, **kw: _broken_spec("table1")
     )
     rc = runner_mod.main(["table1", "--no-cache", "--jobs", "1"])
     captured = capsys.readouterr()
@@ -302,7 +302,7 @@ def test_runner_reports_spec_level_errors(monkeypatch, capsys):
 
     monkeypatch.setattr(spec, "reduce", bad_reduce)
     monkeypatch.setattr(
-        runner_mod, "_build_spec", lambda spec_name, seed, scale: spec
+        runner_mod, "_build_spec", lambda spec_name, seed, scale, **kw: spec
     )
     rc = runner_mod.main(["table1", "--no-cache", "--jobs", "1"])
     captured = capsys.readouterr()

@@ -1,0 +1,121 @@
+"""Topology: rack membership, hop counts, link costs, storage sharding."""
+
+import pytest
+
+from repro.machine import MachineParams, Topology, TopologyParams
+
+
+def racks(n, per_rack, **kw):
+    return Topology(n, TopologyParams(kind="racks", nodes_per_rack=per_rack, **kw))
+
+
+def test_flat_is_the_default_and_degenerate():
+    topo = Topology(8, TopologyParams())
+    assert topo.is_flat
+    assert topo.n_racks == 1
+    assert all(topo.rack_of(r) == 0 for r in range(8))
+    # one rack: every pair is local, zero uplink hops
+    assert all(topo.hops(a, b) == 0 for a in range(8) for b in range(8))
+
+
+def test_rack_membership():
+    topo = racks(16, 4)
+    assert topo.n_racks == 4
+    assert topo.rack_of(0) == 0
+    assert topo.rack_of(3) == 0
+    assert topo.rack_of(4) == 1
+    assert topo.rack_of(15) == 3
+    assert list(topo.rack_members(2)) == [8, 9, 10, 11]
+    # ragged last rack
+    ragged = racks(10, 4)
+    assert ragged.n_racks == 3
+    assert list(ragged.rack_members(2)) == [8, 9]
+
+
+def test_hops_uniform_fat_tree_torus():
+    uniform = racks(16, 4, link_model="uniform")
+    assert uniform.hops(0, 1) == 0  # same rack
+    assert uniform.hops(0, 5) == 1  # different rack: one uplink
+    assert uniform.hops(0, 15) == 1
+
+    fat = racks(16, 4, link_model="fat-tree")
+    assert fat.hops(0, 1) == 0
+    assert fat.hops(0, 5) == 2  # up to the spine and back down
+
+    torus = racks(32, 4, link_model="torus")  # 8 racks on a ring
+    assert torus.hops(0, 4) == 1  # rack 0 -> rack 1
+    assert torus.hops(0, 17) == 4  # rack 0 -> rack 4: halfway round
+    assert torus.hops(0, 29) == 1  # rack 0 -> rack 7: wraps the other way
+
+
+def test_link_cost_latency_and_taper():
+    params = TopologyParams(
+        kind="racks",
+        nodes_per_rack=4,
+        link_model="torus",
+        uplink_latency=1e-3,
+        uplink_taper=0.5,
+    )
+    topo = Topology(32, params)
+    machine = MachineParams.xplorer(32)
+    link = machine.link
+
+    # intra-rack: the base link, untouched
+    assert topo.link_cost(link, 0, 1) == (link.latency, link.bandwidth)
+    # one hop: latency adder, full bandwidth (taper kicks in beyond 1 hop)
+    lat, bw = topo.link_cost(link, 0, 4)
+    assert lat == pytest.approx(link.latency + 1e-3)
+    assert bw == pytest.approx(link.bandwidth)
+    # four hops round the torus: 4 latency adders, tapered bandwidth
+    lat4, bw4 = topo.link_cost(link, 0, 17)
+    assert lat4 == pytest.approx(link.latency + 4e-3)
+    assert bw4 == pytest.approx(link.bandwidth / (1 + 0.5 * 3))
+
+
+def test_server_sharding_is_a_partition():
+    """server_of and server_group are exact inverses: contiguous blocks
+    covering every rank exactly once, for awkward N/S combinations too."""
+    for n, s in [(8, 1), (8, 3), (16, 4), (10, 3), (1024, 8), (7, 7)]:
+        topo = Topology(n, TopologyParams())
+        seen = []
+        for server in range(s):
+            group = list(topo.server_group(server, s))
+            for r in group:
+                assert topo.server_of(r, s) == server
+            seen.extend(group)
+        assert seen == list(range(n))
+
+
+def test_server_sharding_balance():
+    topo = Topology(1024, TopologyParams())
+    sizes = [len(list(topo.server_group(s, 8))) for s in range(8)]
+    assert sum(sizes) == 1024
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_topology_params_validation():
+    with pytest.raises(ValueError):
+        TopologyParams(kind="mesh")
+    with pytest.raises(ValueError):
+        TopologyParams(kind="racks", nodes_per_rack=0)
+    with pytest.raises(ValueError):
+        TopologyParams(link_model="hypercube")
+    with pytest.raises(ValueError):
+        MachineParams(n_nodes=4).with_plane(servers=5)  # more servers than nodes
+    with pytest.raises(ValueError):
+        MachineParams(n_nodes=8).with_plane(burst_buffers=True)  # needs racks
+
+
+def test_hierarchical_preset_shape():
+    m = MachineParams.hierarchical(1024)
+    assert m.n_nodes == 1024
+    assert m.topology.kind == "racks"
+    assert m.plane.servers == 8  # isqrt(1024) // 4
+    small = MachineParams.hierarchical(8)
+    assert small.plane.servers == 1
+
+    for name in MachineParams.TOPOLOGY_PRESETS:
+        built = MachineParams.preset(name, 64)
+        assert built.n_nodes == 64
+    with pytest.raises(ValueError):
+        MachineParams.preset("nope", 64)
