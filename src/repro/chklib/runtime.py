@@ -628,7 +628,7 @@ class CheckpointRuntime:
         engine = self.engine
         for at, ev in items:
             if at > engine.now:
-                yield engine.timeout(at - engine.now)
+                yield engine.delay(at - engine.now)
             if self.finished:
                 return
             if ev is None:

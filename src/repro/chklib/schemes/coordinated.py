@@ -340,7 +340,7 @@ class CoordinatedScheme(Scheme):
                 shot += 1  # fired before the halt; the memoised decision
                 continue  # replays with no side effects
             if t > engine.now:
-                yield engine.timeout(t - engine.now)
+                yield engine.delay(t - engine.now)
             if runtime.finished:
                 return
             shot += 1
@@ -522,7 +522,7 @@ class CoordinatedScheme(Scheme):
             # block only to write-protect the pages; the background writer
             # streams while application stores fault-and-copy.
             pages = max(1, record.state_bytes // PAGE_SIZE)
-            yield engine.timeout(pages * agent.node.params.cow_mark_cost)
+            yield engine.delay(pages * agent.node.params.cow_mark_cost)
             rt.spawn(
                 self._bg_writer(agent, rnd, cow=True),
                 name=f"ckpt-writer:{n}:r{agent.rank}",

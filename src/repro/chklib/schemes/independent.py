@@ -192,7 +192,7 @@ class IndependentScheme(Scheme):
                 self._drawn[rank] = shot + 1
                 self._pending_fire[rank] = fire_at
             if fire_at > engine.now:
-                yield engine.timeout(fire_at - engine.now)
+                yield engine.delay(fire_at - engine.now)
             if runtime.finished:
                 return
             shot += 1
@@ -284,7 +284,7 @@ class IndependentScheme(Scheme):
             return
         if self.capture == "cow":
             pages = max(1, record.state_bytes // PAGE_SIZE)
-            yield engine.timeout(pages * agent.node.params.cow_mark_cost)
+            yield engine.delay(pages * agent.node.params.cow_mark_cost)
             agent.writing = True
             rt.spawn(
                 self._bg_writer(agent, record, write_bytes, cow=True),

@@ -195,20 +195,33 @@ class CheckpointStore:
         return best
 
     def count(self, rank: Optional[int] = None, committed_only: bool = False) -> int:
-        ranks = [rank] if rank is not None else list(range(self.n_ranks))
+        chains = (
+            (self._chains[rank],) if rank is not None else self._chains.values()
+        )
+        if not committed_only:
+            return sum(len(chain) for chain in chains)
         total = 0
-        for r in ranks:
-            for rec in self._chains[r].values():
-                if not committed_only or rec.committed:
+        for chain in chains:
+            for rec in chain.values():
+                if rec.committed:
                     total += 1
         return total
 
     def total_bytes(self) -> int:
-        return sum(
-            rec.total_bytes
-            for chain in self._chains.values()
-            for rec in chain.values()
-        )
+        # Hot: sampled after every add() for the peak metric. Open-coded
+        # sum of CheckpointRecord.total_bytes without the property calls.
+        total = 0
+        for chain in self._chains.values():
+            for rec in chain.values():
+                state = rec.stored_state_bytes
+                if state is None:
+                    state = rec.snapshot.nbytes + rec.pad_bytes
+                total += state
+                for m in rec.channel_msgs:
+                    total += m.size
+                for m in rec.log_annex:
+                    total += m.size
+        return total
 
     # -- deletion ------------------------------------------------------------------
 

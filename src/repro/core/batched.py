@@ -1,0 +1,537 @@
+"""The batched kernel backend: a calendar of timestamp cohorts.
+
+:class:`BatchedEngine` replaces the heap of the two-tier engine with a
+*calendar*: a dict of exact-fire-time buckets plus a small heap of the
+distinct bucket times. Scale workloads (the NBS/NBMS write-slot and
+staggering storms measured by ``benchmarks/bench_kernel.py scale_512``)
+pile hundreds of timeouts onto the *same* timestamp, so the calendar
+turns O(log n) ``heappush``/``heappop`` tuple comparisons per event into
+an O(1) dict append on insert and a straight list walk — a *cohort
+drain* — on dispatch. A bucket holding a single entry is stored as the
+bare ``(priority, seq, event)`` tuple (no list allocation, no cohort
+bookkeeping): sparse workloads with all-distinct fire times degrade to
+a float-keyed heap instead of paying the cohort machinery. A numpy lane
+(:meth:`BatchedEngine.timeout_batch`) vectorises homogeneous timeout
+storms into one grouped insert.
+
+Why the firing order is byte-identical
+--------------------------------------
+
+Events fire in ``(time, priority, seq)`` order; the proof obligations:
+
+* **clean cohorts** (the common case): a bucket that only ever received
+  ``NORMAL``-priority entries is sorted by construction — ``seq`` is
+  monotone in push order, so appends arrive in increasing ``seq``. While
+  a clean cohort at time ``T`` drains, any fast-lane append happens at
+  clock ``T`` and therefore carries a *larger* ``seq`` than every frozen
+  cohort entry; any lane entry that existed before the cohort started
+  has time ``> T`` (else the lane would have drained first). Hence the
+  whole clean cohort fires back-to-back with no per-event arbitration.
+* **singleton buckets**: fire alone whenever their time is strictly
+  ahead of the lane head (time dominates the key for any priority); at
+  equal times they become a dirty cohort of one and are arbitrated.
+* **dirty cohorts**: a bucket that received ``URGENT``/``LOW`` entries
+  (tracked in ``_dirtyt``) is sorted by ``(priority, seq)`` once at
+  drain start, then arbitrated per-event against the lane head on the
+  full ``(time, priority, seq)`` key — exactly the two-tier rule.
+* **preemption**: any ``_push`` at ``time <= now`` (an urgent trigger, a
+  same-timestamp denormal timeout) sets ``_preempt``; the dispatch loop
+  folds the new entries into the remaining cohort, re-sorts, and falls
+  back to per-event arbitration. Order reduces to the two-tier rule
+  again, so correctness never depends on the fast path's assumptions.
+* the clock only advances (pushes into the past are impossible — negative
+  delays raise at creation), and bucket times are unique in the times
+  heap (a time is pushed only when its bucket is created), so there are
+  no tie-breaks the ``(time, priority, seq)`` key does not already
+  decide.
+
+The backend-parity suite (``tests/core/test_backends.py``) enforces this
+equivalence on random workloads, every scheme, and crash/resume runs.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Any, Iterable, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from .engine import _DELAY_POOL_MAX, NORMAL, Engine, _Delay
+from .errors import InvariantViolation, NegativeDelay, SimulationError
+from .events import Event, Timeout
+
+__all__ = ["BatchedEngine"]
+
+#: a bucket: one bare entry, or a list of entries in push order.
+_Entry = Tuple[int, int, Event]
+_Bucket = Union[_Entry, List[_Entry]]
+
+#: when one grouped insert brings this many new distinct times, rebuilding
+#: the times heap beats pushing them one by one.
+_HEAPIFY_CUTOVER = 8
+
+
+class BatchedEngine(Engine):
+    """Calendar/cohort kernel backend (see module docstring)."""
+
+    BACKEND_NAME = "batched"
+    _HAS_FAST_LANE = True
+
+    __slots__ = (
+        "_buckets",
+        "_times",
+        "_dirtyt",
+        "_cohort",
+        "_ci",
+        "_ctime",
+        "_cdirty",
+        "_preempt",
+    )
+
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        fast_lane: Optional[bool] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(start_time, fast_lane, backend)
+        #: publishing no heap routes events.py's cold paths through _push.
+        self._heap = None
+        #: exact fire time -> bucket (bare entry or list in push order).
+        self._buckets: dict[float, _Bucket] = {}
+        #: min-heap of the distinct bucket times (no duplicates).
+        self._times: List[float] = []
+        #: bucket times that received a non-NORMAL priority entry.
+        self._dirtyt: Set[float] = set()
+        #: the cohort currently draining: entries, cursor, time, mode.
+        self._cohort: List[_Entry] = []
+        self._ci = 0
+        self._ctime = self._now
+        self._cdirty = False
+        #: set by _push on any same-or-earlier-time insert mid-drain.
+        self._preempt = False
+
+    # -- scheduling -------------------------------------------------------
+
+    def _push(self, time: float, priority: int, seq: int, event: Event) -> None:
+        buckets = self._buckets
+        b = buckets.get(time)
+        if b is None:
+            buckets[time] = (priority, seq, event)
+            heappush(self._times, time)
+        elif type(b) is list:
+            b.append((priority, seq, event))
+        else:
+            buckets[time] = [b, (priority, seq, event)]
+        if priority != NORMAL:
+            self._dirtyt.add(time)
+        if time <= self._now:
+            self._preempt = True
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Put a triggered event on the calendar ``delay`` seconds from now."""
+        if delay < 0:
+            raise NegativeDelay(delay)
+        self._seq += 1
+        if delay == 0.0 and priority == NORMAL:
+            self._lane.append((self._now, self._seq, event))
+        else:
+            self._push(self._now + delay, priority, self._seq, event)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now.
+
+        The calendar insert is inlined (timeouts are the hot allocation of
+        every wire transfer and nap, and a ``_push`` method call per event
+        is measurable at scale).
+        """
+        ev = Timeout.__new__(Timeout)
+        ev.engine = self
+        ev.callbacks = []
+        ev._ok = True
+        ev._value = value
+        ev.defused = False
+        ev.delay = delay = float(delay)
+        if delay < 0:
+            raise NegativeDelay(delay)
+        self._seq = seq = self._seq + 1
+        if delay == 0.0:
+            self._lane.append((self._now, seq, ev))
+        else:
+            time = self._now + delay
+            buckets = self._buckets
+            b = buckets.get(time)
+            if b is None:
+                buckets[time] = (1, seq, ev)
+                heappush(self._times, time)
+            elif type(b) is list:
+                b.append((1, seq, ev))
+            else:
+                buckets[time] = [b, (1, seq, ev)]
+            if time <= self._now:  # denormal-tiny delay collapsed onto "now"
+                self._preempt = True
+        return ev
+
+    def delay(self, delay: float, value: Any = None) -> Event:
+        """Pooled single-use timeout (see :meth:`Engine.delay`)."""
+        pool = self._delay_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._ok = True
+            ev._value = value
+            ev.defused = False
+        else:
+            ev = _Delay(self)
+            ev._value = value
+        if delay < 0:
+            raise NegativeDelay(delay)
+        self._seq = seq = self._seq + 1
+        if delay == 0.0:
+            self._lane.append((self._now, seq, ev))
+        else:
+            time = self._now + delay
+            buckets = self._buckets
+            b = buckets.get(time)
+            if b is None:
+                buckets[time] = (1, seq, ev)
+                heappush(self._times, time)
+            elif type(b) is list:
+                b.append((1, seq, ev))
+            else:
+                buckets[time] = [b, (1, seq, ev)]
+            if time <= self._now:
+                self._preempt = True
+        return ev
+
+    def timeout_batch(self, delays: Iterable[float], value: Any = None) -> List[Timeout]:
+        """Vectorised storm insert: one grouped calendar write per call.
+
+        Assigns sequence numbers in iteration order, so the firing order
+        is byte-identical to the equivalent ``timeout()`` loop.
+        """
+        arr = np.asarray(delays, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError("timeout_batch expects a 1-D vector of delays")
+        if arr.size == 0:
+            return []
+        lo = float(arr.min())
+        if lo < 0:
+            raise NegativeDelay(lo)
+        now = self._now
+        times = (now + arr).tolist()
+        dlist = arr.tolist()
+        seq = self._seq
+        lane = self._lane
+        buckets = self._buckets
+        new_times: List[float] = []
+        events: List[Timeout] = []
+        append = events.append
+        preempt = False
+        for t, d in zip(times, dlist):
+            ev = Timeout.__new__(Timeout)
+            ev.engine = self
+            ev.callbacks = []
+            ev._ok = True
+            ev._value = value
+            ev.defused = False
+            ev.delay = d
+            seq += 1
+            if d == 0.0:
+                lane.append((now, seq, ev))
+            else:
+                b = buckets.get(t)
+                if b is None:
+                    buckets[t] = (1, seq, ev)
+                    new_times.append(t)
+                elif type(b) is list:
+                    b.append((1, seq, ev))
+                else:
+                    buckets[t] = [b, (1, seq, ev)]
+                if t <= now:  # denormal-tiny delay collapsed onto "now"
+                    preempt = True
+            append(ev)
+        self._seq = seq
+        if preempt:
+            self._preempt = True
+        if new_times:
+            times_heap = self._times
+            if (
+                len(new_times) > _HEAPIFY_CUTOVER
+                and len(new_times) * 4 > len(times_heap)
+            ):
+                times_heap.extend(new_times)
+                heapify(times_heap)
+            else:
+                for t in new_times:
+                    heappush(times_heap, t)
+        return events
+
+    # -- clock / introspection --------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        t = self._ctime if self._ci < len(self._cohort) else float("inf")
+        if self._lane:
+            lt = self._lane[0][0]
+            if lt < t:
+                t = lt
+        if self._times and self._times[0] < t:
+            t = self._times[0]
+        return t
+
+    @property
+    def queued(self) -> int:
+        """Number of scheduled-but-unprocessed events."""
+        pending = len(self._lane) + (len(self._cohort) - self._ci)
+        for b in self._buckets.values():
+            pending += len(b) if type(b) is list else 1
+        return pending
+
+    # -- cohort machinery -------------------------------------------------
+
+    def _start_cohort(self, time: float, force_dirty: bool) -> None:
+        """Begin draining the bucket at *time* (already popped off _times)."""
+        bucket = self._buckets.pop(time)
+        if type(bucket) is not list:
+            bucket = [bucket]
+        dirtyt = self._dirtyt
+        if time in dirtyt:
+            dirtyt.discard(time)
+            bucket.sort(key=_entry_key)
+            self._cdirty = True
+        else:
+            # clean buckets are (1, seq)-sorted by construction
+            self._cdirty = force_dirty
+        self._cohort = bucket
+        self._ci = 0
+        self._ctime = time
+        self._preempt = False
+
+    def _repair_cohort(self) -> None:
+        """Fold same-time pushes (the _preempt flag) into the live cohort
+        and drop to per-event arbitration — the universally-correct path."""
+        self._preempt = False
+        time = self._ctime
+        rest = self._cohort[self._ci :]
+        b = self._buckets.pop(time, None)
+        if b is not None:
+            times = self._times
+            if times and times[0] == time:
+                heappop(times)
+            else:  # pragma: no cover - defensive (push is always >= now)
+                times.remove(time)
+                heapify(times)
+            self._dirtyt.discard(time)
+            if type(b) is list:
+                rest.extend(b)
+            else:
+                rest.append(b)
+        rest.sort(key=_entry_key)
+        self._cohort = rest
+        self._ci = 0
+        self._cdirty = True
+
+    # -- run loop ---------------------------------------------------------
+
+    def _pop_next(self) -> Tuple[float, Event]:
+        """Select the next event in (time, priority, seq) order (step path)."""
+        lane = self._lane
+        times = self._times
+        while True:
+            cohort = self._cohort
+            ci = self._ci
+            if ci < len(cohort):
+                if self._preempt:
+                    self._repair_cohort()
+                    continue
+                time = self._ctime
+                if self._cdirty:
+                    p, s, event = cohort[ci]
+                    if lane:
+                        entry = lane[0]
+                        if (entry[0], 1, entry[1]) < (time, p, s):
+                            del lane[0]
+                            return entry[0], entry[2]
+                    self._ci = ci + 1
+                    return time, event
+                entry = cohort[ci]
+                self._ci = ci + 1
+                return time, entry[2]
+            if lane:
+                lt = lane[0][0]
+                if times:
+                    bt = times[0]
+                    if bt <= lt:
+                        self._start_cohort(heappop(times), bt == lt)
+                        continue
+                entry = lane[0]
+                del lane[0]
+                return entry[0], entry[2]
+            if times:
+                self._start_cohort(heappop(times), False)
+                continue
+            raise IndexError("pop from an empty event queue")
+
+    def step(self) -> None:
+        """Process exactly one event (advance the clock to it)."""
+        time, event = self._pop_next()
+        if time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event queue yielded a past event")
+        self._now = time
+        if self.step_hook is not None:
+            self.step_hook(time, event)
+        self._fire(event)
+
+    def _dispatch(self, target: Optional[Event]) -> bool:
+        """Cohort-draining dispatch loop (see base class for the contract)."""
+        lane = self._lane
+        popleft = lane.popleft
+        times = self._times
+        buckets = self._buckets
+        dirtyt = self._dirtyt
+        pool = self._delay_pool
+        pop = heappop
+        delay_cls = _Delay
+        list_cls = list
+        now = self._now
+        cohort = self._cohort
+        ci = self._ci
+        ctime = self._ctime
+        cdirty = self._cdirty
+        try:
+            while True:
+                if target is not None and target.callbacks is None:
+                    return True
+                if ci < len(cohort):
+                    if self._preempt:
+                        self._ci = ci
+                        self._repair_cohort()
+                        cohort = self._cohort
+                        ci = 0
+                        cdirty = True
+                        continue
+                    if cdirty:
+                        item = cohort[ci]
+                        if lane:
+                            entry = lane[0]
+                            if (entry[0], 1, entry[1]) < (ctime, item[0], item[1]):
+                                popleft()
+                                time, event = entry[0], entry[2]
+                            else:
+                                ci += 1
+                                time, event = ctime, item[2]
+                        else:
+                            ci += 1
+                            time, event = ctime, item[2]
+                    else:
+                        # clean cohort: fires back-to-back (module docstring)
+                        time, event = ctime, cohort[ci][2]
+                        ci += 1
+                elif lane:
+                    entry = lane[0]
+                    lt = entry[0]
+                    if not times or times[0] > lt:
+                        popleft()
+                        time, event = lt, entry[2]
+                    else:
+                        bt = pop(times)
+                        bucket = buckets.pop(bt)
+                        if type(bucket) is not list_cls:
+                            if bt < lt:
+                                # singleton strictly ahead of the lane head:
+                                # fires alone, no cohort bookkeeping
+                                if dirtyt:
+                                    dirtyt.discard(bt)
+                                time, event = bt, bucket[2]
+                            else:
+                                # same-time: dirty cohort of one, arbitrated
+                                if dirtyt:
+                                    dirtyt.discard(bt)
+                                cohort = [bucket]
+                                ci = 0
+                                ctime = bt
+                                cdirty = True
+                                self._cohort = cohort
+                                self._ci = 0
+                                self._ctime = bt
+                                self._cdirty = True
+                                self._preempt = False
+                                continue
+                        else:
+                            if bt in dirtyt:
+                                dirtyt.discard(bt)
+                                bucket.sort(key=_entry_key)
+                                cdirty = True
+                            else:
+                                # a bucket filled at the current clock can
+                                # interleave with same-time lane entries
+                                cdirty = bt == lt
+                            cohort = bucket
+                            ci = 0
+                            ctime = bt
+                            self._cohort = cohort
+                            self._ci = 0
+                            self._ctime = bt
+                            self._cdirty = cdirty
+                            self._preempt = False
+                            continue
+                elif times:
+                    bt = pop(times)
+                    bucket = buckets.pop(bt)
+                    if type(bucket) is not list_cls:
+                        # singleton, empty lane: fire directly (storm shape)
+                        if dirtyt:
+                            dirtyt.discard(bt)
+                        time, event = bt, bucket[2]
+                    else:
+                        if bt in dirtyt:
+                            dirtyt.discard(bt)
+                            bucket.sort(key=_entry_key)
+                            cdirty = True
+                        else:
+                            cdirty = False
+                        cohort = bucket
+                        ci = 0
+                        ctime = bt
+                        self._cohort = cohort
+                        self._ci = 0
+                        self._ctime = bt
+                        self._cdirty = cdirty
+                        self._preempt = False
+                        continue
+                else:
+                    return False
+                if time != now:
+                    self._now = now = time
+                hook = self.step_hook
+                if hook is not None:
+                    hook(time, event)
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                if callbacks is None:
+                    raise InvariantViolation(
+                        "event processed twice (callbacks already consumed)",
+                        event=repr(event),
+                        now=time,
+                    )
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event.defused:
+                    raise event.value
+                if (
+                    event.__class__ is delay_cls
+                    and hook is None  # hooks may retain event references
+                    and len(pool) < _DELAY_POOL_MAX
+                ):
+                    pool.append(event)
+        finally:
+            # persist cohort progress so a raising callback (or run(until=ev))
+            # leaves the queue resumable mid-cohort
+            self._cohort = cohort
+            self._ci = ci
+
+
+def _entry_key(entry: _Entry) -> Tuple[int, int]:
+    """Sort key for cohort entries — never compares the event objects."""
+    return (entry[0], entry[1])

@@ -10,6 +10,21 @@ a monotone counter, so same-time same-priority events fire in scheduling
 order — this is what makes the whole simulation reproducible without any
 real-time dependence.
 
+Kernel backends
+---------------
+
+The queue data structures and the dispatch loop are pluggable (see
+:mod:`repro.core.kernel` for the selection rules and the contract).
+``Engine(...)`` resolves to one of the registered backend subclasses:
+
+* :class:`ReferenceEngine` — single ``(time, priority, seq)`` heap, the
+  certification oracle;
+* :class:`TwoTierEngine` — the default: heap plus a FIFO *fast lane* for
+  delay-0 ``NORMAL`` events (the dominant traffic), with head-to-head
+  arbitration so firing order is unchanged;
+* :class:`repro.core.batched.BatchedEngine` — calendar buckets drained as
+  whole same-timestamp cohorts, for large-N scale sweeps.
+
 Two-tier queue
 --------------
 
@@ -26,23 +41,22 @@ events pay ``heappush``/``heappop``. The firing order is unchanged:
   smaller ``(time, priority, seq)`` key.  Sequence numbers are unique, so
   the comparison never ties.
 
-Set ``REPRO_KERNEL_HEAP_ONLY=1`` (or construct ``Engine(fast_lane=False)``)
-to route everything through the heap — the legacy path kept for
-determinism regression tests (`benchmarks/bench_kernel.py` measures both).
+``REPRO_KERNEL_HEAP_ONLY=1`` and ``Engine(fast_lane=...)`` are kept as
+deprecated spellings of the backend selector: they map to the
+``reference`` and ``twotier`` backends exactly as before.
 """
 
 from __future__ import annotations
 
-import os
 from collections import deque
 from heapq import heappop, heappush
-from typing import Any, Callable, Deque, Generator, Iterable, Optional, Tuple
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
 
 from .errors import Deadlock, InvariantViolation, NegativeDelay, SimulationError
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process
 
-__all__ = ["Engine", "URGENT", "NORMAL", "LOW"]
+__all__ = ["Engine", "ReferenceEngine", "TwoTierEngine", "URGENT", "NORMAL", "LOW"]
 
 #: Scheduling priorities (lower fires first at equal times).
 URGENT = 0
@@ -73,7 +87,21 @@ class _Delay(Event):
 
 
 class Engine:
-    """Discrete-event simulation engine with a deterministic event queue."""
+    """Discrete-event simulation engine with a deterministic event queue.
+
+    ``Engine(...)`` is a factory: construction resolves a kernel backend
+    (``backend=`` argument, ``REPRO_KERNEL_BACKEND``, or the deprecated
+    ``fast_lane``/``REPRO_KERNEL_HEAP_ONLY`` spellings) and returns an
+    instance of the matching subclass. The base class carries the full
+    two-tier implementation; backends override the queue surface
+    (``_push``/``schedule``/``delay``/``peek``/``queued``/``step``/
+    ``_dispatch``) — see :mod:`repro.core.kernel` for the contract.
+    """
+
+    #: backend name this class is registered under (subclasses override).
+    BACKEND_NAME = "twotier"
+    #: whether delay-0 NORMAL events use the FIFO fast lane.
+    _HAS_FAST_LANE = True
 
     __slots__ = (
         "_now",
@@ -86,24 +114,52 @@ class Engine:
         "step_hook",
     )
 
+    def __new__(
+        cls,
+        start_time: float = 0.0,
+        fast_lane: Optional[bool] = None,
+        backend: Optional[str] = None,
+    ) -> "Engine":
+        if cls is Engine:
+            from .kernel import backend_class, resolve_backend
+
+            cls = backend_class(resolve_backend(backend, fast_lane))
+        return object.__new__(cls)
+
     def __init__(
-        self, start_time: float = 0.0, fast_lane: Optional[bool] = None
+        self,
+        start_time: float = 0.0,
+        fast_lane: Optional[bool] = None,
+        backend: Optional[str] = None,
     ) -> None:
+        if backend is not None or fast_lane is not None:
+            # Selection already happened in __new__; here we only reject a
+            # direct subclass construction that contradicts its own backend.
+            from .kernel import resolve_backend
+
+            want = resolve_backend(backend, fast_lane)
+            if want != self.BACKEND_NAME:
+                raise ValueError(
+                    f"{type(self).__name__} is the {self.BACKEND_NAME!r} "
+                    f"backend; construction requested {want!r}"
+                )
         self._now = float(start_time)
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._heap: Optional[List[Tuple[float, int, int, Event]]] = []
         #: delay-0 NORMAL-priority FIFO (see module docstring).
         self._lane: Deque[Tuple[float, int, Event]] = deque()
         self._seq = 0
         self._active_processes = 0
-        if fast_lane is None:
-            fast_lane = os.environ.get("REPRO_KERNEL_HEAP_ONLY", "") not in (
-                "1",
-                "true",
-            )
-        self._fast_lane = bool(fast_lane)
+        self._fast_lane = self._HAS_FAST_LANE
         self._delay_pool: list[_Delay] = []
         #: optional hook called as ``hook(time, event)`` before callbacks run.
         self.step_hook: Optional[Callable[[float, Event], None]] = None
+
+    # -- backend ----------------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        """Name of the kernel backend this engine runs on."""
+        return self.BACKEND_NAME
 
     # -- clock ------------------------------------------------------------
 
@@ -138,6 +194,15 @@ class Engine:
         else:
             heappush(self._heap, (self._now + delay, priority, self._seq, event))
 
+    def _push(self, time: float, priority: int, seq: int, event: Event) -> None:
+        """Cold-path enqueue of an entry whose full key is already assigned.
+
+        ``events.py`` inlines the hot scheduling paths against ``_lane`` and
+        ``_heap`` directly; backends that publish no ``_heap`` (it is
+        ``None``) receive everything else through this hook instead.
+        """
+        heappush(self._heap, (time, priority, seq, event))
+
     # -- event factories ----------------------------------------------------
 
     def event(self) -> Event:
@@ -147,6 +212,24 @@ class Engine:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that fires ``delay`` seconds from now."""
         return Timeout(self, delay, value)
+
+    def timeout_batch(self, delays: Iterable[float], value: Any = None) -> List[Timeout]:
+        """One timeout per element of *delays*, scheduled in iteration order.
+
+        Semantically identical to ``[engine.timeout(d, value) for d in
+        delays]`` (sequence numbers are assigned in iteration order, so the
+        firing order is byte-identical); backends may vectorise the insert.
+
+        All-or-nothing: delays are validated up front, so a negative entry
+        schedules *no* events and consumes no sequence numbers — the same
+        contract the vectorised backends give for free.
+        """
+        ds = [float(d) for d in delays]
+        if ds:
+            lo = min(ds)
+            if lo < 0:
+                raise NegativeDelay(lo)
+        return [Timeout(self, d, value) for d in ds]
 
     def delay(self, delay: float, value: Any = None) -> Event:
         """A lightweight pooled timeout for the ``yield engine.delay(t)``
@@ -326,6 +409,29 @@ class Engine:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"<Engine t={self._now:.6f} queued={self.queued} "
+            f"<{type(self).__name__} t={self._now:.6f} queued={self.queued} "
             f"active={self._active_processes}>"
         )
+
+
+class TwoTierEngine(Engine):
+    """The default backend: fast lane + heap (the base implementation)."""
+
+    BACKEND_NAME = "twotier"
+    _HAS_FAST_LANE = True
+
+    __slots__ = ()
+
+
+class ReferenceEngine(Engine):
+    """The heap-only oracle backend: every event through one heap.
+
+    With ``_fast_lane`` off, the inlined scheduling paths in ``events.py``
+    and the base dispatch loop never touch the lane, so this is exactly
+    the legacy single-heap kernel kept for determinism certification.
+    """
+
+    BACKEND_NAME = "reference"
+    _HAS_FAST_LANE = False
+
+    __slots__ = ()

@@ -71,6 +71,10 @@ class SharedServer:
         #: observers called with the new job count on every change
         #: (nodes use this to react to congestion).
         self.on_change: List[Callable[[int], None]] = []
+        #: exact-count hook, called with +1/-1 at every ``_jobs`` mutation
+        #: (unlike ``on_change``, which only fires on the public-API edges).
+        #: The storage plane uses it to keep ``active_streams`` O(1).
+        self.on_jobs_delta: Optional[Callable[[int], None]] = None
         # metrics
         self.bytes_completed = 0.0
         self.jobs_completed = 0
@@ -116,6 +120,8 @@ class SharedServer:
             self._complete(job)
             return job
         self._jobs.append(job)
+        if self.on_jobs_delta is not None:
+            self.on_jobs_delta(1)
         self.peak_concurrency = max(self.peak_concurrency, len(self._jobs))
         self._reschedule()
         self._notify()
@@ -126,6 +132,8 @@ class SharedServer:
         if job in self._jobs:
             self._advance()
             self._jobs.remove(job)
+            if self.on_jobs_delta is not None:
+                self.on_jobs_delta(-1)
             self._reschedule()
             self._notify()
 
@@ -153,6 +161,8 @@ class SharedServer:
                 finished.append(job)
         for job in finished:
             self._jobs.remove(job)
+            if self.on_jobs_delta is not None:
+                self.on_jobs_delta(-1)
             self._complete(job)
 
     def _complete(self, job: TransferJob) -> None:
@@ -176,12 +186,16 @@ class SharedServer:
                 j for j in self._jobs if j.remaining <= next_remaining + 1e-12
             ]:
                 self._jobs.remove(job)
+                if self.on_jobs_delta is not None:
+                    self.on_jobs_delta(-1)
                 job.remaining = 0.0
                 self._complete(job)
         if not self._jobs:
             return
         version = self._timer_version
-        wake = self.engine.timeout(delay)
+        # single-use wake-up, never composed: the pooled delay event avoids
+        # one Timeout allocation per job-set change
+        wake = self.engine.delay(delay)
         wake.callbacks.append(lambda _ev, v=version: self._on_timer(v))
 
     def _on_timer(self, version: int) -> None:

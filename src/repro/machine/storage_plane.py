@@ -62,6 +62,8 @@ class StoragePlane:
         "burst_buffers",
         "fault_injector",
         "n_servers",
+        # derived stream counter; rebuilt at 0 with fresh (empty) servers
+        "_active_streams",
     )
 
     def __init__(
@@ -112,6 +114,11 @@ class StoragePlane:
         self.fault_injector: Optional["StorageFaultInjector"] = None
         self.drained_bytes = 0.0
         self.drain_ops = 0
+        # Exact incremental mirror of sum(srv.active_streams): pressure is
+        # read once per message transfer, which dwarfs job-set changes.
+        self._active_streams = 0
+        for srv in self.servers:
+            srv.server.on_jobs_delta = self._on_stream_delta
 
     # -- routing ------------------------------------------------------------
 
@@ -167,12 +174,19 @@ class StoragePlane:
         for srv in self.servers:
             srv.server.set_rate_factor(factor)
 
+    def _on_stream_delta(self, delta: int) -> None:
+        self._active_streams += delta
+
     @property
     def active_streams(self) -> int:
         """Concurrent transfers crossing the interconnect towards the
         storage plane (network-pressure input). Burst-buffer traffic is
-        rack-local and exerts no pressure; drains do, via the servers."""
-        return sum(srv.active_streams for srv in self.servers)
+        rack-local and exerts no pressure; drains do, via the servers.
+
+        Maintained incrementally via the servers' ``on_jobs_delta`` hook;
+        always equal to ``sum(srv.active_streams for srv in self.servers)``.
+        """
+        return self._active_streams
 
     def write(
         self, node: "Node", nbytes: float, tag: str = "", background: bool = False

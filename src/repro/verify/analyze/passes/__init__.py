@@ -14,6 +14,7 @@ from .cleanup_mutation import cleanup_mutation_pass
 from .capture import capture_pass
 from .trace_conformance import trace_conformance_pass
 from .nondet_taint import nondet_taint_pass
+from .backend_purity import backend_purity_pass
 
 __all__ = [
     "ALL_PASSES",
@@ -24,6 +25,7 @@ __all__ = [
     "capture_pass",
     "trace_conformance_pass",
     "nondet_taint_pass",
+    "backend_purity_pass",
 ]
 
 #: (name, pass) in execution order.
@@ -34,4 +36,5 @@ ALL_PASSES = (
     ("capture-completeness", capture_pass),
     ("trace-conformance", trace_conformance_pass),
     ("nondet-taint", nondet_taint_pass),
+    ("backend-purity", backend_purity_pass),
 )

@@ -1,0 +1,427 @@
+"""Backend-parity certification suite (DESIGN.md §12).
+
+Every kernel backend must fire events in exactly the same
+``(time, priority, seq)`` order as the reference heap, with ``seq``
+ticking once per scheduled event — so tables, traces, recovery lines
+and RNG draws are byte-identical whichever backend runs them. This
+suite is the oracle a new backend (Cython/mypyc/Rust) must pass:
+
+* selector semantics (arg > env > deprecated shims > default);
+* property tests replaying random mixed workloads — timestamp
+  collisions (cohorts), priorities (dirty cohorts), delay-0 lane
+  traffic, batched inserts — under every backend;
+* all seven checkpointing schemes, crash/recovery, halt/resume via a
+  durable line crossing *backends* as well as process boundaries
+  (including a genuine SIGKILL), and ``--verify``-audited traced runs;
+* the experiment CLI: ``runner table1|table2|table3 --quick`` stdout.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.experiments.runner as runner_mod
+from repro.apps import SOR
+from repro.chklib import (
+    CheckpointRuntime,
+    CoordinatedScheme,
+    DurableLine,
+    FaultModel,
+    IndependentScheme,
+)
+from repro.core import Engine, Event, NegativeDelay, available_backends, backend_class
+from repro.core.engine import LOW, URGENT
+from repro.core.kernel import resolve_backend
+from repro.experiments import WorkloadSpec
+from repro.machine import MachineParams
+from repro.verify.trace_check import verified
+
+BACKENDS = ("reference", "twotier", "batched")
+
+
+@pytest.fixture(autouse=True)
+def _isolate_backend_env(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_KERNEL_HEAP_ONLY", raising=False)
+
+
+# -- selector semantics -------------------------------------------------------
+
+
+def test_available_backends_lists_all_three():
+    assert available_backends() == BACKENDS
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_backend_arg_selects_class(name):
+    eng = Engine(backend=name)
+    assert type(eng) is backend_class(name)
+    assert eng.backend == name
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_env_var_selects_backend(name, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", name)
+    assert Engine().backend == name
+
+
+def test_explicit_arg_beats_env(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "batched")
+    assert Engine(backend="reference").backend == "reference"
+
+
+def test_env_beats_deprecated_heap_only_shim(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "batched")
+    monkeypatch.setenv("REPRO_KERNEL_HEAP_ONLY", "1")
+    assert Engine().backend == "batched"
+
+
+def test_deprecated_fast_lane_arg_maps_to_backends():
+    assert Engine(fast_lane=True).backend == "twotier"
+    assert Engine(fast_lane=False).backend == "reference"
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        Engine(backend="rust")
+    with pytest.raises(ValueError, match="names no kernel backend"):
+        os.environ["REPRO_KERNEL_BACKEND"] = "nope"
+        try:
+            resolve_backend()
+        finally:
+            del os.environ["REPRO_KERNEL_BACKEND"]
+
+
+def test_backend_and_fast_lane_conflict():
+    with pytest.raises(ValueError, match="not both"):
+        Engine(backend="twotier", fast_lane=True)
+
+
+def test_direct_subclass_construction_validates_selector():
+    from repro.core.batched import BatchedEngine
+    from repro.core.engine import TwoTierEngine
+
+    assert BatchedEngine().backend == "batched"
+    with pytest.raises(ValueError):
+        TwoTierEngine(backend="batched")
+
+
+def test_default_is_twotier():
+    assert Engine().backend == "twotier"
+
+
+# -- random-workload firing-order parity --------------------------------------
+
+# small discrete delay pool => heavy timestamp collisions, the batched
+# calendar's cohort paths get exercised rather than dodged.
+_DELAYS = (0.0, 0.25, 0.25, 0.5, 0.5, 0.5, 1.0, 2.0)
+
+_op = st.one_of(
+    st.tuples(st.just("t"), st.sampled_from(_DELAYS)),
+    st.tuples(st.just("d"), st.sampled_from(_DELAYS)),
+    st.tuples(st.just("imm"), st.just(None)),
+    st.tuples(st.just("pri"), st.sampled_from([URGENT, LOW])),
+    st.tuples(
+        st.just("batch"),
+        st.lists(st.sampled_from(_DELAYS), min_size=1, max_size=5),
+    ),
+)
+_workload = st.lists(
+    st.lists(_op, min_size=1, max_size=8), min_size=1, max_size=6
+)
+
+
+def _replay(backend, workers, hook):
+    eng = Engine(backend=backend)
+    log = []
+    fired = []
+    if hook:
+        eng.step_hook = lambda t, ev: fired.append((t, type(ev).__name__))
+
+    def worker(tag, ops):
+        for i, (kind, arg) in enumerate(ops):
+            if kind == "t":
+                yield eng.timeout(arg, value=(tag, i))
+            elif kind == "d":
+                yield eng.delay(arg, value=(tag, i))
+            elif kind == "imm":
+                ev = Event(eng)
+                ev.succeed((tag, i))
+                yield ev
+            elif kind == "pri":
+                ev = Event(eng)
+                ev.succeed((tag, i), priority=arg)
+                yield ev
+            elif kind == "batch":
+                evs = eng.timeout_batch(arg, value=(tag, i))
+                # wait on the slowest; the rest fire unobserved (but the
+                # step hook still sees them, in certified order)
+                yield evs[arg.index(max(arg))]
+            log.append((tag, i, eng.now))
+
+    for tag, ops in enumerate(workers):
+        eng.process(worker(tag, ops))
+    eng.run()
+    return log, fired, eng.now, eng._seq
+
+
+@given(_workload)
+@settings(max_examples=60, deadline=None)
+def test_random_workloads_fire_identically_across_backends(workers):
+    ref = _replay("reference", workers, hook=True)
+    for backend in ("twotier", "batched"):
+        assert _replay(backend, workers, hook=True) == ref
+
+
+@given(_workload)
+@settings(max_examples=40, deadline=None)
+def test_random_workloads_identical_without_step_hook(workers):
+    # no hook => the _Delay pool recycles; resumption order must not move
+    ref = _replay("reference", workers, hook=False)
+    for backend in ("twotier", "batched"):
+        assert _replay(backend, workers, hook=False) == ref
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_timeout_batch_equals_timeout_loop(backend):
+    delays = [0.5, 0.25, 0.5, 0.0, 1.0, 0.25]
+
+    def run(batch):
+        eng = Engine(backend=backend)
+        fired = []
+        eng.step_hook = lambda t, ev: fired.append((t, ev._value))
+        if batch:
+            eng.timeout_batch(delays, value="x")
+        else:
+            for d in delays:
+                eng.timeout(d, value="x")
+        eng.run()
+        return fired, eng.now, eng._seq
+
+    assert run(batch=True) == run(batch=False)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_timeout_batch_negative_delay_schedules_nothing(backend):
+    eng = Engine(backend=backend)
+    with pytest.raises(NegativeDelay):
+        eng.timeout_batch([0.5, -1.0, 0.25])
+    # all-or-nothing on every backend: no events, no burned seq numbers
+    assert eng.queued == 0
+    assert eng._seq == 0
+
+
+# -- scheme-level parity (the seven schemes of the paper grid) ----------------
+
+_MACHINE = MachineParams(n_nodes=4)
+_SEED = 7
+
+
+def _make_app():
+    app = SOR(n=24, iters=8, flops_per_cell=2400.0)
+    app.image_bytes = 64 * 1024
+    return app
+
+
+@pytest.fixture(scope="module")
+def _T():
+    return (
+        CheckpointRuntime(_make_app(), machine=_MACHINE, seed=_SEED)
+        .run()
+        .sim_time
+    )
+
+
+def _schemes(T):
+    times = (T / 4, T / 2, 3 * T / 4)
+    return {
+        "none": lambda: None,
+        "coord_nb": lambda: CoordinatedScheme.NB(times),
+        "coord_nbm": lambda: CoordinatedScheme.NBM(times),
+        "coord_nbms": lambda: CoordinatedScheme.NBMS(times),
+        "coord_nbs": lambda: CoordinatedScheme.NBS(times),
+        "indep_log": lambda: IndependentScheme.Indep(
+            times, skew=0.05, logging=True
+        ),
+        "indep_nolog": lambda: IndependentScheme.Indep(
+            times, skew=0.05, logging=False
+        ),
+    }
+
+
+def _run_scheme(backend, make_scheme, monkeypatch, fault=None):
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", backend)
+    rt = CheckpointRuntime(
+        _make_app(),
+        scheme=make_scheme(),
+        machine=_MACHINE,
+        seed=_SEED,
+        fault_model=fault,
+    )
+    report = rt.run()
+    assert rt.engine.backend == backend
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "none",
+        "coord_nb",
+        "coord_nbm",
+        "coord_nbms",
+        "coord_nbs",
+        "indep_log",
+        "indep_nolog",
+    ],
+)
+def test_scheme_reports_identical_across_backends(name, _T, monkeypatch):
+    make_scheme = _schemes(_T)[name]
+    ref = _run_scheme("reference", make_scheme, monkeypatch)
+    assert _run_scheme("twotier", make_scheme, monkeypatch) == ref
+    assert _run_scheme("batched", make_scheme, monkeypatch) == ref
+
+
+def test_crash_recovery_identical_across_backends(_T, monkeypatch):
+    make_scheme = _schemes(_T)["coord_nbm"]
+    fault = lambda: FaultModel.machine_crash(0.55 * _T)  # noqa: E731
+    ref = _run_scheme("reference", make_scheme, monkeypatch, fault())
+    assert _run_scheme("twotier", make_scheme, monkeypatch, fault()) == ref
+    assert _run_scheme("batched", make_scheme, monkeypatch, fault()) == ref
+
+
+def test_traced_verified_runs_identical_across_backends(_T, monkeypatch):
+    """--verify parity: the post-hoc trace audit passes under every
+    backend and the audited trace state is byte-identical."""
+    make_scheme = _schemes(_T)["indep_log"]
+    states = {}
+    with verified():
+        for backend in BACKENDS:
+            monkeypatch.setenv("REPRO_KERNEL_BACKEND", backend)
+            rt = CheckpointRuntime(
+                _make_app(), scheme=make_scheme(), machine=_MACHINE, seed=_SEED
+            )
+            rt.run()  # raises if the trace audit fails
+            states[backend] = json.dumps(
+                rt.tracer.export_state(), sort_keys=True, default=str
+            )
+    assert states["twotier"] == states["reference"]
+    assert states["batched"] == states["reference"]
+
+
+def test_durable_line_resumes_across_backends(_T, tmp_path, monkeypatch):
+    """Halt under batched, restart the on-disk line under reference —
+    bitwise the same as an in-process crash recovery under twotier."""
+    make_scheme = _schemes(_T)["coord_nb"]
+    halt = 0.55 * _T
+
+    crashed = _run_scheme(
+        "twotier", make_scheme, monkeypatch, FaultModel.machine_crash(halt)
+    )
+
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "batched")
+    halted = CheckpointRuntime(
+        _make_app(), scheme=make_scheme(), machine=_MACHINE, seed=_SEED
+    )
+    halted.run(halt_at=halt)
+    path = tmp_path / "run.line"
+    halted.durable_line.save(path)
+
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "reference")
+    resumed = CheckpointRuntime.restart_from(DurableLine.load(path)).run()
+    assert json.dumps(resumed.to_dict(), sort_keys=True) == crashed
+
+
+_SIGKILL_CHILD = textwrap.dedent(
+    """
+    import os, signal, sys
+    from repro.chklib import CheckpointRuntime, CoordinatedScheme
+    from repro.apps import SOR
+    from repro.machine import MachineParams
+
+    T, halt_frac, path = float(sys.argv[1]), float(sys.argv[2]), sys.argv[3]
+    app = SOR(n=24, iters=8, flops_per_cell=2400.0)
+    app.image_bytes = 64 * 1024
+    times = (T / 4, T / 2, 3 * T / 4)
+    rt = CheckpointRuntime(
+        app,
+        scheme=CoordinatedScheme.NB(times),
+        machine=MachineParams(n_nodes=4),
+        seed=7,
+    )
+    rt.run(halt_at=halt_frac * T)
+    rt.durable_line.save(path)
+    os.kill(os.getpid(), signal.SIGKILL)  # die without any cleanup
+    """
+)
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="needs SIGKILL")
+def test_sigkill_resume_under_every_backend(_T, tmp_path, monkeypatch):
+    """A run SIGKILLed right after persisting its recovery line resumes
+    bit-for-bit under each backend from the frame it left behind."""
+    line = tmp_path / "killed.line"
+    env = dict(os.environ, REPRO_KERNEL_BACKEND="batched")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), *sys.path) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _SIGKILL_CHILD, str(_T), "0.55", str(line)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+    assert line.exists()
+
+    crashed = _run_scheme(
+        "twotier",
+        _schemes(_T)["coord_nb"],
+        monkeypatch,
+        FaultModel.machine_crash(0.55 * _T),
+    )
+    for backend in BACKENDS:
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", backend)
+        resumed = CheckpointRuntime.restart_from(DurableLine.load(line)).run()
+        assert json.dumps(resumed.to_dict(), sort_keys=True) == crashed
+
+
+# -- the experiment CLI -------------------------------------------------------
+
+
+def _tiny_workloads(scale=1.0):
+    return [
+        WorkloadSpec.of(
+            "sor-tiny",
+            "sor",
+            image_bytes=32 * 1024,
+            n=32,
+            iters=50,
+            flops_per_cell=800.0,
+        ),
+    ]
+
+
+@pytest.mark.parametrize("table", ["table1", "table2", "table3"])
+def test_runner_tables_byte_identical_across_backends(
+    table, capsys, monkeypatch
+):
+    monkeypatch.setattr(runner_mod, "table1_workloads", _tiny_workloads)
+    monkeypatch.setattr(runner_mod, "table23_workloads", _tiny_workloads)
+    outs = {}
+    for backend in BACKENDS:
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", backend)
+        assert (
+            runner_mod.main([table, "--quick", "--no-cache", "--jobs", "1"])
+            == 0
+        )
+        outs[backend] = capsys.readouterr().out
+    assert outs["twotier"] == outs["reference"]
+    assert outs["batched"] == outs["reference"]

@@ -99,9 +99,13 @@ def test_peek_and_queued_consider_both_tiers():
 
 
 def test_heap_only_env_var_disables_fast_lane(monkeypatch):
+    # the legacy env var is a deprecation shim for the backend selector,
+    # which REPRO_KERNEL_BACKEND would outrank — isolate from it here
+    monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
     monkeypatch.setenv("REPRO_KERNEL_HEAP_ONLY", "1")
     eng = Engine()
     assert not eng._fast_lane
+    assert eng.backend == "reference"
     Event(eng).succeed(None)
     assert not eng._lane and len(eng._heap) == 1
     monkeypatch.delenv("REPRO_KERNEL_HEAP_ONLY")
@@ -109,8 +113,10 @@ def test_heap_only_env_var_disables_fast_lane(monkeypatch):
 
 
 def test_explicit_fast_lane_flag_beats_env(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
     monkeypatch.setenv("REPRO_KERNEL_HEAP_ONLY", "1")
     assert Engine(fast_lane=True)._fast_lane
+    assert Engine(fast_lane=True).backend == "twotier"
 
 
 def test_delay_pool_recycles_objects():

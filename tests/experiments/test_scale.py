@@ -68,7 +68,7 @@ def test_scale_single_point_has_no_growth_shape():
 
 
 def test_default_ns():
-    assert SCALE_NS == (8, 64, 256, 1024)
+    assert SCALE_NS == (8, 64, 256, 1024, 4096)
     spec = scale_spec()
     assert [c.machine.n_nodes for c in spec.baselines] == list(SCALE_NS)
 

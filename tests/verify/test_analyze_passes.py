@@ -9,6 +9,7 @@ import textwrap
 
 from repro.verify.analyze import analyze
 from repro.verify.analyze.frontend import Module, Project
+from repro.verify.analyze.passes.backend_purity import backend_purity_pass
 from repro.verify.analyze.passes.capture import capture_pass
 from repro.verify.analyze.passes.cleanup_mutation import cleanup_mutation_pass
 from repro.verify.analyze.passes.nondet_taint import nondet_taint_pass
@@ -432,6 +433,146 @@ def test_len_of_set_is_clean():
         """
     )
     assert nondet_taint_pass(project) == []
+
+
+# -- backend-purity: kernel layer stays deterministic and layered -------------
+
+_CORE = "src/repro/core/fastengine.py"
+
+
+def test_backend_upward_import_flagged():
+    project = _project(
+        """
+        from repro.chklib.runtime import CheckpointRuntime
+        import repro.experiments.runner
+        """,
+        path=_CORE,
+    )
+    findings = backend_purity_pass(project)
+    assert _rules(findings) == ["backend-purity", "backend-purity"]
+    assert "reach up" in findings[0].message
+
+
+def test_backend_relative_upward_import_flagged():
+    # ``from ..chklib import runtime`` carries module="chklib" level=2
+    project = _project(
+        """
+        from ..chklib import runtime
+        """,
+        path=_CORE,
+    )
+    findings = backend_purity_pass(project)
+    assert _rules(findings) == ["backend-purity"]
+
+
+def test_backend_wall_clock_flagged_despite_pragma():
+    # the one pass pragma waivers must never reach: nondeterminism
+    # cannot be laundered into the kernel with a comment
+    project = _project(
+        """
+        import time
+
+        class FastEngine:
+            def run(self):
+                self._t0 = time.perf_counter()  # verify: allow[backend-purity]
+        """,
+        path=_CORE,
+    )
+    findings = backend_purity_pass(project)
+    assert _rules(findings) == ["backend-purity"]
+    assert "wall-clock" in findings[0].message
+
+
+def test_backend_from_time_import_flagged():
+    project = _project(
+        """
+        from time import perf_counter
+
+        def stamp():
+            return perf_counter()
+        """,
+        path=_CORE,
+    )
+    findings = backend_purity_pass(project)
+    # once for the import, once for the call
+    assert _rules(findings) == ["backend-purity", "backend-purity"]
+
+
+def test_backend_global_rng_flagged():
+    project = _project(
+        """
+        import random
+
+        def jitter():
+            return random.random()
+        """,
+        path=_CORE,
+    )
+    findings = backend_purity_pass(project)
+    assert _rules(findings) == ["backend-purity"]
+    assert "global RNG" in findings[0].message
+
+
+def test_backend_numpy_global_rng_flagged_seeded_ctor_clean():
+    project = _project(
+        """
+        import numpy as np
+
+        def bad():
+            return np.random.random(8)
+
+        def good(seed):
+            return np.random.default_rng(seed)
+        """,
+        path=_CORE,
+    )
+    findings = backend_purity_pass(project)
+    assert _rules(findings) == ["backend-purity"]
+    assert "np.random.random" in findings[0].message
+
+
+def test_backend_unseeded_default_rng_flagged():
+    # default_rng() with no seed is OS entropy — still forbidden
+    project = _project(
+        """
+        import numpy as np
+
+        def bad():
+            return np.random.default_rng()
+        """,
+        path=_CORE,
+    )
+    assert _rules(backend_purity_pass(project)) == ["backend-purity"]
+
+
+def test_backend_purity_ignores_non_core_modules():
+    # the same sins outside repro/core/ belong to other passes
+    project = _project(
+        """
+        import random
+        from repro.chklib.runtime import CheckpointRuntime
+
+        def jitter():
+            return random.random()
+        """,
+        path="src/repro/experiments/harness.py",
+    )
+    assert backend_purity_pass(project) == []
+
+
+def test_backend_clean_module_clean():
+    project = _project(
+        """
+        import heapq
+        from .engine import Engine
+
+        class FastEngine(Engine):
+            def _push(self, ev):
+                heapq.heappush(self._heap, ev)
+        """,
+        path=_CORE,
+    )
+    assert backend_purity_pass(project) == []
 
 
 # -- end-to-end: analyze() over a seeded-bug subset ---------------------------
