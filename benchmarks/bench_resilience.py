@@ -27,4 +27,5 @@ def test_resilience(benchmark, bench_seed, save_result, grid_executor):
     assert shapes["retries_absorb_faults"]
     assert shapes["coordinated_aborts_cleanly"]
     assert shapes["independent_drops_locally"]
+    assert shapes["mlog_degrades_to_optimistic"]
     assert shapes["corruption_quarantined"]

@@ -7,6 +7,7 @@ schemes perform better ... although the difference is not very
 significant").
 """
 
+from repro.chklib.schemes import REGISTRY
 from repro.experiments import run_table23, table23_workloads
 
 
@@ -25,11 +26,18 @@ def test_table2(benchmark, bench_scale, bench_seed, save_result, grid_executor):
     for res in result.data["results"]:
         for scheme, report in res.reports.items():
             assert report.sim_time >= res.normal_time, (res.label, scheme)
-            # every run took and committed its three rounds
-            assert report.checkpoints_taken == 3 * report.n_nodes, (
-                res.label,
-                scheme,
-            )
+            # every run took and committed its three rounds; the CIC
+            # family additionally takes index-induced forced checkpoints
+            if REGISTRY.family_of(scheme).name == "cic":
+                assert report.checkpoints_taken >= 3 * report.n_nodes, (
+                    res.label,
+                    scheme,
+                )
+            else:
+                assert report.checkpoints_taken == 3 * report.n_nodes, (
+                    res.label,
+                    scheme,
+                )
 
     cmps = result.data["comparisons"]
     assert cmps["nb_vs_indep"].a_wins >= cmps["nb_vs_indep"].b_wins

@@ -12,6 +12,7 @@ from .recovery import (
     CutPoint,
     build_cuts,
     consistent_line,
+    covered_index_line,
     domino_extent,
     in_transit_ranges,
     is_consistent,
@@ -39,9 +40,14 @@ from .runtime import (
     RunReport,
 )
 from .schemes import (
+    REGISTRY,
+    CICScheme,
     CoordinatedScheme,
     IndependentScheme,
+    MessageLoggingScheme,
     NoCheckpointing,
+    ProtocolFamily,
+    ProtocolRegistry,
     Scheme,
     SchemeAgent,
 )
@@ -72,6 +78,11 @@ __all__ = [
     "NoCheckpointing",
     "CoordinatedScheme",
     "IndependentScheme",
+    "CICScheme",
+    "MessageLoggingScheme",
+    "ProtocolFamily",
+    "ProtocolRegistry",
+    "REGISTRY",
     "Snapshot",
     "state_nbytes",
     "CheckpointRecord",
@@ -79,6 +90,7 @@ __all__ = [
     "CutPoint",
     "build_cuts",
     "consistent_line",
+    "covered_index_line",
     "is_consistent",
     "in_transit_ranges",
     "rollback_distances",

@@ -31,6 +31,7 @@ __all__ = [
     "consistent_line",
     "is_consistent",
     "in_transit_ranges",
+    "covered_index_line",
     "rollback_distances",
     "domino_extent",
 ]
@@ -163,6 +164,53 @@ def in_transit_ranges(
             if sent > consumed:
                 ranges[(p, q)] = (consumed + 1, sent)
     return ranges
+
+
+def covered_index_line(
+    store: CheckpointStore,
+    promotions: Optional[Dict[int, Dict[int, int]]] = None,
+    eligible: Optional[Callable[[CheckpointRecord], bool]] = None,
+) -> Dict[int, Optional[CheckpointRecord]]:
+    """The line at the newest index *every* rank covers (index-based CIC).
+
+    A usable record covers its own index; with *promotions* (``{rank:
+    {base_index: top_index}}``, from FDAS-style index promotion) record
+    ``base_index`` additionally covers every index up to ``top_index``.
+    Index 0 (the initial state, promotable too) is always covered, so a
+    line always exists. Returns ``{rank: record | None}`` with ``None``
+    for a rank restoring its initial state.
+
+    Promotion ranges cannot overlap a later record's coverage: a cut
+    taken after a promotion gets an index above the promoted top, so at
+    most one record covers any given index.
+    """
+    promotions = promotions or {}
+    covered: Dict[int, Dict[int, int]] = {}
+    for rank in range(store.n_ranks):
+        tops = promotions.get(rank, {})
+        cov = {0: tops.get(0, 0)}
+        for rec in store.chain(rank):
+            if rec.written_at is None or rec.quarantined:
+                continue
+            if eligible is not None and not eligible(rec):
+                continue
+            cov[rec.index] = max(rec.index, tops.get(rec.index, rec.index))
+        covered[rank] = cov
+    common: Optional[set] = None
+    for cov in covered.values():
+        mine = set()
+        for base, top in cov.items():
+            mine.update(range(base, top + 1))
+        common = mine if common is None else common & mine
+    target = max(common) if common else 0
+    line: Dict[int, Optional[CheckpointRecord]] = {}
+    for rank in range(store.n_ranks):
+        base = max(
+            (b for b, t in covered[rank].items() if b <= target <= t),
+            default=0,
+        )
+        line[rank] = store.get(rank, base) if base > 0 else None
+    return line
 
 
 def rollback_distances(

@@ -740,6 +740,12 @@ class CheckpointRuntime:
                 ):
                     self.store.quarantine(rank, rec.index)
                     self.tracer.add("fault.ckpt_corrupt_detected")
+                    self.tracer.event(
+                        "recover.quarantine",
+                        rank=rank,
+                        index=rec.index,
+                        cause="corrupt",
+                    )
                     quarantined += 1
         # 4. self-healing restore: pick a line, read it back (retrying
         #    transient faults); if a record stays unreadable, quarantine it
@@ -779,6 +785,12 @@ class CheckpointRuntime:
             for rank, rec in failures.items():
                 self.store.quarantine(rank, rec.index)
                 self.tracer.add("fault.restore_quarantined")
+                self.tracer.event(
+                    "recover.quarantine",
+                    rank=rank,
+                    index=rec.index,
+                    cause="unreadable",
+                )
                 quarantined += 1
         line_idx = {
             r: (rec.index if rec is not None else 0) for r, rec in line.items()

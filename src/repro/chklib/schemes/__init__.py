@@ -1,9 +1,13 @@
-"""Checkpointing schemes: the five columns of the paper's tables plus
-ablation variants and the no-checkpoint baseline."""
+"""Checkpointing schemes: the paper's coordinated and independent
+families, the CIC / message-logging third family, ablation variants, the
+no-checkpoint baseline — and the protocol registry that owns them."""
 
 from .base import NoCheckpointing, Scheme, SchemeAgent
+from .cic import CICAgent, CICScheme
 from .coordinated import CoordinatedAgent, CoordinatedScheme
 from .independent import IndependentAgent, IndependentScheme
+from .msglog import MessageLoggingScheme
+from .registry import REGISTRY, ProtocolFamily, ProtocolRegistry
 
 __all__ = [
     "Scheme",
@@ -13,4 +17,10 @@ __all__ = [
     "CoordinatedAgent",
     "IndependentScheme",
     "IndependentAgent",
+    "CICScheme",
+    "CICAgent",
+    "MessageLoggingScheme",
+    "ProtocolFamily",
+    "ProtocolRegistry",
+    "REGISTRY",
 ]

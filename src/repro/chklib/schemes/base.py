@@ -197,6 +197,28 @@ class Scheme:
     RESUME_FIELDS: tuple = ()
     VOLATILE_FIELDS: tuple = ()
 
+    #: Protocol-specific trace-event vocabulary (beyond the shared kinds
+    #: every scheme emits). The protocol registry validates each family's
+    #: vocabulary against :data:`repro.core.tracing.EVENT_KINDS` so a new
+    #: event cannot ship unregistered — the analyzer's trace-conformance
+    #: pass then proves it is both emitted and consumed.
+    TRACE_EVENTS: tuple = ()
+
+    @classmethod
+    def model_machines(cls):
+        """``((label, factory), ...)`` abstract machines model-checking
+        this protocol; ``repro.verify model`` enumerates these through the
+        protocol registry. Factories take ``n_ranks`` plus bug knobs."""
+        return ()
+
+    @classmethod
+    def trace_checkers(cls):
+        """Checker classes (see :mod:`repro.verify.invariants`) auditing
+        this protocol's trace events; contributed to ``default_checkers``
+        through the protocol registry. Each must gate itself on
+        ``meta.klass`` so it is inert for other families."""
+        return ()
+
     def __getstate__(self) -> Dict[str, Any]:
         """Pickle with every VOLATILE_FIELDS entry (unioned over the MRO)
         nulled — engine-bound handles never enter a durable line."""

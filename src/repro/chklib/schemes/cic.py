@@ -1,0 +1,242 @@
+"""Communication-induced checkpointing (index-based CIC).
+
+The third protocol family: no coordinator and no protocol messages (like
+independent checkpointing), but the checkpoint *index* each process
+piggybacks on its application messages induces extra, *forced* checkpoints
+at the receivers. The classic index-based rule (Briatico–Ciuffoletti–
+Simoncini, "BCS") is: on receiving a message whose piggybacked index
+exceeds the local one, raise the local index to the message's index by
+taking a forced checkpoint. Every index then has a checkpoint on every
+process, so the line at the newest common index is always available —
+basic (timer) checkpoints stay uncoordinated, yet rollback is bounded by
+one index: the domino effect is gone.
+
+The ``fdas`` option adds the classic refinement (fixed-dependency-style,
+as in the FDAS/FDI lineage): when the receiver has sent *nothing* since
+its last checkpoint, that checkpoint already captures everything any
+other process can depend on, so instead of cutting again the previous
+checkpoint is *promoted* — re-labelled as also covering the higher index.
+
+Mapping onto this simulator's recovery model: applications only restore
+at checkpoint points (drivers re-enter ``app.run`` from the top of an
+iteration), so a forced checkpoint cannot be taken in the middle of the
+receive that triggered it. The index obligation is therefore discharged
+at the next checkpoint point — the cut *jumps* to the received index —
+and the window between the triggering receive and the forced cut is
+covered by the same piecewise-deterministic machinery the logging
+recovery path already relies on: checkpoint-time log annexes replay
+in-transit messages, re-executed sends reuse their sequence numbers, and
+receivers drop the duplicates. The ``cic_index_rule`` trace invariant
+audits the obligation (no basic cut may land below a forced index) and
+the ``cic-index`` abstract machine model-checks the rule itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional, Sequence
+
+from ...net.message import Message
+from ..policy import CheckpointPolicy
+from ..recovery import covered_index_line
+from .base import SchemeAgent
+from .independent import IndependentAgent, IndependentScheme
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime import CheckpointRuntime
+
+__all__ = ["CICScheme", "CICAgent"]
+
+
+class CICAgent(IndependentAgent):
+    """Rank-local CIC state on top of the independent agent."""
+
+    #: Genuine protocol state: a halted run must restart with its index
+    #: obligation and send-tracking intact to continue bitwise.
+    RESUME_FIELDS = ("forced_index", "sent_since_cut")
+
+    def __init__(self, scheme: "CICScheme", runtime, rank: int) -> None:
+        super().__init__(scheme, runtime, rank)
+        #: index a received message obliges us to reach at the next cut
+        #: (0 = no obligation outstanding).
+        self.forced_index = 0
+        #: any application send since the last local cut? (FDAS promotion
+        #: is only sound while this is False.)
+        self.sent_since_cut = False
+
+
+class CICScheme(IndependentScheme):
+    """Index-based communication-induced checkpointing (BCS / FDAS)."""
+
+    klass = "cic"
+
+    RESUME_FIELDS = ("cic_rule", "_promoted", "_last_cut")
+    TRACE_EVENTS = ("proto.cic.forced", "proto.cic.promote")
+
+    def __init__(
+        self,
+        times: Sequence[float],
+        cic_rule: str = "bcs",
+        skew: float = 0.0,
+        name: Optional[str] = None,
+        capture: Optional[str] = None,
+        policy: Optional[CheckpointPolicy] = None,
+    ) -> None:
+        if cic_rule not in ("bcs", "fdas"):
+            raise ValueError(f"unknown CIC rule {cic_rule!r}")
+        if name is None:
+            name = "cic" if cic_rule == "bcs" else f"cic_{cic_rule}"
+        # Logging stays on: the annex logs are what cover the window
+        # between a triggering receive and its deferred forced cut.
+        super().__init__(
+            times,
+            memory_ckpt=True,
+            name=name,
+            skew=skew,
+            logging=True,
+            capture=capture,
+            policy=policy,
+        )
+        self.cic_rule = cic_rule
+        #: per-rank FDAS promotions: ``{rank: {base_index: top_index}}`` —
+        #: checkpoint *base_index* also stands for every index up to
+        #: *top_index* (nothing was sent in between).
+        self._promoted: Dict[int, Dict[int, int]] = {}
+        #: index of each rank's last *taken* cut (promotion base).
+        self._last_cut: Dict[int, int] = {}
+
+    # -- named variants -------------------------------------------------------
+
+    @classmethod
+    def BCS(cls, times: Sequence[float], skew: float = 0.0, **kw) -> "CICScheme":
+        return cls(times, cic_rule="bcs", skew=skew, **kw)
+
+    @classmethod
+    def FDAS(cls, times: Sequence[float], skew: float = 0.0, **kw) -> "CICScheme":
+        return cls(times, cic_rule="fdas", skew=skew, **kw)
+
+    # -- verify hooks (protocol registry) --------------------------------------
+
+    @classmethod
+    def model_machines(cls):
+        from ...verify.model import CicIndexModel
+
+        return (("cic-index", CicIndexModel),)
+
+    @classmethod
+    def trace_checkers(cls):
+        from ...verify.invariants import CicIndexRule
+
+        return (CicIndexRule,)
+
+    # -- wiring ------------------------------------------------------------------
+
+    def make_agent(self, runtime: "CheckpointRuntime", rank: int) -> CICAgent:
+        return CICAgent(self, runtime, rank)
+
+    # -- hooks ----------------------------------------------------------------------
+
+    def on_app_send(self, agent: SchemeAgent, msg: Message) -> None:
+        super().on_app_send(agent, msg)
+        assert isinstance(agent, CICAgent)
+        agent.sent_since_cut = True
+
+    def on_app_deliver(self, agent: SchemeAgent, msg: Message) -> None:
+        assert isinstance(agent, CICAgent)
+        idx = msg.epoch
+        if idx <= max(agent.epoch, agent.forced_index):
+            return  # index rule already satisfied (or obligation covers it)
+        rt = agent.runtime
+        if self.cic_rule == "fdas" and not agent.sent_since_cut:
+            # Nothing sent since the last cut: that cut already fixes every
+            # dependency anyone can have on us — promote it instead of
+            # forcing a new checkpoint.
+            base = self._last_cut.get(agent.rank, 0)
+            tops = self._promoted.setdefault(agent.rank, {})
+            tops[base] = max(tops.get(base, base), idx)
+            agent.epoch = idx
+            rt.tracer.add("chk.promotions")
+            rt.tracer.event(
+                "proto.cic.promote",
+                rank=agent.rank,
+                index=idx,
+                base=base,
+                src=msg.src,
+            )
+            return
+        agent.forced_index = idx
+        rt.tracer.add("chk.forced_ckpts")
+        rt.tracer.event(
+            "proto.cic.forced",
+            rank=agent.rank,
+            index=idx,
+            had=agent.epoch,
+            src=msg.src,
+            rule=self.cic_rule,
+        )
+        agent.set_pending(idx)
+
+    def at_point(self, agent: SchemeAgent) -> Generator[Any, Any, None]:
+        assert isinstance(agent, CICAgent)
+        if (
+            self.policy.point_driven
+            and not agent.finished
+            and self.policy.on_point(agent.runtime, agent.rank)
+        ):
+            agent.set_pending((agent.pending_cut or agent.epoch) + 1)
+            agent.runtime.tracer.add("chk.initiations")
+        target = agent.pending_cut
+        if target is None or target <= agent.epoch:
+            return
+        if agent.writing:
+            return  # previous background write still draining; defer
+        # Unlike the basic independent cut (always epoch + 1), a forced
+        # cut *jumps* to the obliged index so it dominates every interval
+        # the triggering message was sent in.
+        agent.pending_cut = None
+        yield from self._cut(agent, target)
+
+    def _cut(self, agent: IndependentAgent, n: int) -> Generator[Any, Any, None]:
+        assert isinstance(agent, CICAgent)
+        agent.sent_since_cut = False
+        agent.forced_index = 0
+        self._last_cut[agent.rank] = n
+        yield from super()._cut(agent, n)
+
+    # -- recovery ---------------------------------------------------------------------
+
+    def recovery_line(self, runtime: "CheckpointRuntime") -> Dict[int, Any]:
+        store = runtime.store
+        line = covered_index_line(
+            store,
+            promotions=self._promoted,
+            eligible=lambda rec: rec.committed
+            and not rec.quarantined
+            and store.chain_intact(rec.rank, rec.index),
+        )
+        return line
+
+    def replay_messages(self, runtime: "CheckpointRuntime", line: Dict[int, Any]):
+        # Same stable-log replay as the logging independent family: the
+        # annexes flushed with each checkpoint cover every message the
+        # line's counters say is in transit.
+        return super().replay_messages(runtime, line)
+
+    def reset_agent(self, agent: SchemeAgent) -> None:
+        super().reset_agent(agent)
+        assert isinstance(agent, CICAgent)
+        agent.sent_since_cut = False
+        agent.forced_index = 0
+        self._last_cut[agent.rank] = agent.epoch
+        proms = self._promoted.get(agent.rank)
+        if proms:
+            # Promotions made at-or-after the restored index describe an
+            # execution that was just rolled away; re-execution may now
+            # send in those intervals, so the claims must not survive.
+            for base in [b for b in proms if b >= agent.epoch]:
+                del proms[base]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CICScheme {self.name} rule={self.cic_rule} "
+            f"times={self.times} skew={self.skew}>"
+        )

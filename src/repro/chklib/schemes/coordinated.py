@@ -156,6 +156,32 @@ class CoordinatedScheme(Scheme):
     )
     VOLATILE_FIELDS = ("_write_slot", "_ring_next", "_ring_leader")
 
+    #: Protocol vocabulary: the two-phase round plus the staggering token
+    #: (see the registry's conformance wiring in ``schemes.registry``).
+    TRACE_EVENTS = (
+        "proto.request",
+        "proto.ack",
+        "proto.commit",
+        "proto.commit_apply",
+        "proto.commit_on_recovery",
+        "proto.abort_report",
+        "proto.abort",
+        "proto.abort_apply",
+        "proto.token_pass",
+    )
+
+    @classmethod
+    def model_machines(cls):
+        from ...verify.model import TokenRingModel, TwoPhaseCommitModel
+
+        return (("2pc", TwoPhaseCommitModel), ("token-ring", TokenRingModel))
+
+    @classmethod
+    def trace_checkers(cls):
+        from ...verify.invariants import CoordinatedTwoPhase, StaggeredWriteMutex
+
+        return (CoordinatedTwoPhase, StaggeredWriteMutex)
+
     def __init__(
         self,
         times: Sequence[float],

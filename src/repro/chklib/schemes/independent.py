@@ -94,6 +94,10 @@ class IndependentScheme(Scheme):
         "gc",
     )
 
+    #: Beyond the shared kinds, independent checkpointing only adds the
+    #: per-rank commit of a background write.
+    TRACE_EVENTS = ("proto.local_commit",)
+
     def __init__(
         self,
         times: Sequence[float],

@@ -1,0 +1,363 @@
+"""The protocol registry: single source of truth for scheme families.
+
+Everything the rest of the codebase needs to know about a checkpointing
+protocol family lives here, declared once per family:
+
+* the concrete :class:`~repro.chklib.schemes.base.Scheme` class (whose
+  ``RESUME_FIELDS`` manifests the resume layer unions over the MRO);
+* its *base names* and how to build a scheme from a declarative
+  :class:`~repro.experiments.grid.SchemeSpec`;
+* the *option schema* — which ``SchemeSpec`` fields the family honours
+  (anything else is rejected at spec-build time instead of silently
+  ignored);
+* its *verify hooks*: the abstract model-checker machines
+  (``Scheme.model_machines``), the trace-invariant checkers
+  (``Scheme.trace_checkers``), and the trace-event vocabulary
+  (``Scheme.TRACE_EVENTS``), validated here against
+  :data:`repro.core.tracing.EVENT_KINDS` so no protocol event can ship
+  unregistered — the static analyzer's trace-conformance pass then
+  proves every registered kind is both emitted and consumed.
+
+The user-facing *alias table* (``coord_nbms``, ``indep_m_log``, ...)
+maps each alias to a base name plus fixed option overrides; the literal
+dict that used to live in ``experiments/grid.py`` is re-exported from
+here. Adding a fourth family is one module: subclass ``Scheme``, declare
+the verify hooks on the class, and register the family and its aliases
+below — the grid, the runner, ``repro.verify model``, the trace
+checkers and the resume layer all pick it up from the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple, Type
+
+from .base import Scheme
+from .cic import CICScheme
+from .coordinated import CoordinatedScheme
+from .independent import IndependentScheme
+from .msglog import MessageLoggingScheme
+
+__all__ = ["ProtocolFamily", "ProtocolRegistry", "REGISTRY"]
+
+
+@dataclass(frozen=True)
+class ProtocolFamily:
+    """One protocol family's registry entry."""
+
+    name: str  #: family key ("coordinated", "independent", "cic", "msglog")
+    scheme_cls: Type[Scheme]
+    bases: Tuple[str, ...]  #: SchemeSpec base names this family owns
+    options: Tuple[str, ...]  #: SchemeSpec fields the family's build honours
+    build: Callable[[Any], Scheme]  #: SchemeSpec -> Scheme
+    #: timer-driven checkpointing: experiments add the standard per-rank
+    #: timer skew when planning cells for this family.
+    skewed: bool = False
+
+
+class ProtocolRegistry:
+    """Scheme classes, aliases, option schemas and verify hooks."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, ProtocolFamily] = {}
+        self._aliases: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+        self._base_family: Dict[str, str] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, family: ProtocolFamily) -> None:
+        if family.name in self._families:
+            raise ValueError(f"duplicate protocol family {family.name!r}")
+        for base in family.bases:
+            if base in self._base_family:
+                raise ValueError(f"scheme base {base!r} already registered")
+            self._base_family[base] = family.name
+        self._families[family.name] = family
+
+    def register_alias(
+        self, alias: str, base: str, fixed: Dict[str, Any]
+    ) -> None:
+        if alias in self._aliases:
+            raise ValueError(f"duplicate scheme alias {alias!r}")
+        family = self.family_for_base(base)
+        unknown = sorted(set(fixed) - set(family.options))
+        if unknown:
+            raise ValueError(
+                f"alias {alias!r}: options {unknown} not in the "
+                f"{family.name} option schema {sorted(family.options)}"
+            )
+        self._aliases[alias] = (base, dict(fixed))
+
+    # -- lookup ----------------------------------------------------------------
+
+    def families(self) -> List[ProtocolFamily]:
+        return list(self._families.values())
+
+    def aliases(self) -> List[str]:
+        return list(self._aliases)
+
+    def alias_table(self) -> Dict[str, Tuple[str, Dict[str, Any]]]:
+        """A plain-dict snapshot, compatible with the legacy
+        ``SCHEME_ALIASES`` literal this registry replaced."""
+        return {a: (b, dict(f)) for a, (b, f) in self._aliases.items()}
+
+    def resolve(self, alias: str) -> Tuple[str, Dict[str, Any]]:
+        """``alias -> (base, fixed options)``; unknown aliases name every
+        registered one."""
+        try:
+            base, fixed = self._aliases[alias]
+        except KeyError:
+            available = ", ".join(sorted(self._aliases))
+            raise ValueError(
+                f"unknown scheme {alias!r} (available: {available})"
+            ) from None
+        return base, dict(fixed)
+
+    def family_for_base(self, base: str) -> ProtocolFamily:
+        try:
+            return self._families[self._base_family[base]]
+        except KeyError:
+            raise ValueError(f"unknown scheme base {base!r}") from None
+
+    def family_of(self, alias: str) -> ProtocolFamily:
+        base, _ = self.resolve(alias)
+        return self.family_for_base(base)
+
+    def skewed(self, alias: str) -> bool:
+        """Does this alias name a timer-driven (skew-taking) scheme?"""
+        return self.family_of(alias).skewed
+
+    def check_options(self, base: str, options: Dict[str, Any]) -> None:
+        """Reject options outside the family's schema (silently ignoring
+        them would make specs lie about what they measure). An option at
+        its spec default is a no-op, not a request, so uniform call sites
+        (``skew=0.0`` on a timerless scheme) stay legal."""
+        family = self.family_for_base(base)
+        unknown = sorted(
+            name
+            for name, value in options.items()
+            if name not in family.options
+            and value != _OPTION_DEFAULTS.get(name, object())
+        )
+        if unknown:
+            raise ValueError(
+                f"scheme base {base!r} ({family.name}) takes no option(s) "
+                f"{unknown}; its schema is {sorted(family.options)}"
+            )
+
+    def build(self, spec: Any) -> Scheme:
+        """Instantiate a scheme from a ``SchemeSpec``."""
+        return self.family_for_base(spec.name).build(spec)
+
+    # -- verify hooks ----------------------------------------------------------
+
+    def model_machines(self) -> List[Tuple[str, Callable[..., Any]]]:
+        """Every family's abstract machines, registration order, deduped
+        by label — what ``repro.verify model`` enumerates."""
+        machines: List[Tuple[str, Callable[..., Any]]] = []
+        seen = set()
+        for family in self._families.values():
+            for label, factory in family.scheme_cls.model_machines():
+                if label not in seen:
+                    seen.add(label)
+                    machines.append((label, factory))
+        return machines
+
+    def trace_checkers(self) -> List[type]:
+        """Every family's trace-checker classes, deduped, registration
+        order — contributed to ``verify.invariants.default_checkers``."""
+        checkers: List[type] = []
+        for family in self._families.values():
+            for cls in family.scheme_cls.trace_checkers():
+                if cls not in checkers:
+                    checkers.append(cls)
+        return checkers
+
+    def trace_events(self) -> frozenset:
+        """Union of every family's protocol-specific event vocabulary."""
+        kinds = set()
+        for family in self._families.values():
+            kinds.update(family.scheme_cls.TRACE_EVENTS)
+        return frozenset(kinds)
+
+    def validate(self) -> None:
+        """Fail fast if a family declares an event kind the tracer would
+        reject — keeps ``EVENT_KINDS`` and the analyzer's conformance
+        pass authoritative over the schemes' vocabularies."""
+        from ...core.tracing import EVENT_KINDS
+
+        for family in self._families.values():
+            rogue = sorted(set(family.scheme_cls.TRACE_EVENTS) - EVENT_KINDS)
+            if rogue:
+                raise ValueError(
+                    f"protocol family {family.name!r} declares trace "
+                    f"events missing from EVENT_KINDS: {rogue}"
+                )
+
+    # -- describe (runner --list-schemes) --------------------------------------
+
+    def describe(self) -> List[Tuple[str, str, Dict[str, Any]]]:
+        """``(alias, family, fixed overrides)`` rows, registration order."""
+        rows = []
+        for alias, (base, fixed) in self._aliases.items():
+            rows.append((alias, self._base_family[base], dict(fixed)))
+        return rows
+
+
+#: ``SchemeSpec`` field defaults, mirrored here so :meth:`check_options`
+#: can tell "explicitly requested" from "left at the default" without a
+#: circular import of the experiments layer.
+_OPTION_DEFAULTS: Dict[str, Any] = {
+    "skew": 0.0,
+    "logging": False,
+    "gc": False,
+    "incremental": False,
+    "two_level": False,
+    "marker_scope": "all",
+    "policy": None,
+    "cic_rule": "bcs",
+}
+
+
+# -- family builders (SchemeSpec -> Scheme) ------------------------------------
+
+_COORD_FACTORIES = {
+    "coord_nb": CoordinatedScheme.NB,
+    "coord_nbm": CoordinatedScheme.NBM,
+    "coord_nbms": CoordinatedScheme.NBMS,
+    "coord_nbs": CoordinatedScheme.NBS,
+    "coord_nbc": CoordinatedScheme.NBC,
+    "coord_nbcs": CoordinatedScheme.NBCS,
+}
+
+_INDEP_FACTORIES = {
+    "indep": IndependentScheme.Indep,
+    "indep_m": IndependentScheme.IndepM,
+    "indep_c": IndependentScheme.IndepC,
+}
+
+
+def _build_coordinated(spec: Any) -> Scheme:
+    from ..policy import build_policy
+
+    kw: Dict[str, Any] = {}
+    if spec.incremental:
+        kw["incremental"] = True
+    if spec.two_level:
+        kw["two_level"] = True
+    if spec.marker_scope != "all":
+        kw["marker_scope"] = spec.marker_scope
+    if spec.policy is not None:
+        kw["policy"] = build_policy(spec.policy)
+    return _COORD_FACTORIES[spec.name](list(spec.times), **kw)
+
+
+def _build_independent(spec: Any) -> Scheme:
+    from ..policy import build_policy
+
+    kw: Dict[str, Any] = {"skew": spec.skew}
+    if spec.logging:
+        kw["logging"] = True
+    if spec.gc:
+        kw["gc"] = True
+    if spec.policy is not None:
+        kw["policy"] = build_policy(spec.policy)
+    return _INDEP_FACTORIES[spec.name](list(spec.times), **kw)
+
+
+def _build_cic(spec: Any) -> Scheme:
+    from ..policy import build_policy
+
+    kw: Dict[str, Any] = {"skew": spec.skew}
+    if spec.cic_rule != "bcs":
+        kw["cic_rule"] = spec.cic_rule
+    if spec.policy is not None:
+        kw["policy"] = build_policy(spec.policy)
+    return CICScheme(list(spec.times), **kw)
+
+
+def _build_msglog(spec: Any) -> Scheme:
+    from ..policy import build_policy
+
+    kw: Dict[str, Any] = {"skew": spec.skew}
+    if spec.gc:
+        kw["gc"] = True
+    if spec.policy is not None:
+        kw["policy"] = build_policy(spec.policy)
+    return MessageLoggingScheme.Mlog(list(spec.times), **kw)
+
+
+#: The process-wide registry, populated at import. Scheme resolution,
+#: the verify stack and the runner all read from this one object.
+REGISTRY = ProtocolRegistry()
+
+REGISTRY.register(
+    ProtocolFamily(
+        name="coordinated",
+        scheme_cls=CoordinatedScheme,
+        bases=tuple(_COORD_FACTORIES),
+        options=("incremental", "two_level", "marker_scope", "policy"),
+        build=_build_coordinated,
+        skewed=False,
+    )
+)
+REGISTRY.register(
+    ProtocolFamily(
+        name="independent",
+        scheme_cls=IndependentScheme,
+        bases=tuple(_INDEP_FACTORIES),
+        options=("skew", "logging", "gc", "policy"),
+        build=_build_independent,
+        skewed=True,
+    )
+)
+REGISTRY.register(
+    ProtocolFamily(
+        name="cic",
+        scheme_cls=CICScheme,
+        bases=("cic",),
+        options=("skew", "cic_rule", "policy"),
+        build=_build_cic,
+        skewed=True,
+    )
+)
+REGISTRY.register(
+    ProtocolFamily(
+        name="msglog",
+        scheme_cls=MessageLoggingScheme,
+        bases=("mlog",),
+        options=("skew", "gc", "policy"),
+        build=_build_msglog,
+        skewed=True,
+    )
+)
+
+#: alias -> (base, fixed option overrides). ``skew`` is the one option
+#: resolved at plan time (a fraction of the checkpoint interval), so
+#: aliases only pin the discrete flags.
+for _alias, _base, _fixed in (
+    ("coord_nb", "coord_nb", {}),
+    ("coord_nbm", "coord_nbm", {}),
+    ("coord_nbms", "coord_nbms", {}),
+    ("coord_nbs", "coord_nbs", {}),
+    ("coord_nbc", "coord_nbc", {}),
+    ("coord_nbcs", "coord_nbcs", {}),
+    ("indep", "indep", {}),
+    ("indep_m", "indep_m", {}),
+    ("indep_c", "indep_c", {}),
+    ("indep_log", "indep", {"logging": True}),
+    ("indep_m_log", "indep_m", {"logging": True}),
+    ("indep_m_nolog", "indep_m", {}),
+    ("coord_nb_inc", "coord_nb", {"incremental": True}),
+    ("coord_nbms_inc", "coord_nbms", {"incremental": True}),
+    ("coord_nbcs_inc", "coord_nbcs", {"incremental": True}),
+    ("coord_nb_2l", "coord_nb", {"two_level": True}),
+    ("coord_nbms_2l", "coord_nbms", {"two_level": True}),
+    ("cic", "cic", {}),
+    ("cic_fdas", "cic", {"cic_rule": "fdas"}),
+    ("indep_m_mlog", "mlog", {}),
+):
+    REGISTRY.register_alias(_alias, _base, _fixed)
+del _alias, _base, _fixed
+
+REGISTRY.validate()

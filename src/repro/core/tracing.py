@@ -55,11 +55,17 @@ EVENT_KINDS = frozenset(
         "proto.write_begin",
         "proto.write_end",
         "proto.local_commit",
+        # communication-induced checkpointing (index rule)
+        "proto.cic.forced",
+        "proto.cic.promote",
+        # sender-based pessimistic message logging
+        "proto.mlog.logged",
         # channel traffic
         "msg.send",
         "msg.deliver",
         # failure / recovery machinery
         "recover.crash",
+        "recover.quarantine",
         "recover.line",
         "recover.replay",
         # checkpoint garbage collection

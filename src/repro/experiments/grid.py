@@ -36,9 +36,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.result import TableResult
-from ..chklib import CoordinatedScheme, IndependentScheme, build_policy
 from ..chklib.runtime import RunReport
 from ..chklib.schemes.base import Scheme
+from ..chklib.schemes.registry import REGISTRY
 from ..fault.model import FaultModel
 from ..machine import MachineParams
 
@@ -51,6 +51,7 @@ __all__ = [
     "cell_key",
     "cell_to_jsonable",
     "APP_REGISTRY",
+    "SCHEME_ALIASES",
 ]
 
 
@@ -120,60 +121,32 @@ class WorkloadSpec:
         return self.build()
 
 
-#: scheme aliases: name -> (base, fixed option overrides). ``skew`` is the
-#: one option resolved at plan time (a fraction of the checkpoint
-#: interval), so aliases only pin the boolean flags.
-SCHEME_ALIASES: Dict[str, Tuple[str, Dict[str, Any]]] = {
-    "coord_nb": ("coord_nb", {}),
-    "coord_nbm": ("coord_nbm", {}),
-    "coord_nbms": ("coord_nbms", {}),
-    "coord_nbs": ("coord_nbs", {}),
-    "coord_nbc": ("coord_nbc", {}),
-    "coord_nbcs": ("coord_nbcs", {}),
-    "indep": ("indep", {}),
-    "indep_m": ("indep_m", {}),
-    "indep_c": ("indep_c", {}),
-    "indep_log": ("indep", {"logging": True}),
-    "indep_m_log": ("indep_m", {"logging": True}),
-    "indep_m_nolog": ("indep_m", {}),
-    "coord_nb_inc": ("coord_nb", {"incremental": True}),
-    "coord_nbms_inc": ("coord_nbms", {"incremental": True}),
-    "coord_nbcs_inc": ("coord_nbcs", {"incremental": True}),
-    "coord_nb_2l": ("coord_nb", {"two_level": True}),
-    "coord_nbms_2l": ("coord_nbms", {"two_level": True}),
-}
-
-_COORD_FACTORIES = {
-    "coord_nb": CoordinatedScheme.NB,
-    "coord_nbm": CoordinatedScheme.NBM,
-    "coord_nbms": CoordinatedScheme.NBMS,
-    "coord_nbs": CoordinatedScheme.NBS,
-    "coord_nbc": CoordinatedScheme.NBC,
-    "coord_nbcs": CoordinatedScheme.NBCS,
-}
-
-_INDEP_FACTORIES = {
-    "indep": IndependentScheme.Indep,
-    "indep_m": IndependentScheme.IndepM,
-    "indep_c": IndependentScheme.IndepC,
-}
+#: scheme aliases: name -> (base, fixed option overrides) — a snapshot of
+#: the :data:`~repro.chklib.schemes.registry.REGISTRY` alias table, which
+#: is the single source of truth (``skew`` is the one option resolved at
+#: plan time, as a fraction of the checkpoint interval, so aliases only
+#: pin the discrete flags).
+SCHEME_ALIASES: Dict[str, Tuple[str, Dict[str, Any]]] = REGISTRY.alias_table()
 
 
 @dataclass(frozen=True)
 class SchemeSpec:
     """A checkpointing scheme as data: base name, times, option flags."""
 
-    name: str  #: base registry name (``coord_nb`` ... ``indep_c``)
+    name: str  #: base registry name (``coord_nb`` ... ``indep_c``, ``cic``, ``mlog``)
     times: Tuple[float, ...] = ()
-    skew: float = 0.0  #: independent timers only
+    skew: float = 0.0  #: timer-driven families (independent, cic, msglog)
     logging: bool = False  #: independent: sender-based message logging
-    gc: bool = False  #: independent: garbage-collect obsolete checkpoints
+    gc: bool = False  #: independent/msglog: collect obsolete checkpoints
     incremental: bool = False  #: coordinated: dirty-page increments
     two_level: bool = False  #: coordinated: local-disk first, trickle up
     #: coordinated marker fan-out: "all" floods every rank (the paper's
     #: 8-node protocol), "peers" restricts markers to the application's
     #: declared communication graph (scale experiments at large N).
     marker_scope: str = "all"
+    #: CIC forced-checkpoint rule: "bcs" (always force) or "fdas"
+    #: (promote the previous checkpoint when nothing was sent since).
+    cic_rule: str = "bcs"
     #: checkpoint policy as data — a :func:`~repro.chklib.policy.policy_spec`
     #: tuple ``(kind, ((option, value), ...))``. ``None`` keeps the
     #: fixed-times schedule in :attr:`times`.
@@ -181,39 +154,18 @@ class SchemeSpec:
 
     @staticmethod
     def of(alias: str, times: Sequence[float], **options) -> "SchemeSpec":
-        """Build a spec from a scheme *alias* (e.g. ``indep_m_log``)."""
-        try:
-            base, fixed = SCHEME_ALIASES[alias]
-        except KeyError:
-            raise ValueError(f"unknown scheme {alias!r}") from None
+        """Build a spec from a scheme *alias* (e.g. ``indep_m_log``);
+        options outside the family's registry schema are rejected."""
+        base, fixed = REGISTRY.resolve(alias)
         merged = {**fixed, **options}
+        REGISTRY.check_options(base, merged)
         return SchemeSpec(
             name=base, times=tuple(float(t) for t in times), **merged
         )
 
     def build(self) -> Scheme:
         """Instantiate the scheme for one simulation run."""
-        if self.name in _COORD_FACTORIES:
-            kw: Dict[str, Any] = {}
-            if self.incremental:
-                kw["incremental"] = True
-            if self.two_level:
-                kw["two_level"] = True
-            if self.marker_scope != "all":
-                kw["marker_scope"] = self.marker_scope
-            if self.policy is not None:
-                kw["policy"] = build_policy(self.policy)
-            return _COORD_FACTORIES[self.name](list(self.times), **kw)
-        if self.name in _INDEP_FACTORIES:
-            kw = {"skew": self.skew}
-            if self.logging:
-                kw["logging"] = True
-            if self.gc:
-                kw["gc"] = True
-            if self.policy is not None:
-                kw["policy"] = build_policy(self.policy)
-            return _INDEP_FACTORIES[self.name](list(self.times), **kw)
-        raise ValueError(f"unknown scheme base {self.name!r}")
+        return REGISTRY.build(self)
 
 
 @dataclass(frozen=True)

@@ -21,8 +21,9 @@ from typing import Dict, Iterable, Optional, Sequence
 from ..chklib import CheckpointRuntime
 from ..chklib.runtime import RunReport
 from ..chklib.schemes.base import Scheme
+from ..chklib.schemes.registry import REGISTRY
 from ..machine import MachineParams
-from .grid import SCHEME_ALIASES, SchemeSpec
+from .grid import SchemeSpec
 
 __all__ = [
     "SCHEMES_TABLE1",
@@ -34,25 +35,39 @@ __all__ = [
     "WorkloadResult",
 ]
 
-#: column order of the paper's Table 1.
-SCHEMES_TABLE1 = ("coord_nb", "indep", "coord_nbm", "indep_m", "coord_nbms")
-#: column order of the paper's Tables 2 and 3.
-SCHEMES_TABLE23 = ("coord_nb", "indep", "coord_nbms", "indep_m")
+#: column order of the paper's Table 1, extended with the third protocol
+#: family (communication-induced + sender-based message logging).
+SCHEMES_TABLE1 = (
+    "coord_nb",
+    "indep",
+    "coord_nbm",
+    "indep_m",
+    "coord_nbms",
+    "cic",
+    "indep_m_mlog",
+)
+#: column order of the paper's Tables 2 and 3, with the same extension.
+SCHEMES_TABLE23 = (
+    "coord_nb",
+    "indep",
+    "coord_nbms",
+    "indep_m",
+    "cic",
+    "indep_m_mlog",
+)
 
-#: independent timers start aligned and drift; the skew amplitude as a
+#: timer-driven schemes start aligned and drift; the skew amplitude as a
 #: fraction of the checkpoint interval.
 INDEP_SKEW_FRACTION = 0.25
 
 
 def scheme_spec(name: str, times: Sequence[float], interval: float) -> SchemeSpec:
     """One of the measured schemes (plus ablation/extension variants) as
-    a declarative spec.  Independent variants get the standard timer skew
+    a declarative spec.  Timer-driven families (independent, cic, msglog
+    — the registry knows which) get the standard timer skew
     (:data:`INDEP_SKEW_FRACTION` of *interval*); coordinated variants
     carry no skew."""
-    if name not in SCHEME_ALIASES:
-        raise ValueError(f"unknown scheme {name!r}")
-    base, _ = SCHEME_ALIASES[name]
-    if base.startswith("indep"):
+    if REGISTRY.skewed(name):
         return SchemeSpec.of(name, times, skew=INDEP_SKEW_FRACTION * interval)
     return SchemeSpec.of(name, times)
 

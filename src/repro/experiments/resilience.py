@@ -30,20 +30,30 @@ from ..analysis import TableResult, TableView
 from ..chklib import RunReport
 from ..fault import FaultModel, RetryPolicy, StorageFaultSpec
 from ..machine import MachineParams
+from ..chklib.schemes.registry import REGISTRY
 from .executor import GridExecutor, run_spec
 from .grid import Cell, ExperimentSpec, GridResults, SchemeSpec, WorkloadSpec
 from .workloads import scaled_iters
 
 __all__ = ["resilience_spec", "run_resilience", "RESILIENCE_SCHEMES"]
 
-#: the five headline schemes of the sweep (paper naming).
+#: the five headline schemes of the sweep (paper naming), plus the third
+#: protocol family (communication-induced + sender-based message logging).
 RESILIENCE_SCHEMES = (
     "coord_nb",
     "coord_nbm",
     "coord_nbms",
     "indep_m_log",
     "indep_m_nolog",
+    "cic",
+    "indep_m_mlog",
 )
+
+#: schemes whose storage writes are checkpoint images, so a scheduled
+#: unretryable write failure drops a local checkpoint (coordinated rounds
+#: abort instead; msglog's early writes are message-log records, which
+#: degrade to optimistic logging without touching any checkpoint).
+_LOCAL_DROP_SCHEMES = ("indep_m_log", "indep_m_nolog", "cic")
 
 
 def _default_workload(scale: float) -> WorkloadSpec:
@@ -80,7 +90,7 @@ def resilience_spec(
         skew = T / 50
 
         def scheme(name: str) -> SchemeSpec:
-            if name.startswith("indep"):
+            if REGISTRY.skewed(name):
                 return SchemeSpec.of(name, times, skew=skew)
             return SchemeSpec.of(name, times)
 
@@ -215,11 +225,8 @@ def resilience_spec(
             for s in RESILIENCE_SCHEMES
             if s.startswith("coord")
         ]
-        indep = [
-            write_failure[s]
-            for s in RESILIENCE_SCHEMES
-            if s.startswith("indep")
-        ]
+        indep = [write_failure[s] for s in _LOCAL_DROP_SCHEMES]
+        mlog = write_failure["indep_m_mlog"]
         shapes = {
             # retries/aborts/quarantine degrade time, never correctness
             "all_results_exact": all(
@@ -256,10 +263,15 @@ def resilience_spec(
             "coordinated_aborts_cleanly": all(
                 r.rounds_aborted >= 1 for r in coord
             ),
-            # ... while independent schemes just drop the local checkpoint
+            # ... while independent-family schemes drop the local checkpoint
             "independent_drops_locally": all(
                 r.ckpt_writes_failed >= 1 and r.rounds_aborted == 0
                 for r in indep
+            ),
+            # msglog's failed write is a message-log record: it degrades
+            # to optimistic logging — no abort, no dropped checkpoint
+            "mlog_degrades_to_optimistic": (
+                mlog.rounds_aborted == 0 and mlog.ckpt_writes_failed == 0
             ),
             # silent corruption is caught and quarantined at recovery
             "corruption_quarantined": all(

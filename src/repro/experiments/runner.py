@@ -15,6 +15,7 @@ Usage::
     python -m repro.experiments.runner policies
     python -m repro.experiments.runner smoke
     python -m repro.experiments.runner all [--jobs N]
+    python -m repro.experiments.runner --list-schemes
 
 Every experiment is a declarative :class:`~repro.experiments.grid.ExperimentSpec`;
 the runner hands the selected specs to one shared
@@ -237,7 +238,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro.experiments.runner", description=__doc__
     )
     parser.add_argument(
-        "experiment", choices=list(_EXPERIMENTS) + ["smoke", "all"]
+        "experiment",
+        nargs="?",
+        default=None,
+        choices=list(_EXPERIMENTS) + ["smoke", "all"],
+    )
+    parser.add_argument(
+        "--list-schemes",
+        action="store_true",
+        help="print every scheme alias (family + fixed overrides) from "
+        "the protocol registry, then exit",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -320,6 +330,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write a consolidated markdown report of everything run",
     )
     args = parser.parse_args(argv)
+
+    if args.list_schemes:
+        from ..chklib.schemes.registry import REGISTRY
+
+        for alias, family, fixed in REGISTRY.describe():
+            overrides = (
+                " ".join(f"{k}={v}" for k, v in sorted(fixed.items())) or "-"
+            )
+            print(f"{alias:<18} {family:<12} {overrides}")
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment is required (or --list-schemes)")
 
     if args.verify:
         from ..verify import set_runtime_verification

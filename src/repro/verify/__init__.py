@@ -33,7 +33,13 @@ from .analyze import AnalysisReport, Baseline, Finding, analyze
 from .explorer import ExplorationResult, Violation, explore
 from .invariants import RunMeta, TraceViolation, default_checkers
 from .lint import LintIssue, lint_paths, lint_source
-from .model import ModelBugs, TokenRingModel, TwoPhaseCommitModel
+from .model import (
+    CicIndexModel,
+    ModelBugs,
+    SenderLogModel,
+    TokenRingModel,
+    TwoPhaseCommitModel,
+)
 from .trace_check import (
     TraceReport,
     check_runtime,
@@ -58,7 +64,9 @@ __all__ = [
     "LintIssue",
     "lint_paths",
     "lint_source",
+    "CicIndexModel",
     "ModelBugs",
+    "SenderLogModel",
     "TokenRingModel",
     "TwoPhaseCommitModel",
     "TraceReport",

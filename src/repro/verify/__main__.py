@@ -30,10 +30,10 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from ..chklib.schemes.registry import REGISTRY
 from .analyze import Baseline, analyze, default_baseline_path
 from .explorer import explore
 from .lint import lint_paths
-from .model import TokenRingModel, TwoPhaseCommitModel
 from .smoke import run_smoke
 
 __all__ = ["main", "LAYER_CODES"]
@@ -60,18 +60,16 @@ def _run_lint(verbose: bool) -> int:
 
 
 def _run_model(ranks: List[int], verbose: bool) -> int:
+    # every protocol family's declared abstract machine, from the registry
     failed = 0
-    for n in ranks:
-        result = explore(TwoPhaseCommitModel(n_ranks=n))
-        print(f"[verify:model] 2pc n={n}: {result.summary()}")
-        if verbose:
-            for v in result.violations[:3]:
-                print(f"  {v.invariant}: " + " -> ".join(v.trace))
-        failed += 0 if result.ok else 1
-    for n in ranks:
-        result = explore(TokenRingModel(n_ranks=n))
-        print(f"[verify:model] token-ring n={n}: {result.summary()}")
-        failed += 0 if result.ok else 1
+    for label, machine in REGISTRY.model_machines():
+        for n in ranks:
+            result = explore(machine(n_ranks=n))
+            print(f"[verify:model] {label} n={n}: {result.summary()}")
+            if verbose:
+                for v in result.violations[:3]:
+                    print(f"  {v.invariant}: " + " -> ".join(v.trace))
+            failed += 0 if result.ok else 1
     _summary("model", not failed)
     return LAYER_CODES["model"] if failed else 0
 

@@ -19,9 +19,17 @@ event vocabulary (``kind`` → fields):
 ``proto.write_end``    rank, round, ok — … finished (ok=False: retries
                        exhausted)
 ``proto.local_commit`` rank, index — independent: written checkpoint stable
+``proto.cic.forced``   rank, index, had, src, rule — CIC index rule fired:
+                       the rank owes a forced checkpoint at ``index``
+``proto.cic.promote``  rank, index, base, src — FDAS: checkpoint ``base``
+                       re-labelled to also cover ``index`` (nothing sent)
+``proto.mlog.logged``  src, dst, seq — message-log record reached stable
+                       storage (sync send-path write or annex flush)
 ``msg.send``           src, dst, seq, epoch, gen — application send
 ``msg.deliver``        src, dst, seq, epoch, gen — accepted app delivery
 ``recover.crash``      gen, failed — a failure took the machine down
+``recover.quarantine`` rank, index, cause — recovery excluded a checkpoint
+                       (failed checksum, or unreadable after retries)
 ``recover.line``       gen, indices, klass, logging, consistent,
                        sent, consumed — the restored recovery line
 ``recover.replay``     gen, count — in-transit messages re-injected
@@ -60,6 +68,8 @@ __all__ = [
     "GcLineSafety",
     "LineSoundness",
     "PolicyAdaptation",
+    "CicIndexRule",
+    "MsglogReplayBounds",
     "default_checkers",
 ]
 
@@ -70,7 +80,7 @@ class RunMeta:
 
     n_ranks: int
     scheme: str = "none"  #: scheme name (coord_nbms, indep_m, …)
-    klass: str = "none"  #: "coordinated" | "independent" | "none"
+    klass: str = "none"  #: "coordinated" | "independent" | "cic" | "msglog" | "none"
     staggered: bool = False
     logging: bool = False
     #: stable-storage shard count: staggering holds mutual exclusion *per
@@ -551,15 +561,187 @@ class PolicyAdaptation(Checker):
             )
 
 
+class CicIndexRule(Checker):
+    """The CIC index rule, re-derived from the event stream.
+
+    Mirrors the receiver's index (``proto.cut`` rounds, FDAS promotions,
+    recovery-line resets) and its forced-index obligation, then audits
+    every accepted delivery:
+
+    * a message whose piggybacked index exceeds both the receiver's index
+      and its standing obligation must trigger ``proto.cic.forced`` or
+      ``proto.cic.promote`` *as part of that delivery* (the scheme hook
+      runs synchronously) — and at an index at least the message's;
+    * no basic checkpoint may land below a standing forced-index
+      obligation (the deferred forced cut must *jump* to the obliged
+      index, never undershoot it).
+    """
+
+    name = "cic_index_rule"
+    consumes = (
+        "msg.deliver",
+        "proto.cut",
+        "proto.cic.forced",
+        "proto.cic.promote",
+        "recover.line",
+    )
+
+    def __init__(self, meta: RunMeta) -> None:
+        super().__init__(meta)
+        self._idx: Dict[int, int] = {r: 0 for r in range(meta.n_ranks)}
+        self._obliged: Dict[int, int] = {}  #: rank -> outstanding forced index
+        #: rank -> index of a delivery whose rule event has not appeared yet
+        self._pending: Dict[int, int] = {}
+        self._now = 0.0
+
+    def _rule_never_fired(self, rank: int, time: float) -> None:
+        pending = self._pending.pop(rank, None)
+        if pending is not None:
+            self.flag(
+                f"rank {rank} consumed a message of interval index {pending} "
+                f"above its own without a forced checkpoint",
+                time,
+            )
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if self.meta.klass != "cic":
+            return
+        self._now = ev.time
+        if ev.kind == "msg.deliver":
+            dst, midx = ev["dst"], ev["epoch"]
+            self._rule_never_fired(dst, ev.time)
+            if midx > max(self._idx.get(dst, 0), self._obliged.get(dst, 0)):
+                self._pending[dst] = midx
+        elif ev.kind == "proto.cic.forced":
+            rank, idx = ev["rank"], ev["index"]
+            pending = self._pending.pop(rank, None)
+            if pending is not None and idx < pending:
+                self.flag(
+                    f"rank {rank} forced index {idx} below the triggering "
+                    f"message's index {pending}",
+                    ev.time,
+                )
+            self._obliged[rank] = max(self._obliged.get(rank, 0), idx)
+        elif ev.kind == "proto.cic.promote":
+            rank, idx = ev["rank"], ev["index"]
+            pending = self._pending.pop(rank, None)
+            if pending is not None and idx < pending:
+                self.flag(
+                    f"rank {rank} promoted to index {idx} below the "
+                    f"triggering message's index {pending}",
+                    ev.time,
+                )
+            self._idx[rank] = idx
+            if self._obliged.get(rank, 0) <= idx:
+                self._obliged.pop(rank, None)
+        elif ev.kind == "proto.cut":
+            rank, n = ev["rank"], ev["round"]
+            self._rule_never_fired(rank, ev.time)
+            obliged = self._obliged.pop(rank, None)
+            if obliged is not None and n < obliged:
+                self.flag(
+                    f"rank {rank} cut at index {n} below its forced-index "
+                    f"obligation {obliged}",
+                    ev.time,
+                )
+            self._idx[rank] = n
+        elif ev.kind == "recover.line":
+            for rank, idx in dict(ev["indices"]).items():
+                self._idx[rank] = idx
+            # rolled-away state: obligations and in-flight rule firings
+            # died with the pre-crash generation.
+            self._pending.clear()
+            self._obliged.clear()
+
+    def finish(self) -> List[TraceViolation]:
+        for rank in sorted(self._pending):
+            self._rule_never_fired(rank, self._now)
+        return self.violations
+
+
+class MsglogReplayBounds(Checker):
+    """Sender-based pessimistic logging bounds every rollback:
+
+    * each rank's restored line index is its newest stable checkpoint —
+      recovery never rolls a rank back past its last committed record
+      (quarantined records are legitimately excluded, so ``recover.
+      quarantine`` retracts them from the expectation);
+    * everything the line's channel counters say is in transit must sit
+      at or below the channel's durable log watermark — the replayed
+      suffix comes entirely from stable logs, never from luck.
+    """
+
+    name = "msglog_replay_bounds"
+    consumes = (
+        "proto.local_commit",
+        "proto.mlog.logged",
+        "recover.quarantine",
+        "recover.line",
+    )
+
+    def __init__(self, meta: RunMeta) -> None:
+        super().__init__(meta)
+        self._stable: Dict[int, Set[int]] = {}  #: rank -> committed indices
+        self._watermark: Dict[Tuple[int, int], int] = {}  #: (src,dst) -> seq
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if self.meta.klass != "msglog":
+            return
+        if ev.kind == "proto.local_commit":
+            self._stable.setdefault(ev["rank"], set()).add(ev["index"])
+        elif ev.kind == "proto.mlog.logged":
+            chan = (ev["src"], ev["dst"])
+            self._watermark[chan] = max(self._watermark.get(chan, 0), ev["seq"])
+        elif ev.kind == "recover.quarantine":
+            self._stable.get(ev["rank"], set()).discard(ev["index"])
+        elif ev.kind == "recover.line":
+            indices = dict(ev["indices"])
+            sent = {r: dict(v) for r, v in dict(ev["sent"]).items()}
+            consumed = {r: dict(v) for r, v in dict(ev["consumed"]).items()}
+            for rank, idx in sorted(indices.items()):
+                newest = max(self._stable.get(rank, ()), default=0)
+                if idx < newest:
+                    self.flag(
+                        f"rank {rank} rolled back to checkpoint {idx} past "
+                        f"its newest stable checkpoint {newest} (logging "
+                        f"bounds rollback to the last committed record)",
+                        ev.time,
+                    )
+                # records above the line are discarded by recovery
+                self._stable[rank] = {
+                    i for i in self._stable.get(rank, ()) if i <= idx
+                }
+            ranks = sorted(indices)
+            for p in ranks:
+                for q in ranks:
+                    if p == q:
+                        continue
+                    hi = sent.get(p, {}).get(q, 0)
+                    lo = consumed.get(q, {}).get(p, 0)
+                    mark = self._watermark.get((p, q), 0)
+                    if hi > lo and hi > mark:
+                        self.flag(
+                            f"line says channel {p}->{q} has in-transit "
+                            f"messages up to seq {hi} but the durable log "
+                            f"watermark is {mark} (replay would cross the "
+                            f"last logged point)",
+                            ev.time,
+                        )
+
+
 def default_checkers(meta: RunMeta) -> List[Checker]:
-    """The full checker battery for one run."""
-    return [
+    """The full checker battery for one run: the scheme-independent core,
+    plus every protocol-declared checker from the registry (each gates
+    itself on ``meta.klass``, so the battery is safe to run wholesale)."""
+    from ..chklib.schemes.registry import REGISTRY
+
+    checkers: List[Checker] = [
         MonotonicClock(meta),
         ChannelFifo(meta),
         CutMonotonic(meta),
-        CoordinatedTwoPhase(meta),
-        StaggeredWriteMutex(meta),
         GcLineSafety(meta),
         LineSoundness(meta),
         PolicyAdaptation(meta),
     ]
+    checkers.extend(cls(meta) for cls in REGISTRY.trace_checkers())
+    return checkers

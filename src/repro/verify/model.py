@@ -1,7 +1,9 @@
 """Abstract protocol models for exhaustive checking.
 
-Two executable state machines mirror the protocols implemented in
-:mod:`repro.chklib.schemes`:
+Executable state machines mirror the protocols implemented in
+:mod:`repro.chklib.schemes`. Each scheme class declares its machines via
+``Scheme.model_machines()`` and ``repro.verify model`` enumerates them
+through the protocol registry:
 
 * :class:`TwoPhaseCommitModel` — one round of the coordinated scheme's
   2PC (REQUEST → cut/write → ACK|ABORT → COMMIT|ABORT broadcast), with the
@@ -12,6 +14,15 @@ Two executable state machines mirror the protocols implemented in
 * :class:`TokenRingModel` — the NBMS staggered background-write ring: the
   coordinator writes first, every other rank waits for the token and
   passes it on after its own write.
+* :class:`CicIndexModel` — the communication-induced index rule: a
+  delivered message whose piggybacked checkpoint index exceeds the
+  receiver's must raise the receiver's index (forced checkpoint) before
+  the delivery completes. ``skip_forced`` is the mutation that consumes
+  such messages without forcing.
+* :class:`SenderLogModel` — sender-based pessimistic logging on one
+  channel: log-before-send, crash wipes the wire, recovery replays the
+  logged suffix in order. ``skip_log`` sends unlogged; ``out_of_order_replay``
+  reverses the replayed suffix.
 
 One round is modelled, which is exhaustive in practice: rounds are
 independent by construction (committing round *n* discards *n−1* and the
@@ -34,7 +45,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Iterator, NamedTuple, Optional, Tuple
 
-__all__ = ["ModelBugs", "TwoPhaseCommitModel", "TokenRingModel"]
+__all__ = [
+    "ModelBugs",
+    "TwoPhaseCommitModel",
+    "TokenRingModel",
+    "CicIndexModel",
+    "SenderLogModel",
+]
 
 
 # -- participant phases -------------------------------------------------------
@@ -409,3 +426,236 @@ class TokenRingModel:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<TokenRingModel n={self.n} skip_token={self.skip_token}>"
+
+
+# -- the communication-induced index rule --------------------------------------
+
+
+class CicState(NamedTuple):
+    """Configuration of the CIC index machine (hashable)."""
+
+    idx: Tuple[int, ...]  #: per-rank checkpoint (interval) index
+    sends_left: Tuple[int, ...]  #: application sends each rank may still do
+    basics_left: Tuple[int, ...]  #: basic (timer) checkpoints still allowed
+    wire: Tuple[Tuple[int, int, int], ...]  #: in-flight (src, dst, index)
+    #: sticky: some rank consumed a message whose index exceeded its own
+    #: without a forced checkpoint — the state the rule must make
+    #: unreachable.
+    orphan_risk: bool
+
+
+class CicIndexModel:
+    """Index-based CIC as an exhaustive machine.
+
+    Each rank may take a bounded number of basic checkpoints (raising its
+    index by one) and send a bounded number of messages, each stamped
+    with the sender's current index; deliveries branch over every
+    interleaving. The shipped rule raises the receiver's index to the
+    message's index (the forced checkpoint) as part of the delivery;
+    ``skip_forced`` consumes the message without forcing, which is
+    exactly the mutation the ``cic_index_rule`` invariant must catch.
+    Per-channel FIFO holds trivially because each rank sends at most one
+    message per destination.
+    """
+
+    def __init__(self, n_ranks: int = 3, skip_forced: bool = False) -> None:
+        if n_ranks < 2:
+            raise ValueError("the index rule needs at least 2 ranks")
+        self.n = n_ranks
+        self.skip_forced = skip_forced
+        self.invariants = [
+            ("cic_index_rule", self._inv_index_rule),
+            ("indices_bounded", self._inv_bounded),
+        ]
+        self.terminal_invariants = [
+            ("wire_drained", self._inv_drained),
+        ]
+
+    def initial_states(self) -> Iterable[CicState]:
+        yield CicState(
+            idx=tuple(0 for _ in range(self.n)),
+            sends_left=tuple(1 for _ in range(self.n)),
+            basics_left=tuple(1 for _ in range(self.n)),
+            wire=(),
+            orphan_risk=False,
+        )
+
+    def successors(self, s: CicState) -> Iterator[Tuple[str, CicState]]:
+        # basic (timer) checkpoints: local index +1, uncoordinated
+        for r in range(self.n):
+            if s.basics_left[r] > 0:
+                yield (
+                    f"basic:{r}",
+                    s._replace(
+                        idx=_bump(s.idx, r, s.idx[r] + 1),
+                        basics_left=_bump(s.basics_left, r, s.basics_left[r] - 1),
+                    ),
+                )
+        # sends: stamp the sender's current index
+        for r in range(self.n):
+            if s.sends_left[r] <= 0:
+                continue
+            for q in range(self.n):
+                if q == r:
+                    continue
+                yield (
+                    f"send:{r}->{q}",
+                    s._replace(
+                        sends_left=_bump(s.sends_left, r, s.sends_left[r] - 1),
+                        wire=s.wire + ((r, q, s.idx[r]),),
+                    ),
+                )
+        # deliveries: the index rule fires here
+        for pos, (src, dst, midx) in enumerate(s.wire):
+            wire = s.wire[:pos] + s.wire[pos + 1 :]
+            if midx <= s.idx[dst]:
+                yield f"deliver:{src}->{dst}", s._replace(wire=wire)
+            elif self.skip_forced:
+                yield (
+                    f"deliver-skip:{src}->{dst}",
+                    s._replace(wire=wire, orphan_risk=True),
+                )
+            else:
+                # forced checkpoint: raise the index before consuming
+                yield (
+                    f"deliver-forced:{src}->{dst}",
+                    s._replace(wire=wire, idx=_bump(s.idx, dst, midx)),
+                )
+
+    def _inv_index_rule(self, s: CicState) -> bool:
+        """No rank ever consumes a message stamped above its own index
+        without a forced checkpoint (would orphan the aligned line)."""
+        return not s.orphan_risk
+
+    def _inv_bounded(self, s: CicState) -> bool:
+        """Indices never exceed the total checkpoints taken — forced
+        checkpoints only copy existing indices, never invent them."""
+        total_basics = self.n - sum(s.basics_left)
+        return all(i <= total_basics for i in s.idx)
+
+    def _inv_drained(self, s: CicState) -> bool:
+        """Deliveries are always enabled, so quiescence drains the wire."""
+        return not s.wire
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CicIndexModel n={self.n} skip_forced={self.skip_forced}>"
+
+
+def _bump(values: Tuple[int, ...], rank: int, value: int) -> Tuple[int, ...]:
+    out = list(values)
+    out[rank] = value
+    return tuple(out)
+
+
+# -- sender-based pessimistic message logging ----------------------------------
+
+
+class MlogState(NamedTuple):
+    """Configuration of the sender-log machine (hashable)."""
+
+    sent: int  #: messages handed to the send path so far
+    logged: int  #: highest sequence durably logged before hitting the wire
+    wire: Tuple[int, ...]  #: in-flight sequence numbers, FIFO
+    delivered: int  #: highest sequence consumed (contiguously) by the peer
+    crashes_left: int
+    #: sticky: the peer consumed a message that was never durably logged.
+    unlogged_depend: bool
+    #: sticky: a replayed/delivered message arrived out of order.
+    order_broken: bool
+
+
+class SenderLogModel:
+    """Sender-based pessimistic logging on one channel, with recovery.
+
+    The sender logs each message to stable storage *before* it reaches
+    the wire; a crash (bounded to one) wipes the wire and recovery
+    re-injects the logged-but-undelivered suffix in sequence order.
+    ``skip_log`` sends without logging (messages are lost at the crash
+    and the peer depended on unlogged state); ``out_of_order_replay``
+    reverses the replayed suffix (breaks channel FIFO on recovery). The
+    message budget scales with ``n_ranks`` so ``--ranks`` sweeps deepen
+    the exploration.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int = 3,
+        skip_log: bool = False,
+        out_of_order_replay: bool = False,
+    ) -> None:
+        if n_ranks < 2:
+            raise ValueError("the log machine needs at least 2 ranks")
+        self.messages = n_ranks  #: total messages the sender will produce
+        self.skip_log = skip_log
+        self.out_of_order_replay = out_of_order_replay
+        self.invariants = [
+            ("delivered_implies_logged", self._inv_logged),
+            ("replay_in_order", self._inv_order),
+        ]
+        self.terminal_invariants = [
+            ("no_message_lost", self._inv_no_loss),
+        ]
+
+    def initial_states(self) -> Iterable[MlogState]:
+        yield MlogState(
+            sent=0,
+            logged=0,
+            wire=(),
+            delivered=0,
+            crashes_left=1,
+            unlogged_depend=False,
+            order_broken=False,
+        )
+
+    def successors(self, s: MlogState) -> Iterator[Tuple[str, MlogState]]:
+        # send: log synchronously (unless mutated), then put on the wire
+        if s.sent < self.messages:
+            seq = s.sent + 1
+            yield (
+                f"send:{seq}",
+                s._replace(
+                    sent=seq,
+                    logged=s.logged if self.skip_log else seq,
+                    wire=s.wire + (seq,),
+                ),
+            )
+        # delivery consumes the FIFO head
+        if s.wire:
+            seq = s.wire[0]
+            yield (
+                f"deliver:{seq}",
+                s._replace(
+                    wire=s.wire[1:],
+                    delivered=max(s.delivered, seq),
+                    unlogged_depend=s.unlogged_depend or seq > s.logged,
+                    order_broken=s.order_broken or seq != s.delivered + 1,
+                ),
+            )
+        # crash: the wire is wiped; recovery replays the logged suffix
+        if s.crashes_left > 0:
+            replay = tuple(range(s.delivered + 1, s.logged + 1))
+            if self.out_of_order_replay:
+                replay = tuple(reversed(replay))
+            yield (
+                "crash-recover",
+                s._replace(crashes_left=s.crashes_left - 1, wire=replay),
+            )
+
+    def _inv_logged(self, s: MlogState) -> bool:
+        """No process ever depends on an unlogged message — the defining
+        pessimistic-logging invariant (bounds rollback to the sender)."""
+        return not s.unlogged_depend
+
+    def _inv_order(self, s: MlogState) -> bool:
+        """Replay preserves per-channel FIFO delivery order."""
+        return not s.order_broken
+
+    def _inv_no_loss(self, s: MlogState) -> bool:
+        """At quiescence every message was delivered despite the crash."""
+        return s.delivered == s.sent
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SenderLogModel m={self.messages} skip_log={self.skip_log} "
+            f"ooo={self.out_of_order_replay}>"
+        )

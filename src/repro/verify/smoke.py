@@ -16,8 +16,10 @@ from .trace_check import TraceReport, check_runtime
 __all__ = ["SMOKE_SCHEMES", "run_smoke"]
 
 #: the paper's five measured schemes plus the coverage extras: the logged
-#: independent variant (message replay from stable logs) and a GC-enabled
-#: one (gc.run / gc.discard events).
+#: independent variant (message replay from stable logs), a GC-enabled
+#: one (gc.run / gc.discard events), and the third protocol family —
+#: CIC under both index rules (proto.cic.* events, forced-index audit)
+#: and sender-based message logging (proto.mlog.logged, replay bounds).
 SMOKE_SCHEMES = (
     "coord_nb",
     "indep",
@@ -26,6 +28,9 @@ SMOKE_SCHEMES = (
     "coord_nbms",
     "indep_log",
     "indep_m_log_gc",
+    "cic",
+    "cic_fdas",
+    "indep_m_mlog",
 )
 
 

@@ -173,3 +173,80 @@ class TestDependencyGraph:
         g = rollback_dependency_graph(cuts, final_sent={}, final_consumed={})
         assert g.nodes[(0, 2)]["volatile"]
         assert not g.nodes[(0, 1)]["volatile"]
+
+
+class TestThirdFamilyDependencies:
+    """CIC and message logging seen through the dependency graph: forced
+    checkpoints break the staircase cascade; stable logs erase the
+    cross-process edges altogether."""
+
+    @staticmethod
+    def _staircase():
+        # rank 0 checkpoints before each send, rank 1 after each receive:
+        # the canonical domino misalignment (see the cascade test above).
+        return {
+            0: chain(
+                0,
+                cut(0, 1, sent={1: 0}, consumed={1: 0}),
+                cut(0, 2, sent={1: 1}, consumed={1: 1}),
+            ),
+            1: chain(
+                1,
+                cut(1, 1, sent={0: 0}, consumed={0: 1}),
+                cut(1, 2, sent={0: 1}, consumed={0: 2}),
+            ),
+        }
+
+    def test_forced_checkpoint_breaks_the_staircase(self):
+        # Under index-based CIC rank 1 is *forced* to cut on receiving
+        # rank 0's index-1 message before consuming it: its cut 1 now
+        # records consumed=0 (not 1) and the staircase pairing (1, 1)
+        # becomes consistent — the cascade never starts.
+        cuts = self._staircase()
+        forced = {
+            0: cuts[0],
+            1: chain(
+                1,
+                cut(1, 1, sent={0: 0}, consumed={0: 0}),  # forced pre-receive
+                cut(1, 2, sent={0: 1}, consumed={0: 1}),
+            ),
+        }
+        stair_line = consistent_line(cuts)
+        forced_line = consistent_line(forced)
+        latest = {0: 2, 1: 2}
+        assert domino_extent(stair_line, latest) > 0
+        assert domino_extent(forced_line, latest) == 0.0
+        assert forced_line[0].index == 2 and forced_line[1].index == 2
+
+    def test_logged_messages_create_no_rollback_edges(self):
+        # With sender-based logging in force every consumed message can
+        # be replayed from stable storage: the cross-process edges of the
+        # unlogged analysis must vanish entirely.
+        cuts = self._staircase()
+        final_sent = {0: {1: 2}, 1: {0: 1}}
+        final_consumed = {0: {1: 1}, 1: {0: 2}}
+        unlogged = rollback_dependency_graph(cuts, final_sent, final_consumed)
+        logged = rollback_dependency_graph(
+            cuts, final_sent, final_consumed, logged=True
+        )
+        assert any(p != q for (p, _), (q, _) in unlogged.edges)
+        assert all(p == q for (p, _), (q, _) in logged.edges)
+        # same nodes, volatile marking intact
+        assert set(logged.nodes) == set(unlogged.nodes)
+        assert logged.nodes[(0, 3)]["volatile"]
+
+    def test_logged_rollback_stops_at_newest_checkpoint(self):
+        # rollback propagation over the logged graph: only the volatile
+        # intervals roll back, so every rank restores its newest cut —
+        # exactly the message-logging recovery guarantee.
+        import networkx as nx
+
+        cuts = self._staircase()
+        g = rollback_dependency_graph(
+            cuts, {0: {1: 2}, 1: {0: 1}}, {0: {1: 1}, 1: {0: 2}}, logged=True
+        )
+        seeds = [n for n, d in g.nodes(data=True) if d["volatile"]]
+        rolled = set(seeds)
+        for seed in seeds:
+            rolled.update(nx.descendants(g, seed))
+        assert rolled == set(seeds)

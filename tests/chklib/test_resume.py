@@ -23,12 +23,14 @@ import pytest
 from repro.apps import SOR, Gauss
 from repro.chklib import (
     CheckpointRuntime,
+    CICScheme,
     CoordinatedScheme,
     DurableLine,
     FaultModel,
     IndependentScheme,
     NoCheckpointing,
 )
+from repro.chklib.schemes.msglog import MessageLoggingScheme
 from repro.chklib.resume import LINE_MAGIC
 from repro.core.errors import ResumeError
 from repro.machine import MachineParams
@@ -54,6 +56,9 @@ def schemes(T):
         "coord_nbm": lambda: CoordinatedScheme.NBM(times),
         "indep_log": lambda: IndependentScheme.Indep(times, logging=True),
         "indep_nolog": lambda: IndependentScheme.Indep(times, logging=False),
+        "cic": lambda: CICScheme.BCS(times, skew=T / 10),
+        "cic_fdas": lambda: CICScheme.FDAS(times, skew=T / 10),
+        "mlog": lambda: MessageLoggingScheme.Mlog(times, skew=T / 10),
     }
 
 
@@ -67,7 +72,16 @@ def T():
 
 
 @pytest.mark.parametrize(
-    "name", ["coord_nb", "coord_nbm", "indep_log", "indep_nolog"]
+    "name",
+    [
+        "coord_nb",
+        "coord_nbm",
+        "indep_log",
+        "indep_nolog",
+        "cic",
+        "cic_fdas",
+        "mlog",
+    ],
 )
 def test_restart_continues_bitwise_identically(name, T):
     make_scheme = schemes(T)[name]

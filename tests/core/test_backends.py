@@ -10,7 +10,8 @@ suite is the oracle a new backend (Cython/mypyc/Rust) must pass:
 * property tests replaying random mixed workloads — timestamp
   collisions (cohorts), priorities (dirty cohorts), delay-0 lane
   traffic, batched inserts — under every backend;
-* all seven checkpointing schemes, crash/recovery, halt/resume via a
+* all nine checkpointing schemes (including the CIC and message-logging
+  family), crash/recovery, halt/resume via a
   durable line crossing *backends* as well as process boundaries
   (including a genuine SIGKILL), and ``--verify``-audited traced runs;
 * the experiment CLI: ``runner table1|table2|table3 --quick`` stdout.
@@ -31,11 +32,13 @@ import repro.experiments.runner as runner_mod
 from repro.apps import SOR
 from repro.chklib import (
     CheckpointRuntime,
+    CICScheme,
     CoordinatedScheme,
     DurableLine,
     FaultModel,
     IndependentScheme,
 )
+from repro.chklib.schemes.msglog import MessageLoggingScheme
 from repro.core import Engine, Event, NegativeDelay, available_backends, backend_class
 from repro.core.engine import LOW, URGENT
 from repro.core.kernel import resolve_backend
@@ -253,6 +256,10 @@ def _schemes(T):
         "indep_nolog": lambda: IndependentScheme.Indep(
             times, skew=0.05, logging=False
         ),
+        "cic": lambda: CICScheme.BCS(times, skew=T / 10),
+        "indep_m_mlog": lambda: MessageLoggingScheme.Mlog(
+            times, skew=T / 10
+        ),
     }
 
 
@@ -280,6 +287,8 @@ def _run_scheme(backend, make_scheme, monkeypatch, fault=None):
         "coord_nbs",
         "indep_log",
         "indep_nolog",
+        "cic",
+        "indep_m_mlog",
     ],
 )
 def test_scheme_reports_identical_across_backends(name, _T, monkeypatch):
@@ -316,10 +325,11 @@ def test_traced_verified_runs_identical_across_backends(_T, monkeypatch):
     assert states["batched"] == states["reference"]
 
 
-def test_durable_line_resumes_across_backends(_T, tmp_path, monkeypatch):
+@pytest.mark.parametrize("name", ["coord_nb", "cic", "indep_m_mlog"])
+def test_durable_line_resumes_across_backends(name, _T, tmp_path, monkeypatch):
     """Halt under batched, restart the on-disk line under reference —
     bitwise the same as an in-process crash recovery under twotier."""
-    make_scheme = _schemes(_T)["coord_nb"]
+    make_scheme = _schemes(_T)[name]
     halt = 0.55 * _T
 
     crashed = _run_scheme(

@@ -55,6 +55,31 @@ def test_runner_rejects_unknown_experiment():
         runner_mod.main(["not-an-experiment"])
 
 
+def test_runner_requires_experiment_or_list_schemes():
+    with pytest.raises(SystemExit):
+        runner_mod.main([])
+
+
+def test_runner_list_schemes(capsys):
+    from repro.chklib.schemes.registry import REGISTRY
+
+    assert runner_mod.main(["--list-schemes"]) == 0
+    captured = capsys.readouterr()
+    assert captured.err == ""  # rows go to stdout only
+    lines = captured.out.strip().splitlines()
+    assert len(lines) == len(REGISTRY.aliases())
+    rows = {ln.split()[0]: ln.split()[1:] for ln in lines}
+    # every alias appears with its family ...
+    assert rows["coord_nbms"][0] == "coordinated"
+    assert rows["indep_m"][0] == "independent"
+    assert rows["cic"][0] == "cic"
+    assert rows["indep_m_mlog"][0] == "msglog"
+    # ... and the fixed overrides (or a dash when there are none)
+    assert rows["indep_m_log"][1:] == ["logging=True"]
+    assert rows["cic_fdas"][1:] == ["cic_rule=fdas"]
+    assert rows["coord_nb"][1:] == ["-"]
+
+
 def test_runner_ablation_staggering(capsys):
     assert runner_mod.main(["ablation-staggering"] + _FAST) == 0
     out = capsys.readouterr().out

@@ -7,7 +7,14 @@ each deliberately-injected protocol bug is caught with a counterexample.
 
 import pytest
 
-from repro.verify import ModelBugs, TokenRingModel, TwoPhaseCommitModel, explore
+from repro.verify import (
+    CicIndexModel,
+    ModelBugs,
+    SenderLogModel,
+    TokenRingModel,
+    TwoPhaseCommitModel,
+    explore,
+)
 
 
 # -- the shipped protocol is correct ------------------------------------------
@@ -25,6 +32,19 @@ def test_shipped_2pc_clean(n):
 @pytest.mark.parametrize("n", [2, 3, 4, 6])
 def test_shipped_token_ring_clean(n):
     result = explore(TokenRingModel(n_ranks=n))
+    assert result.complete and result.ok, result.summary()
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_shipped_cic_index_rule_clean(n):
+    result = explore(CicIndexModel(n_ranks=n))
+    assert result.complete and result.ok, result.summary()
+    assert result.states_explored > 0 and result.terminal_states > 0
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_shipped_sender_log_clean(n):
+    result = explore(SenderLogModel(n_ranks=n))
     assert result.complete and result.ok, result.summary()
 
 
@@ -102,6 +122,26 @@ def test_bug_skipped_token_handoff():
     assert not result.ok
     names = {v.invariant for v in result.violations}
     assert names & {"storage_write_mutex", "all_writes_complete"}
+
+
+def test_bug_skipped_forced_checkpoint_breaks_index_rule():
+    """A CIC receiver that delivers a higher-index message without
+    raising its own index leaves an orphan-capable interval behind."""
+    result = explore(CicIndexModel(n_ranks=3, skip_forced=True))
+    names = _violated(result)
+    assert "cic_index_rule" in names
+
+
+def test_bug_unlogged_delivery_is_flagged():
+    result = explore(SenderLogModel(n_ranks=3, skip_log=True))
+    names = _violated(result)
+    assert "delivered_implies_logged" in names
+
+
+def test_bug_out_of_order_replay_is_flagged():
+    result = explore(SenderLogModel(n_ranks=3, out_of_order_replay=True))
+    names = _violated(result)
+    assert "replay_in_order" in names
 
 
 def test_counterexamples_carry_shortest_traces():

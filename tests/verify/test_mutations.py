@@ -13,8 +13,15 @@ import operator
 import pytest
 
 from repro.apps.base import Application
-from repro.chklib import CheckpointRuntime, CoordinatedScheme, IndependentScheme
+from repro.chklib import (
+    CheckpointRuntime,
+    CICScheme,
+    CoordinatedScheme,
+    FaultModel,
+    IndependentScheme,
+)
 from repro.chklib.schemes.coordinated import CTL_COMMIT
+from repro.chklib.schemes.msglog import MessageLoggingScheme
 from repro.core.errors import VerificationError
 from repro.machine import MachineParams
 from repro.net.collectives import reduce
@@ -177,5 +184,93 @@ def test_shipped_gc_is_line_safe():
         _times(), memory_ckpt=False, name="indep_gc", logging=True, gc=True
     )
     rt = _run(scheme=scheme)
+    report = check_runtime(rt)
+    assert report.ok, report.violations
+
+
+# -- mutation: CIC receiver ignores the index rule ----------------------------
+
+
+class CicSkipForced(CICScheme):
+    """BUG: a higher piggybacked index no longer forces (or promotes) a
+    checkpoint — the receiver's interval can depend on an interval the
+    sender may roll away, exactly what CIC exists to prevent."""
+
+    def on_app_deliver(self, agent, msg):
+        pass  # BUG: index rule ignored
+
+
+def _cic_setup():
+    base = _run()
+    T = base.engine.now
+    return [T / 3, 2 * T / 3], T / 10
+
+
+def test_skipped_forced_checkpoint_is_flagged():
+    times, skew = _cic_setup()
+    rt = _run(scheme=CicSkipForced.BCS(times, skew=skew))
+    report = check_runtime(rt)
+    assert not report.ok
+    assert any(
+        v.invariant == "cic_index_rule" for v in report.violations
+    )
+
+
+def test_shipped_cic_index_rule_holds():
+    times, skew = _cic_setup()
+    for make in (CICScheme.BCS, CICScheme.FDAS):
+        rt = _run(scheme=make(times, skew=skew))
+        report = check_runtime(rt)
+        assert report.ok, report.violations
+
+
+# -- mutation: msglog recovery rolls back too far ------------------------------
+
+
+class MlogDeepRollback(MessageLoggingScheme):
+    """BUG: recovery ignores the stable logs and restores each rank's
+    *oldest* committed checkpoint — a domino-style deep rollback the
+    logging scheme's whole point is to make unnecessary."""
+
+    def recovery_line(self, runtime):
+        line = super().recovery_line(runtime)
+        for rank in line:
+            eligible = [
+                rec
+                for rec in runtime.store.chain(rank)
+                if rec.committed and not rec.quarantined
+            ]
+            if eligible:
+                line[rank] = eligible[0]  # BUG: oldest, not newest
+        return line
+
+
+def _mlog_run(cls):
+    times, skew = _cic_setup()
+    T = times[-1] * 1.5
+    rt = CheckpointRuntime(
+        Ring(),
+        scheme=cls.Mlog(times, skew=skew),
+        machine=MACHINE3,
+        seed=1,
+        fault_model=FaultModel.machine_crash(0.8 * T),
+    )
+    rt.run()
+    return rt
+
+
+def test_deep_rollback_past_logs_is_flagged():
+    rt = _mlog_run(MlogDeepRollback)
+    report = check_runtime(rt)
+    assert not report.ok
+    assert any(
+        v.invariant == "msglog_replay_bounds"
+        and "newest stable checkpoint" in v.message
+        for v in report.violations
+    )
+
+
+def test_shipped_msglog_replay_bounds_hold():
+    rt = _mlog_run(MessageLoggingScheme)
     report = check_runtime(rt)
     assert report.ok, report.violations
